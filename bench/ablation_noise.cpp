@@ -1,0 +1,54 @@
+// Ablation: noise robustness — "several levels and types of noise"
+// (paper Sec 4.1). Sweeps noise level x noise family and reports mean
+// recovery error over realizations.
+#include <cstdio>
+
+#include "bench_util.h"
+
+#include "biology/gene_profiles.h"
+
+int main() {
+    using namespace cellsync;
+    using namespace cellsync::bench;
+    print_header("ablation_noise", "noise level x type sweep (mean nrmse over 6 realizations)");
+
+    Experiment_defaults defaults;
+    defaults.kernel_cells = 50000;
+    const Smooth_volume_model volume;
+    const Kernel_grid kernel = default_kernel(defaults, volume);
+    const Deconvolver deconvolver(std::make_shared<Natural_spline_basis>(defaults.basis_size),
+                                  kernel, defaults.cell_cycle);
+    const Gene_profile truth = sinusoid_profile(3.0, 2.0);
+
+    const Noise_type types[] = {Noise_type::relative_gaussian, Noise_type::absolute_gaussian,
+                                Noise_type::lognormal};
+    const double levels[] = {0.0, 0.05, 0.10, 0.20, 0.30};
+
+    std::printf("  %-18s", "type \\ level");
+    for (double level : levels) std::printf("  %5.0f%%", level * 100);
+    std::printf("\n");
+    for (Noise_type type : types) {
+        std::printf("  %-18s", to_string(type).c_str());
+        for (double level : levels) {
+            const int reps = level == 0.0 ? 1 : 6;
+            double total = 0.0;
+            for (int rep = 0; rep < reps; ++rep) {
+                Rng rng(31 + static_cast<std::uint64_t>(rep) * 13);
+                Measurement_series data;
+                if (level == 0.0) {
+                    data = forward_measurements(kernel, truth.f);
+                } else {
+                    data = forward_measurements_noisy(kernel, truth.f, {type, level}, rng);
+                }
+                const Single_cell_estimate estimate =
+                    deconvolve_cv(deconvolver, data, defaults);
+                total += score_recovery(estimate, truth.f).nrmse;
+            }
+            std::printf("  %6.3f", total / reps);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nreading: error should grow smoothly with level (no cliff), and the\n");
+    std::printf("10%% relative-gaussian column reproduces the Figure-3 operating point.\n");
+    return 0;
+}

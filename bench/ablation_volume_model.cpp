@@ -1,0 +1,80 @@
+// Ablation: the 2011 smooth cell-volume model (paper Eq 11) vs the 2009
+// piecewise-linear baseline.
+//
+// Both the kernel used to *generate* the data and the kernel used to
+// *invert* it are varied, giving a 2x2 of generation/inversion pairs. The
+// interesting cells are the mismatched ones: they quantify how much a
+// wrong volume model costs the estimator.
+#include <cstdio>
+
+#include "bench_util.h"
+
+#include "biology/gene_profiles.h"
+
+int main() {
+    using namespace cellsync;
+    using namespace cellsync::bench;
+    print_header("ablation_volume_model", "smooth (2011, Eq 11) vs linear (2009) kernels");
+
+    Experiment_defaults defaults;
+    defaults.kernel_cells = 50000;
+    const Smooth_volume_model smooth;
+    const Linear_volume_model linear;
+    const Kernel_grid kernel_smooth = default_kernel(defaults, smooth);
+    Experiment_defaults alt = defaults;
+    alt.kernel_seed += 1;  // independent population for inversion kernels
+    const Kernel_grid inv_smooth = default_kernel(alt, smooth);
+    const Kernel_grid inv_linear = default_kernel(alt, linear);
+    const Kernel_grid kernel_linear = default_kernel(defaults, linear);
+
+    const Deconvolver dec_smooth(std::make_shared<Natural_spline_basis>(defaults.basis_size),
+                                 inv_smooth, defaults.cell_cycle);
+    const Deconvolver dec_linear(std::make_shared<Natural_spline_basis>(defaults.basis_size),
+                                 inv_linear, defaults.cell_cycle);
+
+    const Gene_profile truth = ftsz_like_profile();
+    const Noise_model noise{Noise_type::relative_gaussian, 0.05};
+
+    // Effect size of the model change on the kernel itself: mean L1
+    // distance between kernel rows across the time grid.
+    double kernel_l1 = 0.0;
+    for (std::size_t m = 0; m < kernel_smooth.time_count(); ++m) {
+        for (std::size_t b = 0; b < kernel_smooth.bin_count(); ++b) {
+            kernel_l1 += std::abs(kernel_smooth.q()(m, b) - kernel_linear.q()(m, b)) *
+                         kernel_smooth.bin_width();
+        }
+    }
+    kernel_l1 /= static_cast<double>(kernel_smooth.time_count());
+    std::printf("truth: %s profile, 5%% relative noise, lambda by 5-fold CV\n", truth.name.c_str());
+    std::printf("mean L1(kernel_smooth, kernel_linear) over time grid: %.5f\n\n", kernel_l1);
+
+    std::printf("  generate\\invert   smooth-2011            linear-2009\n");
+    for (int gen = 0; gen < 2; ++gen) {
+        const Kernel_grid& generation = gen == 0 ? kernel_smooth : kernel_linear;
+        std::printf("  %-16s", gen == 0 ? "smooth-2011" : "linear-2009");
+        for (int inv = 0; inv < 2; ++inv) {
+            const Deconvolver& deconvolver = inv == 0 ? dec_smooth : dec_linear;
+            // Average over noise realizations so sub-percent differences in
+            // the models are not swamped by one draw.
+            double corr = 0.0, err = 0.0;
+            const int reps = 6;
+            for (int rep = 0; rep < reps; ++rep) {
+                Rng rng(42 + static_cast<std::uint64_t>(rep));
+                const Measurement_series data =
+                    forward_measurements_noisy(generation, truth.f, noise, rng);
+                const Single_cell_estimate estimate =
+                    deconvolve_cv(deconvolver, data, defaults);
+                const Recovery_score score = score_recovery(estimate, truth.f);
+                corr += score.correlation;
+                err += score.nrmse;
+            }
+            std::printf("  corr=%.4f n=%.4f", corr / reps, err / reps);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nreading: the volume-model update moves the kernel by ~%.1f%% of its mass\n",
+                100.0 * kernel_l1);
+    std::printf("and recovery shifts accordingly — a refinement, not a rescue: both models\n");
+    std::printf("invert well, matching the paper's framing of Eq 11 as a fidelity update.\n");
+    return 0;
+}

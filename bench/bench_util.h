@@ -1,0 +1,85 @@
+// Shared helpers for the figure-reproduction and ablation benches.
+//
+// Every bench binary regenerates one of the paper's evaluation artifacts.
+// They share the experiment defaults (sampling times, kernel size, basis)
+// so ablations differ from the figure baselines in exactly one knob.
+#ifndef CELLSYNC_BENCH_BENCH_UTIL_H
+#define CELLSYNC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "core/cross_validation.h"
+#include "core/forward_model.h"
+#include "numerics/statistics.h"
+#include "spline/spline_basis.h"
+
+namespace cellsync::bench {
+
+/// Experiment defaults shared by the figure benches.
+struct Experiment_defaults {
+    Cell_cycle_config cell_cycle;                  ///< Caulobacter paper model
+    Vector times = linspace(0.0, 180.0, 13);       ///< 15-min microarray-style sampling
+    std::size_t kernel_cells = 100000;
+    std::size_t kernel_bins = 200;
+    std::uint64_t kernel_seed = 20110605;          ///< DAC 2011 anaheim
+    std::size_t basis_size = 18;
+    Vector lambda_grid = default_lambda_grid(13, 1e-7, 1e0);
+    std::size_t cv_folds = 5;
+};
+
+/// Build the default kernel for the experiment.
+inline Kernel_grid default_kernel(const Experiment_defaults& defaults,
+                                  const Volume_model& volume) {
+    Kernel_build_options options;
+    options.n_cells = defaults.kernel_cells;
+    options.n_bins = defaults.kernel_bins;
+    options.seed = defaults.kernel_seed;
+    return build_kernel(defaults.cell_cycle, volume, defaults.times, options);
+}
+
+/// Deconvolve with CV-selected lambda; returns the estimate.
+inline Single_cell_estimate deconvolve_cv(const Deconvolver& deconvolver,
+                                          const Measurement_series& data,
+                                          const Experiment_defaults& defaults,
+                                          Deconvolution_options options = {}) {
+    const Lambda_selection sel = select_lambda_kfold(deconvolver, data, options,
+                                                     defaults.lambda_grid, defaults.cv_folds);
+    options.lambda = sel.best_lambda;
+    return deconvolver.estimate(data, options);
+}
+
+/// Recovery score of an estimate against the known truth on an interior
+/// phase grid (the endpoints are fundamentally under-determined).
+struct Recovery_score {
+    double correlation = 0.0;
+    double nrmse = 0.0;
+    double rmse = 0.0;
+};
+
+inline Recovery_score score_recovery(const Single_cell_estimate& estimate,
+                                     const std::function<double(double)>& truth,
+                                     std::size_t points = 47) {
+    const Vector grid = linspace(0.04, 0.96, points);
+    Vector recovered(grid.size()), expected(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        recovered[i] = estimate(grid[i]);
+        expected[i] = truth(grid[i]);
+    }
+    Recovery_score score;
+    score.correlation = pearson_correlation(recovered, expected);
+    score.nrmse = nrmse(recovered, expected);
+    score.rmse = rmse(recovered, expected);
+    return score;
+}
+
+/// Print a standard bench header.
+inline void print_header(const std::string& id, const std::string& description) {
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id.c_str(), description.c_str());
+    std::printf("==============================================================\n");
+}
+
+}  // namespace cellsync::bench
+
+#endif  // CELLSYNC_BENCH_BENCH_UTIL_H

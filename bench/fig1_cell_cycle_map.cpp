@@ -1,0 +1,50 @@
+// Figure 1: the Caulobacter cell cycle on its phase axis — SW stage until
+// the (per-cell) SW->ST transition near phi = 0.15, then the stalked
+// stages through division, which yields one SW and one ST daughter with a
+// 40/60 volume split.
+//
+// This harness renders the stage map implied by the implemented model and
+// verifies the anchor numbers the schematic encodes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "biology/cell_types.h"
+#include "biology/volume_model.h"
+
+int main() {
+    using namespace cellsync;
+    bench::print_header("fig1", "Caulobacter cell cycle phase map");
+
+    const Cell_cycle_config config;
+    const Cell_type_thresholds thresholds = thresholds_mid();
+    const Smooth_volume_model volume;
+
+    std::printf("phase axis (mean transition phases, midpoint thresholds):\n\n  ");
+    const int width = 60;
+    for (int i = 0; i <= width; ++i) {
+        const double phi = static_cast<double>(i) / width;
+        const Cell_type type = classify_cell(phi, config.mu_sst, thresholds);
+        const char glyph[] = {'S', 'e', 'p', 'L'};
+        std::printf("%c", glyph[static_cast<int>(type)]);
+    }
+    std::printf("\n  0%*s1\n", width - 1, "");
+    std::printf("  S = SW (swarmer)  e = STE  p = STEPD  L = STLPD\n\n");
+
+    std::printf("model anchors:\n");
+    std::printf("  SW->ST transition   : phi = %.2f (CV %.2f)  [2011 update; 2009 used 0.25]\n",
+                config.mu_sst, config.cv_sst);
+    std::printf("  STE->STEPD          : phi in [0.60, 0.70], midpoint %.2f\n",
+                thresholds.ste_to_stepd);
+    std::printf("  STEPD->STLPD        : phi in [0.85, 0.90], midpoint %.3f\n",
+                thresholds.stepd_to_stlpd);
+    std::printf("  mean cycle time     : %.0f minutes\n", config.mean_cycle_minutes);
+    std::printf("  division volume split (SW : ST) = %.0f%% : %.0f%%\n",
+                100.0 * swarmer_volume_fraction, 100.0 * stalked_volume_fraction);
+    std::printf("  v(0)=%.2f V0  v(phi_sst)=%.2f V0  v(1)=%.2f V0  (paper Eqs 6-8)\n",
+                volume.relative_volume(0.0, config.mu_sst),
+                volume.relative_volume(config.mu_sst, config.mu_sst),
+                volume.relative_volume(1.0, config.mu_sst));
+    std::printf("  v'(0)=v'(phi_sst)=v'(1)=%.4f V0/phase  (paper Eqs 9-10)\n",
+                volume.derivative(1.0, config.mu_sst));
+    return 0;
+}

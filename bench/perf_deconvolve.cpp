@@ -1,0 +1,83 @@
+// Performance: the end-to-end deconvolution pipeline — kernel reuse,
+// single constrained solve, and the full CV loop.
+#include <benchmark/benchmark.h>
+
+#include "biology/gene_profiles.h"
+#include "core/cross_validation.h"
+#include "core/forward_model.h"
+#include "spline/spline_basis.h"
+
+namespace {
+
+using namespace cellsync;
+
+struct Pipeline_fixture {
+    Kernel_grid kernel;
+    std::shared_ptr<Natural_spline_basis> basis;
+    Deconvolver deconvolver;
+    Measurement_series data;
+
+    static Pipeline_fixture make(std::size_t basis_size) {
+        Kernel_build_options options;
+        options.n_cells = 30000;
+        options.n_bins = 200;
+        Kernel_grid kernel = build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                          linspace(0.0, 180.0, 13), options);
+        auto basis = std::make_shared<Natural_spline_basis>(basis_size);
+        Deconvolver deconvolver(basis, kernel, Cell_cycle_config{});
+        const Gene_profile truth = ftsz_like_profile();
+        Rng rng(3);
+        Measurement_series data = forward_measurements_noisy(
+            kernel, truth.f, {Noise_type::relative_gaussian, 0.10}, rng);
+        return {std::move(kernel), std::move(basis), std::move(deconvolver), std::move(data)};
+    }
+};
+
+void bm_single_estimate(benchmark::State& state) {
+    const Pipeline_fixture fixture =
+        Pipeline_fixture::make(static_cast<std::size_t>(state.range(0)));
+    Deconvolution_options options;
+    options.lambda = 1e-4;
+    for (auto _ : state) {
+        const Single_cell_estimate estimate = fixture.deconvolver.estimate(fixture.data, options);
+        benchmark::DoNotOptimize(estimate.coefficients().data());
+    }
+}
+
+void bm_unconstrained_estimate(benchmark::State& state) {
+    const Pipeline_fixture fixture =
+        Pipeline_fixture::make(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const Single_cell_estimate estimate =
+            fixture.deconvolver.estimate_unconstrained(fixture.data, 1e-4);
+        benchmark::DoNotOptimize(estimate.coefficients().data());
+    }
+}
+
+void bm_cv_lambda_selection(benchmark::State& state) {
+    const Pipeline_fixture fixture = Pipeline_fixture::make(18);
+    const Vector grid = default_lambda_grid(static_cast<std::size_t>(state.range(0)), 1e-6, 1e0);
+    for (auto _ : state) {
+        const Lambda_selection sel = select_lambda_kfold(
+            fixture.deconvolver, fixture.data, Deconvolution_options{}, grid, 5);
+        benchmark::DoNotOptimize(sel.best_lambda);
+    }
+}
+
+void bm_gcv_lambda_selection(benchmark::State& state) {
+    const Pipeline_fixture fixture = Pipeline_fixture::make(18);
+    const Vector grid = default_lambda_grid(static_cast<std::size_t>(state.range(0)), 1e-6, 1e0);
+    for (auto _ : state) {
+        const Lambda_selection sel = select_lambda_gcv(fixture.deconvolver, fixture.data, grid);
+        benchmark::DoNotOptimize(sel.best_lambda);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(bm_single_estimate)->Arg(12)->Arg(18)->Arg(28)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_unconstrained_estimate)->Arg(18)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_cv_lambda_selection)->Arg(9)->Arg(13)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_gcv_lambda_selection)->Arg(13)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Performance: Monte-Carlo kernel construction Q(phi, t) — the dominant
+// cost of the pipeline — vs cell count, bin resolution, and time count.
+#include <benchmark/benchmark.h>
+
+#include "population/kernel_builder.h"
+#include "spline/spline_basis.h"
+
+namespace {
+
+void bm_build_kernel(benchmark::State& state) {
+    using namespace cellsync;
+    Kernel_build_options options;
+    options.n_cells = static_cast<std::size_t>(state.range(0));
+    options.n_bins = static_cast<std::size_t>(state.range(1));
+    const Vector times = linspace(0.0, 180.0, static_cast<std::size_t>(state.range(2)));
+    const Smooth_volume_model volume;
+    for (auto _ : state) {
+        const Kernel_grid kernel = build_kernel(Cell_cycle_config{}, volume, times, options);
+        benchmark::DoNotOptimize(kernel.q().data().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(options.n_cells) * state.range(2));
+}
+
+void bm_kernel_basis_matrix(benchmark::State& state) {
+    using namespace cellsync;
+    Kernel_build_options options;
+    options.n_cells = 20000;
+    options.n_bins = 200;
+    const Kernel_grid kernel =
+        build_kernel(Cell_cycle_config{}, Smooth_volume_model{}, linspace(0.0, 180.0, 13),
+                     options);
+    const Natural_spline_basis basis(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const Matrix k = kernel.basis_matrix(basis);
+        benchmark::DoNotOptimize(k.data().data());
+    }
+}
+
+}  // namespace
+
+BENCHMARK(bm_build_kernel)
+    ->Args({20000, 200, 13})
+    ->Args({50000, 200, 13})
+    ->Args({100000, 200, 13})
+    ->Args({50000, 400, 13})
+    ->Args({50000, 200, 25})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_kernel_basis_matrix)->Arg(12)->Arg(18)->Arg(36)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Performance: agent-based population simulation scaling in cell count
+// and simulated horizon.
+#include <benchmark/benchmark.h>
+
+#include "population/population_simulator.h"
+
+namespace {
+
+void bm_population_advance(benchmark::State& state) {
+    using namespace cellsync;
+    const auto n_cells = static_cast<std::size_t>(state.range(0));
+    const double horizon = static_cast<double>(state.range(1));
+    for (auto _ : state) {
+        Population_simulator sim(Cell_cycle_config{}, n_cells, 42);
+        sim.advance_to(horizon);
+        benchmark::DoNotOptimize(sim.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n_cells));
+}
+
+void bm_population_snapshot(benchmark::State& state) {
+    using namespace cellsync;
+    const auto n_cells = static_cast<std::size_t>(state.range(0));
+    Population_simulator sim(Cell_cycle_config{}, n_cells, 42);
+    sim.advance_to(120.0);
+    const Smooth_volume_model volume;
+    for (auto _ : state) {
+        auto snap = sim.snapshot(volume);
+        benchmark::DoNotOptimize(snap.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(sim.size()));
+}
+
+}  // namespace
+
+BENCHMARK(bm_population_advance)
+    ->Args({10000, 180})
+    ->Args({50000, 180})
+    ->Args({100000, 180})
+    ->Args({50000, 360})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_population_snapshot)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

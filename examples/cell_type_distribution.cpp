@@ -1,0 +1,64 @@
+// The paper's Figure 4 workflow (Sec 4.2): simulate the time-dependent
+// distribution of Caulobacter cell types (SW / STE / STEPD / STLPD) in a
+// synchronized batch culture, sweep the morphology-threshold ranges to get
+// the shaded bands, and compare against the Judd-style reference census.
+//
+// Usage: cell_type_distribution [output_dir]
+#include <cstdio>
+#include <string>
+
+#include "io/reference_data.h"
+#include "io/series_writer.h"
+#include "numerics/statistics.h"
+#include "population/cell_type_census.h"
+
+int main(int argc, char** argv) {
+    using namespace cellsync;
+    const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+    const Cell_cycle_config caulobacter;
+    const Vector times = linspace(75.0, 150.0, 16);
+
+    Census_options census_options;
+    census_options.n_cells = 200000;
+
+    std::printf("Cell-type census, %zu cells, t in [75, 150] min\n", census_options.n_cells);
+    const Census_series low =
+        simulate_census(caulobacter, thresholds_low(), times, census_options);
+    const Census_series mid =
+        simulate_census(caulobacter, thresholds_mid(), times, census_options);
+    const Census_series high =
+        simulate_census(caulobacter, thresholds_high(), times, census_options);
+    const Reference_census reference = judd_reference_census(times);
+
+    Series_writer writer("minutes", times);
+    const char* labels[] = {"SW", "STE", "STEPD", "STLPD"};
+    for (std::size_t k = 0; k < cell_type_count; ++k) {
+        writer.add(std::string(labels[k]) + "_low", low.fractions.col(k));
+        writer.add(std::string(labels[k]) + "_mid", mid.fractions.col(k));
+        writer.add(std::string(labels[k]) + "_high", high.fractions.col(k));
+        writer.add(std::string(labels[k]) + "_reference", reference.fractions.col(k));
+    }
+    const std::string path = out_dir + "/fig4_cell_types.csv";
+    writer.write(path);
+
+    std::printf("\n  %-6s  %-28s  %-10s\n", "type", "simulated RMSE vs reference", "max dev");
+    for (std::size_t k = 0; k < cell_type_count; ++k) {
+        const Vector sim = mid.fractions.col(k);
+        const Vector ref = reference.fractions.col(k);
+        std::printf("  %-6s  %-28.4f  %-10.4f\n", labels[k], rmse(sim, ref),
+                    max_abs_error(sim, ref));
+    }
+
+    std::printf("\n  fractions at selected times (midpoint thresholds | reference):\n");
+    std::printf("  t(min)   SW          STE         STEPD       STLPD\n");
+    for (std::size_t m = 0; m < times.size(); m += 5) {
+        std::printf("  %5.0f ", times[m]);
+        for (std::size_t k = 0; k < cell_type_count; ++k) {
+            std::printf("  %.2f|%.2f", mid.fractions(m, k), reference.fractions(m, k));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n  wrote %s\n", path.c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+// The paper's Sec 5 "ongoing work": estimating single-cell ODE model
+// parameters from population data. Two strategies are compared against the
+// known truth:
+//
+//   naive      — fit the Lotka-Volterra model directly to the population
+//                series, as if G(t) were single-cell data;
+//   deconvolve — first deconvolve G(t) into f(phi), then fit the model to
+//                the synchronized profile.
+//
+// The paper's claim: "the deconvolution technique ... yields more accurate
+// single cell parameters than fitting to population data alone."
+#include <cstdio>
+
+#include "core/cross_validation.h"
+#include "core/forward_model.h"
+#include "models/parameter_estimation.h"
+#include "spline/spline_basis.h"
+
+int main() {
+    using namespace cellsync;
+    const double period = 150.0;
+    const Lotka_volterra_params truth = paper_lv_params(period);
+    std::printf("true LV rates: a=%.4f b=%.4f c=%.4f d=%.4f\n", truth.a, truth.b, truth.c,
+                truth.d);
+
+    // Simulated experiment: both species measured at 13 times with 5% noise.
+    const Gene_profile x1 = lotka_volterra_profile(truth, 0, period);
+    const Gene_profile x2 = lotka_volterra_profile(truth, 1, period);
+    Kernel_build_options kernel_options;
+    kernel_options.n_cells = 60000;
+    const Kernel_grid kernel = build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                            linspace(0.0, 180.0, 13), kernel_options);
+    Rng rng(5);
+    const Noise_model noise{Noise_type::relative_gaussian, 0.05};
+    const Measurement_series g1 = forward_measurements_noisy(kernel, x1.f, noise, rng, "x1");
+    const Measurement_series g2 = forward_measurements_noisy(kernel, x2.f, noise, rng, "x2");
+
+    // A perturbed initial guess (30-40% off per rate).
+    Lotka_volterra_params guess = truth;
+    guess.a *= 1.35;
+    guess.b *= 0.70;
+    guess.c *= 1.30;
+    guess.d *= 0.75;
+
+    Nelder_mead_options fit_options;
+    fit_options.max_evaluations = 6000;
+
+    // --- Naive: population data treated as single-cell trajectories. ---
+    const Lv_fit_result naive = fit_lv_to_population(g1, g2, guess, fit_options);
+
+    // --- Deconvolve-then-fit. ---
+    const Deconvolver deconvolver(std::make_shared<Natural_spline_basis>(16), kernel,
+                                  Cell_cycle_config{});
+    auto deconvolve = [&](const Measurement_series& series) {
+        const Lambda_selection sel =
+            select_lambda_kfold(deconvolver, series, Deconvolution_options{},
+                                default_lambda_grid(11, 1e-6, 1e0), 5);
+        Deconvolution_options options;
+        options.lambda = sel.best_lambda;
+        return deconvolver.estimate(series, options);
+    };
+    const Single_cell_estimate f1 = deconvolve(g1);
+    const Single_cell_estimate f2 = deconvolve(g2);
+    const Lv_fit_result informed = fit_lv_to_profiles(
+        [&](double phi) { return f1(phi); }, [&](double phi) { return f2(phi); },
+        linspace(0.02, 0.98, 33), period, guess, fit_options);
+
+    auto report = [&](const char* name, const Lv_fit_result& fit) {
+        std::printf("%-12s a=%.4f b=%.4f c=%.4f d=%.4f | relative error %.1f%% (%zu evals)\n",
+                    name, fit.params.a, fit.params.b, fit.params.c, fit.params.d,
+                    100.0 * fit.relative_error(truth), fit.evaluations);
+    };
+    std::printf("\n");
+    report("naive", naive);
+    report("deconvolved", informed);
+
+    const double improvement =
+        naive.relative_error(truth) / std::max(informed.relative_error(truth), 1e-12);
+    std::printf("\ndeconvolve-then-fit is %.1fx closer to the true rates than the naive fit\n",
+                improvement);
+    return 0;
+}

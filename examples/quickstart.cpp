@@ -1,0 +1,55 @@
+// Quickstart: the full deconvolution loop in ~40 lines.
+//
+// 1. Pick a known single-cell profile f(phi).
+// 2. Simulate a Caulobacter population kernel Q(phi, t) and push f through
+//    it to create population-level measurements G(t) (what an experiment
+//    would report).
+// 3. Deconvolve G back into an estimate of f and measure the recovery.
+#include <cstdio>
+
+#include "biology/gene_profiles.h"
+#include "core/forward_model.h"
+#include "core/pipeline.h"
+#include "numerics/statistics.h"
+
+int main() {
+    using namespace cellsync;
+
+    // A cell-cycle regulated gene: one sinusoidal pulse per cycle.
+    const Gene_profile truth = sinusoid_profile(/*offset=*/3.0, /*amplitude=*/2.0);
+
+    // Population kernel at 13 sampling times (0..180 min, 15-min spacing),
+    // like a typical microarray time course.
+    Pipeline_config config;
+    config.kernel.n_cells = 20000;
+    config.kernel.seed = 7;
+    const Smooth_volume_model volume;
+    const Kernel_grid kernel =
+        build_kernel(config.cell_cycle, volume, linspace(0.0, 180.0, 13), config.kernel);
+
+    // Forward model + 5% measurement noise = simulated experiment.
+    Rng rng(11);
+    const Noise_model noise{Noise_type::relative_gaussian, 0.05};
+    const Measurement_series data =
+        forward_measurements_noisy(kernel, truth.f, noise, rng, "sinusoid gene");
+
+    // Deconvolve (lambda chosen by 5-fold cross-validation).
+    const Pipeline_result result = deconvolve_series(data, config, volume);
+
+    // Score recovery of the single-cell profile on a dense phase grid.
+    const Vector grid = linspace(0.0, 1.0, 201);
+    const Vector recovered = result.estimate.sample(grid);
+    const Vector expected = truth.sample(grid);
+
+    std::printf("quickstart: deconvolution of a synthetic cell-cycle gene\n");
+    std::printf("  lambda (5-fold CV) : %.3e\n", result.estimate.lambda);
+    std::printf("  data misfit chi^2  : %.3f (Nm = %zu)\n", result.estimate.chi_squared,
+                data.size());
+    std::printf("  recovery NRMSE     : %.3f\n", nrmse(recovered, expected));
+    std::printf("  recovery corr      : %.3f\n", pearson_correlation(recovered, expected));
+    std::printf("\n  phi    truth   recovered\n");
+    for (double phi : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        std::printf("  %.2f   %6.3f  %6.3f\n", phi, truth(phi), result.estimate(phi));
+    }
+    return 0;
+}

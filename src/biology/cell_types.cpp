@@ -1,0 +1,41 @@
+#include "biology/cell_types.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+
+std::string to_string(Cell_type type) {
+    switch (type) {
+        case Cell_type::swarmer: return "SW";
+        case Cell_type::stalked_early: return "STE";
+        case Cell_type::early_predivisional: return "STEPD";
+        case Cell_type::late_predivisional: return "STLPD";
+    }
+    throw std::invalid_argument("to_string(Cell_type): unknown value");
+}
+
+void Cell_type_thresholds::validate() const {
+    if (!(ste_to_stepd > 0.0 && ste_to_stepd < stepd_to_stlpd && stepd_to_stlpd < 1.0)) {
+        throw std::invalid_argument(
+            "Cell_type_thresholds: need 0 < ste_to_stepd < stepd_to_stlpd < 1");
+    }
+}
+
+Cell_type_thresholds thresholds_low() { return {0.60, 0.85}; }
+Cell_type_thresholds thresholds_mid() { return {0.65, 0.875}; }
+Cell_type_thresholds thresholds_high() { return {0.70, 0.90}; }
+
+Cell_type classify_cell(double phi, double phi_sst, const Cell_type_thresholds& thresholds) {
+    thresholds.validate();
+    if (!(phi_sst > 0.0 && phi_sst < 1.0)) {
+        throw std::invalid_argument("classify_cell: phi_sst must lie in (0, 1)");
+    }
+    phi = std::clamp(phi, 0.0, 1.0);
+    if (phi < phi_sst) return Cell_type::swarmer;
+    if (phi < thresholds.ste_to_stepd) return Cell_type::stalked_early;
+    if (phi < thresholds.stepd_to_stlpd) return Cell_type::early_predivisional;
+    return Cell_type::late_predivisional;
+}
+
+}  // namespace cellsync

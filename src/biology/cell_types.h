@@ -1,0 +1,58 @@
+// Morphological cell-type classification for the Figure-4 census
+// (paper Sec 4.2).
+//
+// Simulated cells are grouped by phase into swarmer (SW) and three stalked
+// sub-stages: early stalked (STE), early predivisional (STEPD), and late
+// predivisional (STLPD). The SW/STE boundary is each cell's own phi_sst;
+// the later boundaries are morphology thresholds that are hard to pin down
+// experimentally, so the paper sweeps them over ranges (0.60-0.70 and
+// 0.85-0.90) and plots the band.
+#ifndef CELLSYNC_BIOLOGY_CELL_TYPES_H
+#define CELLSYNC_BIOLOGY_CELL_TYPES_H
+
+#include <array>
+#include <string>
+
+namespace cellsync {
+
+/// The four census classes of paper Figure 4.
+enum class Cell_type : unsigned char {
+    swarmer = 0,             ///< SW: motile, phi < phi_sst
+    stalked_early = 1,       ///< STE
+    early_predivisional = 2, ///< STEPD
+    late_predivisional = 3,  ///< STLPD
+};
+
+/// Number of census classes.
+inline constexpr std::size_t cell_type_count = 4;
+
+/// Short label used in reports ("SW", "STE", "STEPD", "STLPD").
+std::string to_string(Cell_type type);
+
+/// Phase thresholds for the stalked sub-stages.
+struct Cell_type_thresholds {
+    double ste_to_stepd = 0.65;   ///< STE -> STEPD boundary (paper range 0.60-0.70)
+    double stepd_to_stlpd = 0.875;///< STEPD -> STLPD boundary (paper range 0.85-0.90)
+
+    /// Throws std::invalid_argument unless 0 < ste_to_stepd <
+    /// stepd_to_stlpd < 1.
+    void validate() const;
+};
+
+/// Paper's lower-edge thresholds (0.60, 0.85).
+Cell_type_thresholds thresholds_low();
+
+/// Paper's midpoint thresholds (0.65, 0.875) — the solid line in Figure 4.
+Cell_type_thresholds thresholds_mid();
+
+/// Paper's upper-edge thresholds (0.70, 0.90).
+Cell_type_thresholds thresholds_high();
+
+/// Classify a cell at phase `phi` whose own SW->ST transition phase is
+/// `phi_sst`. phi is clamped to [0, 1]. Throws std::invalid_argument for
+/// invalid thresholds or phi_sst outside (0, 1).
+Cell_type classify_cell(double phi, double phi_sst, const Cell_type_thresholds& thresholds);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_BIOLOGY_CELL_TYPES_H

@@ -1,0 +1,94 @@
+#include "biology/gene_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <stdexcept>
+
+#include "spline/cubic_spline.h"
+
+namespace cellsync {
+
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+// C1 smoothstep: 0 at u<=0, 1 at u>=1, 3u^2-2u^3 between.
+double smoothstep(double u) {
+    u = clamp01(u);
+    return u * u * (3.0 - 2.0 * u);
+}
+
+}  // namespace
+
+Vector Gene_profile::sample(const Vector& phi_grid) const {
+    Vector v(phi_grid.size());
+    for (std::size_t i = 0; i < phi_grid.size(); ++i) v[i] = f(phi_grid[i]);
+    return v;
+}
+
+Gene_profile constant_profile(double level) {
+    if (level < 0.0) throw std::invalid_argument("constant_profile: level must be non-negative");
+    return {"constant", [level](double) { return level; }};
+}
+
+Gene_profile sinusoid_profile(double offset, double amplitude, double cycles, double phase) {
+    if (offset < std::abs(amplitude)) {
+        throw std::invalid_argument("sinusoid_profile: profile would go negative");
+    }
+    return {"sinusoid", [=](double phi) {
+                return offset +
+                       amplitude * std::sin(2.0 * std::numbers::pi * cycles * clamp01(phi) + phase);
+            }};
+}
+
+Gene_profile pulse_profile(double baseline, double height, double center, double width) {
+    if (width <= 0.0) throw std::invalid_argument("pulse_profile: width must be positive");
+    if (baseline < 0.0 || height < 0.0) {
+        throw std::invalid_argument("pulse_profile: baseline and height must be non-negative");
+    }
+    return {"pulse", [=](double phi) {
+                const double d = (clamp01(phi) - center) / width;
+                if (std::abs(d) >= 1.0) return baseline;
+                return baseline + height * 0.5 * (1.0 + std::cos(std::numbers::pi * d));
+            }};
+}
+
+Gene_profile ftsz_like_profile(double onset, double peak_phi, double peak_level,
+                               double final_level) {
+    if (!(0.0 < onset && onset < peak_phi && peak_phi < 1.0)) {
+        throw std::invalid_argument("ftsz_like_profile: need 0 < onset < peak_phi < 1");
+    }
+    if (peak_level <= 0.0 || final_level < 0.0 || final_level > peak_level) {
+        throw std::invalid_argument("ftsz_like_profile: need 0 <= final_level <= peak_level");
+    }
+    return {"ftsz-like", [=](double phi) {
+                phi = clamp01(phi);
+                if (phi <= onset) return 0.0;
+                if (phi <= peak_phi) {
+                    return peak_level * smoothstep((phi - onset) / (peak_phi - onset));
+                }
+                const double u = (phi - peak_phi) / (1.0 - peak_phi);
+                return final_level + (peak_level - final_level) * (1.0 - smoothstep(u));
+            }};
+}
+
+Gene_profile step_profile(double low, double high, double center, double width) {
+    if (width <= 0.0) throw std::invalid_argument("step_profile: width must be positive");
+    if (low < 0.0 || high < 0.0) {
+        throw std::invalid_argument("step_profile: levels must be non-negative");
+    }
+    return {"step", [=](double phi) {
+                const double u = (clamp01(phi) - (center - 0.5 * width)) / width;
+                return low + (high - low) * smoothstep(u);
+            }};
+}
+
+Gene_profile tabulated_profile(std::string name, const Vector& phi, const Vector& values) {
+    const auto spline = std::make_shared<Cubic_spline>(phi, values);
+    return {std::move(name),
+            [spline](double x) { return std::max(0.0, (*spline)(clamp01(x))); }};
+}
+
+}  // namespace cellsync

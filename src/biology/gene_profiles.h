@@ -1,0 +1,62 @@
+// Library of synthetic single-cell expression profiles f(phi).
+//
+// These supply ground-truth inputs for the validation experiments: a known
+// f(phi) is pushed through the forward model to make population data, and
+// the deconvolution's recovery of f is scored. The ftsZ-like profile
+// encodes the biology of paper Sec 4.3: transcription silent until the
+// SW->ST transition (Kelly et al. 1998), peak near phi = 0.4, then decline.
+#ifndef CELLSYNC_BIOLOGY_GENE_PROFILES_H
+#define CELLSYNC_BIOLOGY_GENE_PROFILES_H
+
+#include <functional>
+#include <string>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// A named single-cell expression profile on phi in [0, 1].
+struct Gene_profile {
+    std::string name;
+    std::function<double(double)> f;
+
+    /// Evaluate at phi (clamped to [0, 1] by the callable's construction).
+    double operator()(double phi) const { return f(phi); }
+
+    /// Sample onto a grid.
+    Vector sample(const Vector& phi_grid) const;
+};
+
+/// Constant baseline expression (the trivial fixed point of the transform:
+/// a constant profile convolves to a constant population signal).
+Gene_profile constant_profile(double level);
+
+/// offset + amplitude * sin(2 pi cycles phi + phase). Throws
+/// std::invalid_argument if the profile would go negative
+/// (offset < |amplitude|).
+Gene_profile sinusoid_profile(double offset, double amplitude, double cycles = 1.0,
+                              double phase = 0.0);
+
+/// Raised-cosine pulse centered at `center` with half-width `width`,
+/// riding on `baseline`. Zero outside the pulse support. Throws for
+/// non-positive width or negative baseline/height.
+Gene_profile pulse_profile(double baseline, double height, double center, double width);
+
+/// Smooth ftsZ-like profile: ~0 before `onset` (default 0.16, just after
+/// the mean SW->ST transition), smooth rise to `peak_level` at `peak_phi`,
+/// then smooth decay to `final_level` at phi = 1. Uses C1 smoothstep
+/// segments so the deconvolution target is within spline reach.
+Gene_profile ftsz_like_profile(double onset = 0.16, double peak_phi = 0.40,
+                               double peak_level = 10.0, double final_level = 0.0);
+
+/// Smooth step from `low` to `high` with transition centered at `center`
+/// over `width` (C1 smoothstep).
+Gene_profile step_profile(double low, double high, double center, double width);
+
+/// Profile defined by spline interpolation through (phi_i, value_i) points.
+/// Values are clamped at 0 to keep expression non-negative.
+Gene_profile tabulated_profile(std::string name, const Vector& phi, const Vector& values);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_BIOLOGY_GENE_PROFILES_H

@@ -1,0 +1,64 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+
+std::vector<Batch_entry> deconvolve_batch(const Deconvolver& deconvolver,
+                                          const std::vector<Measurement_series>& panel,
+                                          const Batch_options& options) {
+    if (panel.empty()) throw std::invalid_argument("deconvolve_batch: empty panel");
+
+    const Vector grid =
+        options.lambda_grid.empty() ? default_lambda_grid() : options.lambda_grid;
+
+    std::vector<Batch_entry> out;
+    out.reserve(panel.size());
+    for (const Measurement_series& series : panel) {
+        Batch_entry entry;
+        entry.label = series.label;
+        try {
+            Deconvolution_options deconv = options.deconvolution;
+            if (options.select_lambda) {
+                const Lambda_selection sel = select_lambda_kfold(deconvolver, series, deconv,
+                                                                 grid, options.cv_folds);
+                deconv.lambda = sel.best_lambda;
+            }
+            entry.estimate = deconvolver.estimate(series, deconv);
+            entry.lambda = deconv.lambda;
+        } catch (const std::exception& e) {
+            entry.error = e.what();
+        }
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+std::vector<Peak_summary> peak_ordering(const std::vector<Batch_entry>& batch,
+                                        std::size_t grid_points) {
+    if (grid_points < 3) throw std::invalid_argument("peak_ordering: grid too small");
+    std::vector<Peak_summary> peaks;
+    for (const Batch_entry& entry : batch) {
+        if (!entry.estimate.has_value()) continue;
+        Peak_summary summary;
+        summary.label = entry.label;
+        for (std::size_t i = 0; i < grid_points; ++i) {
+            const double phi =
+                static_cast<double>(i) / static_cast<double>(grid_points - 1);
+            const double v = (*entry.estimate)(phi);
+            if (v > summary.peak_value) {
+                summary.peak_value = v;
+                summary.peak_phi = phi;
+            }
+        }
+        peaks.push_back(std::move(summary));
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak_summary& a, const Peak_summary& b) {
+                  return a.peak_phi < b.peak_phi;
+              });
+    return peaks;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,59 @@
+// Batch deconvolution of multiple genes against one shared kernel.
+//
+// The paper applies the method to "a set of Caulobacter genes involved in
+// regulating the cell cycle": the kernel Q(phi, t) is a property of the
+// population, not the gene, so one simulation serves every series sampled
+// at the same times. This module runs per-gene lambda selection and
+// estimation over such a panel and reports a comparable summary.
+#ifndef CELLSYNC_CORE_BATCH_H
+#define CELLSYNC_CORE_BATCH_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cross_validation.h"
+#include "core/deconvolver.h"
+
+namespace cellsync {
+
+/// Per-gene outcome of a batch run.
+struct Batch_entry {
+    std::string label;
+    std::optional<Single_cell_estimate> estimate;  ///< empty if the gene failed
+    double lambda = 0.0;
+    std::string error;  ///< failure reason when estimate is empty
+};
+
+/// Batch controls.
+struct Batch_options {
+    Deconvolution_options deconvolution;
+    Vector lambda_grid;         ///< empty -> default_lambda_grid()
+    std::size_t cv_folds = 5;
+    bool select_lambda = true;  ///< per-gene CV; else deconvolution.lambda
+};
+
+/// Deconvolve each series against the shared deconvolver. Series that fail
+/// validation or estimation are reported in their entry's `error` instead
+/// of aborting the batch. Throws std::invalid_argument only if the panel
+/// is empty.
+std::vector<Batch_entry> deconvolve_batch(const Deconvolver& deconvolver,
+                                          const std::vector<Measurement_series>& panel,
+                                          const Batch_options& options = {});
+
+/// Phase of maximal expression per successful gene — the quantity used to
+/// order cell-cycle-regulated genes into a transcriptional program.
+struct Peak_summary {
+    std::string label;
+    double peak_phi = 0.0;
+    double peak_value = 0.0;
+};
+
+/// Extract peak phases from a batch result (skips failed entries),
+/// sorted by peak phase ascending.
+std::vector<Peak_summary> peak_ordering(const std::vector<Batch_entry>& batch,
+                                        std::size_t grid_points = 201);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_BATCH_H

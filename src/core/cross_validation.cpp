@@ -1,0 +1,119 @@
+#include "core/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cellsync {
+
+Vector default_lambda_grid(std::size_t count, double lo, double hi) {
+    if (count < 2) throw std::invalid_argument("default_lambda_grid: need at least 2 points");
+    if (!(lo > 0.0 && hi > lo)) {
+        throw std::invalid_argument("default_lambda_grid: need 0 < lo < hi");
+    }
+    Vector grid(count);
+    const double step = (std::log10(hi) - std::log10(lo)) / static_cast<double>(count - 1);
+    for (std::size_t i = 0; i < count; ++i) {
+        grid[i] = std::pow(10.0, std::log10(lo) + step * static_cast<double>(i));
+    }
+    return grid;
+}
+
+Lambda_selection select_lambda_kfold(const Deconvolver& deconvolver,
+                                     const Measurement_series& series,
+                                     const Deconvolution_options& base_options,
+                                     const Vector& lambda_grid, std::size_t folds,
+                                     std::uint64_t seed) {
+    series.validate();
+    if (lambda_grid.empty()) throw std::invalid_argument("select_lambda_kfold: empty grid");
+    if (folds < 2) throw std::invalid_argument("select_lambda_kfold: need at least 2 folds");
+    const std::size_t m = series.size();
+    folds = std::min(folds, m);
+
+    // Random fold assignment, fixed across the lambda grid for a fair sweep.
+    std::vector<std::size_t> perm(m);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    Rng rng(seed);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+
+    const Vector weights = series.weights();
+    const Matrix& kernel = deconvolver.kernel_matrix();
+
+    Lambda_selection sel;
+    sel.method = "kfold";
+    sel.lambdas = lambda_grid;
+    sel.scores.assign(lambda_grid.size(), 0.0);
+
+    for (std::size_t li = 0; li < lambda_grid.size(); ++li) {
+        Deconvolution_options options = base_options;
+        options.lambda = lambda_grid[li];
+        double score = 0.0;
+        bool failed = false;
+        for (std::size_t fold = 0; fold < folds && !failed; ++fold) {
+            std::vector<std::size_t> train, test;
+            for (std::size_t p = 0; p < m; ++p) {
+                (p % folds == fold ? test : train).push_back(perm[p]);
+            }
+            if (train.size() < 2) continue;
+            try {
+                const Single_cell_estimate fit =
+                    deconvolver.estimate_on_rows(series, train, options);
+                for (std::size_t idx : test) {
+                    const double pred = dot(kernel.row(idx), fit.coefficients());
+                    const double r = series.values[idx] - pred;
+                    score += weights[idx] * r * r;
+                }
+            } catch (const std::runtime_error&) {
+                failed = true;  // a lambda that breaks the QP is disqualified
+            }
+        }
+        sel.scores[li] =
+            failed ? std::numeric_limits<double>::infinity() : score / static_cast<double>(m);
+    }
+
+    const auto best = std::min_element(sel.scores.begin(), sel.scores.end());
+    sel.best_lambda = sel.lambdas[static_cast<std::size_t>(best - sel.scores.begin())];
+    return sel;
+}
+
+Lambda_selection select_lambda_gcv(const Deconvolver& deconvolver,
+                                   const Measurement_series& series,
+                                   const Vector& lambda_grid) {
+    series.validate();
+    if (lambda_grid.empty()) throw std::invalid_argument("select_lambda_gcv: empty grid");
+    const std::size_t m = series.size();
+    const Vector w = series.weights();
+
+    // Whitened data z = W^{1/2} G.
+    Vector z(m);
+    for (std::size_t i = 0; i < m; ++i) z[i] = std::sqrt(w[i]) * series.values[i];
+
+    Lambda_selection sel;
+    sel.method = "gcv";
+    sel.lambdas = lambda_grid;
+    sel.scores.assign(lambda_grid.size(), 0.0);
+
+    for (std::size_t li = 0; li < lambda_grid.size(); ++li) {
+        const Matrix a = deconvolver.hat_matrix(series, lambda_grid[li]);
+        double trace = 0.0;
+        for (std::size_t i = 0; i < m; ++i) trace += a(i, i);
+        const Vector fitted = a * z;
+        double rss = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            const double r = z[i] - fitted[i];
+            rss += r * r;
+        }
+        const double denom = static_cast<double>(m) - trace;
+        sel.scores[li] = denom > 1e-9
+                             ? static_cast<double>(m) * rss / (denom * denom)
+                             : std::numeric_limits<double>::infinity();
+    }
+
+    const auto best = std::min_element(sel.scores.begin(), sel.scores.end());
+    sel.best_lambda = sel.lambdas[static_cast<std::size_t>(best - sel.scores.begin())];
+    return sel;
+}
+
+}  // namespace cellsync

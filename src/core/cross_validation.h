@@ -1,0 +1,53 @@
+// Selection of the smoothness weight lambda (paper Eq 5: "selected via
+// cross validation", citing Craven & Wahba 1978).
+//
+// Two selectors are provided:
+//  * k-fold cross-validation on the full constrained estimator — the
+//    default, honest about the constraints;
+//  * generalized cross-validation (GCV) on the unconstrained ridge path —
+//    the classical Craven-Wahba criterion, cheap enough for dense lambda
+//    grids.
+#ifndef CELLSYNC_CORE_CROSS_VALIDATION_H
+#define CELLSYNC_CORE_CROSS_VALIDATION_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/deconvolver.h"
+
+namespace cellsync {
+
+/// Outcome of a lambda sweep.
+struct Lambda_selection {
+    double best_lambda = 0.0;
+    Vector lambdas;    ///< grid searched
+    Vector scores;     ///< CV or GCV score per grid point (lower is better)
+    std::string method;///< "kfold" or "gcv"
+};
+
+/// Logarithmically spaced lambda grid (default 25 points, 1e-8 .. 1e2).
+/// Throws std::invalid_argument for count < 2 or non-positive bounds.
+Vector default_lambda_grid(std::size_t count = 25, double lo = 1e-8, double hi = 1e2);
+
+/// k-fold CV: folds are contiguous-free random partitions of the
+/// measurement indices (seeded). Each fold is predicted from a model
+/// fitted on the remaining rows with the full constrained estimator; the
+/// score is the weighted held-out squared error. `folds` is clamped to the
+/// measurement count (leave-one-out at the limit).
+/// Throws std::invalid_argument for folds < 2 or an empty grid.
+Lambda_selection select_lambda_kfold(const Deconvolver& deconvolver,
+                                     const Measurement_series& series,
+                                     const Deconvolution_options& base_options,
+                                     const Vector& lambda_grid, std::size_t folds = 5,
+                                     std::uint64_t seed = 77);
+
+/// GCV: V(lambda) = m * ||(I - A) z||^2 / tr(I - A)^2 in whitened space,
+/// with A the unconstrained hat matrix.
+/// Throws std::invalid_argument for an empty grid.
+Lambda_selection select_lambda_gcv(const Deconvolver& deconvolver,
+                                   const Measurement_series& series,
+                                   const Vector& lambda_grid);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_CROSS_VALIDATION_H

@@ -1,0 +1,182 @@
+#include "core/deconvolver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "numerics/linear_solve.h"
+
+namespace cellsync {
+
+Single_cell_estimate::Single_cell_estimate(std::shared_ptr<const Basis> basis, Vector alpha)
+    : basis_(std::move(basis)), alpha_(std::move(alpha)) {
+    if (!basis_) throw std::invalid_argument("Single_cell_estimate: null basis");
+    if (alpha_.size() != basis_->size()) {
+        throw std::invalid_argument("Single_cell_estimate: coefficient count mismatch");
+    }
+}
+
+double Single_cell_estimate::operator()(double phi) const {
+    return basis_->expand(alpha_, std::clamp(phi, 0.0, 1.0));
+}
+
+double Single_cell_estimate::derivative(double phi) const {
+    return basis_->expand_derivative(alpha_, std::clamp(phi, 0.0, 1.0));
+}
+
+Vector Single_cell_estimate::sample(const Vector& phi_grid) const {
+    return basis_->expand_on(alpha_, phi_grid);
+}
+
+Vector Single_cell_estimate::sample_time(const Vector& t_minutes, double cycle_minutes) const {
+    if (cycle_minutes <= 0.0) {
+        throw std::invalid_argument("Single_cell_estimate: cycle time must be positive");
+    }
+    Vector out(t_minutes.size());
+    for (std::size_t i = 0; i < t_minutes.size(); ++i) {
+        out[i] = (*this)(t_minutes[i] / cycle_minutes);
+    }
+    return out;
+}
+
+Deconvolver::Deconvolver(std::shared_ptr<const Basis> basis, const Kernel_grid& kernel,
+                         const Cell_cycle_config& config)
+    : basis_(std::move(basis)), config_(config), times_(kernel.times()) {
+    if (!basis_) throw std::invalid_argument("Deconvolver: null basis");
+    config_.validate();
+    kernel_matrix_ = kernel.basis_matrix(*basis_);
+    penalty_ = basis_->penalty_matrix();
+}
+
+void Deconvolver::check_series(const Measurement_series& series) const {
+    series.validate();
+    if (series.size() != times_.size()) {
+        throw std::invalid_argument("Deconvolver: series length differs from kernel time grid");
+    }
+    for (std::size_t m = 0; m < times_.size(); ++m) {
+        if (std::abs(series.times[m] - times_[m]) > 1e-9 * std::max(1.0, std::abs(times_[m]))) {
+            throw std::invalid_argument(
+                "Deconvolver: measurement times must match the kernel time grid");
+        }
+    }
+}
+
+Single_cell_estimate Deconvolver::package(Vector alpha, const Measurement_series& series,
+                                          double lambda) const {
+    Single_cell_estimate est(basis_, std::move(alpha));
+    est.lambda = lambda;
+    est.fitted = kernel_matrix_ * est.coefficients();
+    const Vector w = series.weights();
+    double chi2 = 0.0;
+    for (std::size_t m = 0; m < series.size(); ++m) {
+        const double r = series.values[m] - est.fitted[m];
+        chi2 += w[m] * r * r;
+    }
+    est.chi_squared = chi2;
+    est.roughness = dot(est.coefficients(), penalty_ * est.coefficients());
+    est.objective = chi2 + lambda * est.roughness;
+    return est;
+}
+
+Single_cell_estimate Deconvolver::estimate(const Measurement_series& series,
+                                           const Deconvolution_options& options) const {
+    check_series(series);
+    std::vector<std::size_t> all(series.size());
+    for (std::size_t m = 0; m < all.size(); ++m) all[m] = m;
+    return estimate_on_rows(series, all, options);
+}
+
+Single_cell_estimate Deconvolver::estimate_on_rows(const Measurement_series& series,
+                                                   const std::vector<std::size_t>& rows,
+                                                   const Deconvolution_options& options) const {
+    series.validate();
+    if (options.lambda < 0.0) throw std::invalid_argument("Deconvolver: lambda must be >= 0");
+    if (rows.empty()) throw std::invalid_argument("Deconvolver: empty row subset");
+    {
+        std::set<std::size_t> unique(rows.begin(), rows.end());
+        if (unique.size() != rows.size() || *unique.rbegin() >= series.size()) {
+            throw std::invalid_argument("Deconvolver: bad row subset");
+        }
+    }
+    if (series.size() != times_.size()) {
+        throw std::invalid_argument("Deconvolver: series length differs from kernel time grid");
+    }
+
+    const std::size_t n = basis_->size();
+    const Vector w_full = series.weights();
+
+    // H = 2 (K'WK + lambda Omega + ridge I), g = -2 K'W G over selected rows.
+    Matrix k_sub(rows.size(), n);
+    Vector g_sub(rows.size());
+    Vector w_sub(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        k_sub.set_row(r, kernel_matrix_.row(rows[r]));
+        g_sub[r] = series.values[rows[r]];
+        w_sub[r] = w_full[rows[r]];
+    }
+
+    Qp_problem qp;
+    qp.hessian = 2.0 * (weighted_gram(k_sub, w_sub) + options.lambda * penalty_);
+    for (std::size_t i = 0; i < n; ++i) qp.hessian(i, i) += 2.0 * options.ridge;
+    qp.gradient.assign(n, 0.0);
+    const Vector wg = hadamard(w_sub, g_sub);
+    const Vector ktwg = transposed_times(k_sub, wg);
+    for (std::size_t i = 0; i < n; ++i) qp.gradient[i] = -2.0 * ktwg[i];
+
+    const Constraint_set constraints =
+        build_constraints(*basis_, config_, options.constraints);
+    qp.eq_matrix = constraints.equality;
+    qp.eq_rhs = constraints.equality_rhs;
+    qp.ineq_matrix = constraints.inequality;
+    qp.ineq_rhs = constraints.inequality_rhs;
+
+    // The dual (Goldfarb-Idnani) solver: no feasible start needed and
+    // robust on the dense, near-degenerate positivity grid.
+    const Qp_result result = solve_qp_dual(qp, options.qp);
+    Single_cell_estimate est = package(result.x, series, options.lambda);
+    est.qp_iterations = result.iterations;
+    est.active_constraints = result.active_set.size();
+    return est;
+}
+
+Single_cell_estimate Deconvolver::estimate_unconstrained(const Measurement_series& series,
+                                                         double lambda, double ridge) const {
+    check_series(series);
+    if (lambda < 0.0) throw std::invalid_argument("Deconvolver: lambda must be >= 0");
+    const std::size_t n = basis_->size();
+    const Vector w = series.weights();
+
+    Matrix normal = weighted_gram(kernel_matrix_, w) + lambda * penalty_;
+    for (std::size_t i = 0; i < n; ++i) normal(i, i) += ridge;
+    const Vector rhs = transposed_times(kernel_matrix_, hadamard(w, series.values));
+    Vector alpha;
+    try {
+        alpha = cholesky_solve(normal, rhs);
+    } catch (const std::runtime_error&) {
+        alpha = lu_solve(normal, rhs);  // semi-definite corner: fall back to LU
+    }
+    return package(std::move(alpha), series, lambda);
+}
+
+Matrix Deconvolver::hat_matrix(const Measurement_series& series, double lambda,
+                               double ridge) const {
+    check_series(series);
+    if (lambda < 0.0) throw std::invalid_argument("Deconvolver: lambda must be >= 0");
+    const std::size_t n = basis_->size();
+    const std::size_t m = series.size();
+    const Vector w = series.weights();
+
+    // Whitened design: Kw = W^{1/2} K; A = Kw (Kw'Kw + lambda Omega)^-1 Kw'.
+    Matrix kw(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+        const double sw = std::sqrt(w[r]);
+        for (std::size_t i = 0; i < n; ++i) kw(r, i) = sw * kernel_matrix_(r, i);
+    }
+    Matrix normal = gram(kw) + lambda * penalty_;
+    for (std::size_t i = 0; i < n; ++i) normal(i, i) += ridge;
+    const Matrix inv_t_kwt = lu_solve(normal, kw.transposed());  // n x m
+    return kw * inv_t_kwt;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,131 @@
+// The deconvolution estimator — the paper's core contribution.
+//
+// Given population measurements G(t_m), a simulated kernel Q(phi, t), and a
+// spline basis for the unknown single-cell profile, the estimator minimizes
+//
+//   C(lambda) = sum_m (G(t_m) - Ghat(t_m))^2 / sigma_m^2
+//             + lambda * integral f''(phi)^2 dphi              (paper Eq 5)
+//
+// over basis coefficients alpha, subject to positivity, RNA conservation
+// across division, and transcription-rate continuity (paper Secs 2.3, 3.2).
+// The problem is a convex QP solved by the active-set method.
+#ifndef CELLSYNC_CORE_DECONVOLVER_H
+#define CELLSYNC_CORE_DECONVOLVER_H
+
+#include <memory>
+
+#include "core/constraints.h"
+#include "core/measurement.h"
+#include "numerics/qp_solver.h"
+#include "population/kernel_builder.h"
+#include "spline/basis.h"
+
+namespace cellsync {
+
+/// Estimation options.
+struct Deconvolution_options {
+    double lambda = 1e-3;            ///< smoothness weight (paper Eq 5)
+    Constraint_options constraints;  ///< which physical constraints to enforce
+    double ridge = 1e-9;             ///< tiny Tikhonov term stabilizing the QP Hessian
+    Qp_options qp;                   ///< active-set solver controls
+};
+
+/// The recovered single-cell expression profile f(phi) with fit
+/// diagnostics. The estimate is a callable function of phase.
+class Single_cell_estimate {
+  public:
+    Single_cell_estimate(std::shared_ptr<const Basis> basis, Vector alpha);
+
+    /// f(phi).
+    double operator()(double phi) const;
+
+    /// f'(phi).
+    double derivative(double phi) const;
+
+    /// Sample f on a phase grid.
+    Vector sample(const Vector& phi_grid) const;
+
+    /// Expression mapped to "simulated time": f(t / cycle_minutes), the
+    /// scaling used for the paper's Figure 5 bottom panel.
+    Vector sample_time(const Vector& t_minutes, double cycle_minutes) const;
+
+    const Vector& coefficients() const { return alpha_; }
+    const Basis& basis() const { return *basis_; }
+
+    // -- fit diagnostics (filled by the Deconvolver) --
+    double lambda = 0.0;          ///< smoothness weight used
+    double chi_squared = 0.0;     ///< weighted data misfit at the optimum
+    double roughness = 0.0;       ///< integral f''^2 at the optimum
+    double objective = 0.0;       ///< chi_squared + lambda * roughness
+    Vector fitted;                ///< Ghat(t_m) at the measurement times
+    std::size_t qp_iterations = 0;///< active-set iterations (0 = unconstrained path)
+    std::size_t active_constraints = 0;  ///< binding positivity constraints
+
+  private:
+    std::shared_ptr<const Basis> basis_;
+    Vector alpha_;
+};
+
+/// Deconvolution engine bound to one kernel and one basis.
+///
+/// The measurement series passed to estimate() must sample exactly the
+/// kernel's time grid (that is how the paper's pipeline operates: the
+/// kernel is built at the experiment's sampling times).
+class Deconvolver {
+  public:
+    /// Throws std::invalid_argument on a null basis.
+    Deconvolver(std::shared_ptr<const Basis> basis, const Kernel_grid& kernel,
+                const Cell_cycle_config& config);
+
+    /// Kernel matrix K(m, i) = integral Q(phi, t_m) psi_i(phi) dphi.
+    const Matrix& kernel_matrix() const { return kernel_matrix_; }
+
+    /// Penalty Gram matrix Omega.
+    const Matrix& penalty() const { return penalty_; }
+
+    /// Kernel time grid (the required measurement times).
+    const Vector& times() const { return times_; }
+
+    const Basis& basis() const { return *basis_; }
+    std::shared_ptr<const Basis> basis_ptr() const { return basis_; }
+    const Cell_cycle_config& config() const { return config_; }
+
+    /// Full constrained estimate (the paper's method).
+    /// Throws std::invalid_argument if the series does not match the kernel
+    /// times; propagates QP failures as std::runtime_error.
+    Single_cell_estimate estimate(const Measurement_series& series,
+                                  const Deconvolution_options& options = {}) const;
+
+    /// Unconstrained ridge estimate (smoothness only) — the baseline the
+    /// constraint ablation compares against, and the estimator underlying
+    /// GCV lambda selection.
+    Single_cell_estimate estimate_unconstrained(const Measurement_series& series,
+                                                double lambda, double ridge = 1e-9) const;
+
+    /// Constrained estimate restricted to a subset of measurement rows
+    /// (used by k-fold cross-validation). `rows` indexes into the kernel
+    /// time grid; duplicates are rejected.
+    Single_cell_estimate estimate_on_rows(const Measurement_series& series,
+                                          const std::vector<std::size_t>& rows,
+                                          const Deconvolution_options& options) const;
+
+    /// Hat (influence) matrix A(lambda) of the unconstrained estimator in
+    /// whitened measurement space; tr(A) is the effective dof used by GCV.
+    Matrix hat_matrix(const Measurement_series& series, double lambda,
+                      double ridge = 1e-9) const;
+
+  private:
+    void check_series(const Measurement_series& series) const;
+    Single_cell_estimate package(Vector alpha, const Measurement_series& series,
+                                 double lambda) const;
+
+    std::shared_ptr<const Basis> basis_;
+    Cell_cycle_config config_;
+    Vector times_;
+    Matrix kernel_matrix_;
+    Matrix penalty_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_DECONVOLVER_H

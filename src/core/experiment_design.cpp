@@ -1,0 +1,61 @@
+#include "core/experiment_design.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linear_solve.h"
+
+namespace cellsync {
+
+Design_score score_design(const Kernel_grid& kernel, const Basis& basis, double lambda,
+                          std::string label) {
+    if (lambda < 0.0) throw std::invalid_argument("score_design: lambda must be >= 0");
+    const Matrix k = kernel.basis_matrix(basis);
+    const Matrix omega = basis.penalty_matrix();
+    const std::size_t n = basis.size();
+
+    Matrix information = gram(k) + lambda * omega;
+    for (std::size_t i = 0; i < n; ++i) information(i, i) += 1e-12;  // numerical floor
+
+    Design_score score;
+    score.label = std::move(label);
+    score.measurement_count = kernel.time_count();
+
+    const Matrix inverse_information = inverse(information);
+    double trace = 0.0;
+    for (std::size_t i = 0; i < n; ++i) trace += inverse_information(i, i);
+    score.a_criterion = trace;
+
+    // log-det via Cholesky of the SPD information matrix.
+    const Matrix l = cholesky(information);
+    double log_det = 0.0;
+    for (std::size_t i = 0; i < n; ++i) log_det += std::log10(l(i, i));
+    score.neg_log10_d_criterion = -2.0 * log_det;
+
+    // Effective dof: tr(K M^-1 K') = sum_m k_m' M^-1 k_m.
+    double dof = 0.0;
+    for (std::size_t m = 0; m < k.rows(); ++m) {
+        const Vector row = k.row(m);
+        dof += dot(row, inverse_information * row);
+    }
+    score.effective_dof = dof;
+    return score;
+}
+
+std::vector<Design_score> compare_designs(
+    const Cell_cycle_config& config, const Volume_model& volume,
+    const std::vector<std::pair<std::string, Vector>>& candidate_time_grids,
+    const Basis& basis, double lambda, const Kernel_build_options& options) {
+    if (candidate_time_grids.empty()) {
+        throw std::invalid_argument("compare_designs: no candidate designs");
+    }
+    std::vector<Design_score> scores;
+    scores.reserve(candidate_time_grids.size());
+    for (const auto& [label, times] : candidate_time_grids) {
+        const Kernel_grid kernel = build_kernel(config, volume, times, options);
+        scores.push_back(score_design(kernel, basis, lambda, label));
+    }
+    return scores;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,51 @@
+// Sampling-design diagnostics for the deconvolution inverse problem.
+//
+// The inversion quality is set before any data are collected: it depends
+// on which measurement times the experiment samples (through the kernel
+// rows) and on the basis/penalty. This module scores candidate designs so
+// an experimenter can compare, e.g., "13 evenly spaced samples" against
+// "front-loaded sampling" *in silico* — a practical extension of the
+// paper's machinery in the spirit of optimal experiment design.
+#ifndef CELLSYNC_CORE_EXPERIMENT_DESIGN_H
+#define CELLSYNC_CORE_EXPERIMENT_DESIGN_H
+
+#include <string>
+
+#include "population/kernel_builder.h"
+#include "spline/basis.h"
+
+namespace cellsync {
+
+/// Conditioning summary of one sampling design.
+struct Design_score {
+    std::string label;
+    std::size_t measurement_count = 0;
+    /// A-optimality criterion: trace((K'K + lambda*Omega)^-1). Lower means
+    /// smaller average coefficient variance under unit noise.
+    double a_criterion = 0.0;
+    /// log10 D-criterion: -log10 det(K'K + lambda*Omega) (lower = better
+    /// determined; log scale keeps it finite for near-singular designs).
+    double neg_log10_d_criterion = 0.0;
+    /// Effective degrees of freedom tr(K (K'K+lambda*Omega)^-1 K') at the
+    /// scoring lambda — how many independent features the design resolves.
+    double effective_dof = 0.0;
+};
+
+/// Score a design given its simulated kernel (unit measurement weights).
+/// `lambda` is the smoothness weight at which to evaluate. Throws
+/// std::invalid_argument for negative lambda or a basis/kernel mismatch.
+Design_score score_design(const Kernel_grid& kernel, const Basis& basis, double lambda,
+                          std::string label = "");
+
+/// Convenience: simulate kernels for several candidate time grids (same
+/// cell-cycle model, volume model, and Monte-Carlo options) and score each.
+std::vector<Design_score> compare_designs(const Cell_cycle_config& config,
+                                          const Volume_model& volume,
+                                          const std::vector<std::pair<std::string, Vector>>&
+                                              candidate_time_grids,
+                                          const Basis& basis, double lambda,
+                                          const Kernel_build_options& options = {});
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_EXPERIMENT_DESIGN_H

@@ -1,0 +1,19 @@
+#include "core/forward_model.h"
+
+namespace cellsync {
+
+Measurement_series forward_measurements(const Kernel_grid& kernel,
+                                        const std::function<double(double)>& profile,
+                                        std::string label) {
+    return Measurement_series::with_unit_sigma(std::move(label), kernel.times(),
+                                               kernel.apply(profile));
+}
+
+Measurement_series forward_measurements_noisy(const Kernel_grid& kernel,
+                                              const std::function<double(double)>& profile,
+                                              const Noise_model& noise, Rng& rng,
+                                              std::string label) {
+    return add_noise(forward_measurements(kernel, profile, std::move(label)), noise, rng);
+}
+
+}  // namespace cellsync

@@ -1,0 +1,34 @@
+// Forward model: generate population-level measurements from a known
+// single-cell profile (paper Sec 4.1's validation workflow).
+//
+// "A particular model of cell-cycle regulated expression in single cells
+// is passed through the forward model using the kernel function Q(phi, t)
+// in order to generate simulated population-level data."
+#ifndef CELLSYNC_CORE_FORWARD_MODEL_H
+#define CELLSYNC_CORE_FORWARD_MODEL_H
+
+#include <functional>
+#include <string>
+
+#include "core/measurement.h"
+#include "core/noise.h"
+#include "population/kernel_builder.h"
+
+namespace cellsync {
+
+/// Noiseless population series: G(t_m) = integral Q(phi, t_m) f(phi) dphi
+/// at every kernel time, with unit sigmas.
+Measurement_series forward_measurements(const Kernel_grid& kernel,
+                                        const std::function<double(double)>& profile,
+                                        std::string label = "synthetic");
+
+/// Forward model plus measurement noise; the returned sigmas reflect the
+/// noise model (and become the weights in the estimation criterion).
+Measurement_series forward_measurements_noisy(const Kernel_grid& kernel,
+                                              const std::function<double(double)>& profile,
+                                              const Noise_model& noise, Rng& rng,
+                                              std::string label = "synthetic");
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_FORWARD_MODEL_H

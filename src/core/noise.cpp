@@ -1,0 +1,62 @@
+#include "core/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/statistics.h"
+
+namespace cellsync {
+
+void Noise_model::validate() const {
+    if (level < 0.0) throw std::invalid_argument("Noise_model: level must be non-negative");
+    if (sigma_floor < 0.0) {
+        throw std::invalid_argument("Noise_model: sigma_floor must be non-negative");
+    }
+}
+
+std::string to_string(Noise_type type) {
+    switch (type) {
+        case Noise_type::none: return "none";
+        case Noise_type::relative_gaussian: return "relative-gaussian";
+        case Noise_type::absolute_gaussian: return "absolute-gaussian";
+        case Noise_type::lognormal: return "lognormal";
+    }
+    throw std::invalid_argument("to_string(Noise_type): unknown value");
+}
+
+Measurement_series add_noise(const Measurement_series& clean, const Noise_model& model,
+                             Rng& rng) {
+    clean.validate();
+    model.validate();
+
+    Measurement_series noisy = clean;
+    Vector abs_values(clean.values.size());
+    for (std::size_t i = 0; i < clean.values.size(); ++i) abs_values[i] = std::abs(clean.values[i]);
+    const double scale = mean(abs_values);
+
+    for (std::size_t m = 0; m < clean.size(); ++m) {
+        double sigma = model.sigma_floor;
+        switch (model.type) {
+            case Noise_type::none:
+                sigma = clean.sigmas[m];  // pass-through keeps the caller's weights
+                break;
+            case Noise_type::relative_gaussian:
+                sigma = std::max(model.level * abs_values[m], model.sigma_floor);
+                noisy.values[m] = clean.values[m] + rng.normal(0.0, sigma);
+                break;
+            case Noise_type::absolute_gaussian:
+                sigma = std::max(model.level * scale, model.sigma_floor);
+                noisy.values[m] = clean.values[m] + rng.normal(0.0, sigma);
+                break;
+            case Noise_type::lognormal:
+                noisy.values[m] = clean.values[m] * std::exp(rng.normal(0.0, model.level));
+                sigma = std::max(model.level * abs_values[m], model.sigma_floor);
+                break;
+        }
+        noisy.sigmas[m] = std::max(sigma, model.sigma_floor);
+    }
+    noisy.validate();
+    return noisy;
+}
+
+}  // namespace cellsync

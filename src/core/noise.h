@@ -1,0 +1,47 @@
+// Measurement noise models (paper Sec 4.1: "several levels and types of
+// noise").
+//
+// Figure 3 uses additive Gaussian noise with standard deviation equal to
+// 10% of the data magnitude; the noise-robustness ablation also sweeps
+// absolute Gaussian and multiplicative log-normal noise.
+#ifndef CELLSYNC_CORE_NOISE_H
+#define CELLSYNC_CORE_NOISE_H
+
+#include <string>
+
+#include "core/measurement.h"
+#include "numerics/rng.h"
+
+namespace cellsync {
+
+/// Supported noise families.
+enum class Noise_type {
+    none,               ///< pass-through (sigma floor still applied)
+    relative_gaussian,  ///< sigma_m = level * |G_m| (the paper's Fig 3 model)
+    absolute_gaussian,  ///< sigma_m = level * mean(|G|)
+    lognormal,          ///< G_m *= exp(Normal(0, level)) (multiplicative)
+};
+
+/// Noise specification.
+struct Noise_model {
+    Noise_type type = Noise_type::relative_gaussian;
+    double level = 0.10;      ///< interpretation depends on type
+    double sigma_floor = 1e-6;///< lower bound on reported sigma (avoids zero weights)
+
+    /// Throws std::invalid_argument for negative level or floor.
+    void validate() const;
+};
+
+/// Human-readable name of a noise type.
+std::string to_string(Noise_type type);
+
+/// Apply the noise model to a clean series. The returned series carries
+/// the true per-measurement sigma implied by the model (used as weights in
+/// the estimation criterion). For lognormal noise, sigma is the delta-
+/// method approximation level * |G_m|.
+Measurement_series add_noise(const Measurement_series& clean, const Noise_model& model,
+                             Rng& rng);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_NOISE_H

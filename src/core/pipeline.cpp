@@ -1,0 +1,31 @@
+#include "core/pipeline.h"
+
+namespace cellsync {
+
+Pipeline_result deconvolve_series(const Measurement_series& series,
+                                  const Pipeline_config& config,
+                                  const Volume_model& volume_model) {
+    series.validate();
+    config.cell_cycle.validate();
+
+    const Kernel_grid kernel =
+        build_kernel(config.cell_cycle, volume_model, series.times, config.kernel);
+
+    auto basis = std::make_shared<Natural_spline_basis>(config.basis_size);
+    auto deconvolver = std::make_unique<Deconvolver>(basis, kernel, config.cell_cycle);
+
+    Deconvolution_options options = config.deconvolution;
+    std::optional<Lambda_selection> selection;
+    if (config.select_lambda) {
+        const Vector grid =
+            config.lambda_grid.empty() ? default_lambda_grid() : config.lambda_grid;
+        selection =
+            select_lambda_kfold(*deconvolver, series, options, grid, config.cv_folds);
+        options.lambda = selection->best_lambda;
+    }
+    Single_cell_estimate estimate = deconvolver->estimate(series, options);
+    return Pipeline_result{std::move(basis), std::move(deconvolver), std::move(estimate),
+                           std::move(selection)};
+}
+
+}  // namespace cellsync

@@ -1,0 +1,115 @@
+#include "io/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cellsync {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream ss(line);
+    while (std::getline(ss, field, ',')) fields.push_back(trim(field));
+    if (!line.empty() && line.back() == ',') fields.push_back("");
+    return fields;
+}
+
+double parse_number(const std::string& field, std::size_t line_number) {
+    double value = 0.0;
+    const char* first = field.data();
+    const char* last = field.data() + field.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) {
+        throw std::runtime_error("CSV line " + std::to_string(line_number) +
+                                 ": non-numeric field '" + field + "'");
+    }
+    return value;
+}
+
+}  // namespace
+
+Table read_csv(std::istream& in) {
+    std::string line;
+    std::size_t line_number = 0;
+
+    // Header.
+    std::vector<std::string> header;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const std::string t = trim(line);
+        if (t.empty() || t.front() == '#') continue;
+        header = split_fields(t);
+        break;
+    }
+    if (header.empty()) throw std::runtime_error("CSV: empty or missing header");
+    for (const std::string& name : header) {
+        if (name.empty()) throw std::runtime_error("CSV: empty column name in header");
+    }
+
+    std::vector<Vector> columns(header.size());
+    while (std::getline(in, line)) {
+        ++line_number;
+        const std::string t = trim(line);
+        if (t.empty() || t.front() == '#') continue;
+        const std::vector<std::string> fields = split_fields(t);
+        if (fields.size() != header.size()) {
+            throw std::runtime_error("CSV line " + std::to_string(line_number) + ": expected " +
+                                     std::to_string(header.size()) + " fields, got " +
+                                     std::to_string(fields.size()));
+        }
+        for (std::size_t c = 0; c < fields.size(); ++c) {
+            columns[c].push_back(parse_number(fields[c], line_number));
+        }
+    }
+
+    Table table;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        table.add_column(header[c], std::move(columns[c]));
+    }
+    return table;
+}
+
+Table read_csv_string(const std::string& text) {
+    std::istringstream in(text);
+    return read_csv(in);
+}
+
+Table read_csv_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("CSV: cannot open '" + path + "'");
+    return read_csv(in);
+}
+
+void write_csv(std::ostream& out, const Table& table) {
+    for (std::size_t c = 0; c < table.column_count(); ++c) {
+        out << (c ? "," : "") << table.names()[c];
+    }
+    out << '\n';
+    out << std::setprecision(17);
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+        for (std::size_t c = 0; c < table.column_count(); ++c) {
+            out << (c ? "," : "") << table.column(c)[r];
+        }
+        out << '\n';
+    }
+}
+
+void write_csv_file(const std::string& path, const Table& table) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("CSV: cannot open '" + path + "' for writing");
+    write_csv(out, table);
+}
+
+}  // namespace cellsync

@@ -1,0 +1,37 @@
+// CSV reading and writing for numeric tables.
+//
+// Format: first row is the header (column names), subsequent rows are
+// numeric values. Separator is ','; leading/trailing whitespace around
+// fields is ignored; blank lines and lines starting with '#' are skipped.
+// This covers the expression-data files the method consumes (the
+// "wire data parsing manually" part of the reproduction).
+#ifndef CELLSYNC_IO_CSV_H
+#define CELLSYNC_IO_CSV_H
+
+#include <iosfwd>
+#include <string>
+
+#include "io/table.h"
+
+namespace cellsync {
+
+/// Parse CSV text from a stream. Throws std::runtime_error with the line
+/// number on ragged rows, non-numeric fields, or an empty header.
+Table read_csv(std::istream& in);
+
+/// Parse CSV text from a string.
+Table read_csv_string(const std::string& text);
+
+/// Read a CSV file. Throws std::runtime_error if the file cannot be
+/// opened, plus the parse errors above.
+Table read_csv_file(const std::string& path);
+
+/// Write a table as CSV (header + rows, '\n' line endings, max precision).
+void write_csv(std::ostream& out, const Table& table);
+
+/// Write a table to a file. Throws std::runtime_error on open failure.
+void write_csv_file(const std::string& path, const Table& table);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_IO_CSV_H

@@ -1,0 +1,61 @@
+#include "io/expression_data.h"
+
+#include <stdexcept>
+
+#include "io/csv.h"
+
+namespace cellsync {
+
+Measurement_series series_from_table(const Table& table, std::string label) {
+    if (!table.has_column("time") || !table.has_column("value")) {
+        throw std::invalid_argument("series_from_table: need 'time' and 'value' columns");
+    }
+    Measurement_series s;
+    s.label = std::move(label);
+    s.times = table.column("time");
+    s.values = table.column("value");
+    s.sigmas = table.has_column("sigma") ? table.column("sigma") : Vector(s.times.size(), 1.0);
+    s.validate();
+    return s;
+}
+
+Table table_from_series(const Measurement_series& series) {
+    series.validate();
+    Table t;
+    t.add_column("time", series.times);
+    t.add_column("value", series.values);
+    t.add_column("sigma", series.sigmas);
+    return t;
+}
+
+namespace {
+
+// Generated offline with tools/generate_ftsz_dataset (this repository):
+// ftsz_like_profile(0.16, 0.40, 10.0, 0.0) -> build_kernel(Caulobacter
+// defaults, smooth volume model, 50k cells, 200 bins, seed 424242, times
+// 0..150 at 15-min spacing) -> +2.0 additive microarray background ->
+// 8% relative Gaussian noise (seed 99). Values regenerate bit-identically
+// from those seeds.
+constexpr const char* ftsz_csv = R"(time,value,sigma
+0,2.0564381669467302,0.1601671378197721
+15,2.6363067886501086,0.22648932353219528
+30,6.8010720144668655,0.55927178014056522
+45,10.220095630861548,0.87114758858219032
+60,10.652883182008853,0.89236318587804353
+75,10.261860956327629,0.76151715306764123
+90,7.0819717698244515,0.58233010674398211
+105,6.0772798768321286,0.40727498351074665
+120,3.6163314591086624,0.28615456707905557
+135,3.144824749707666,0.2661909940758192
+150,4.4399211544565267,0.36350733045891481
+)";
+
+}  // namespace
+
+Measurement_series ftsz_population_dataset() {
+    return series_from_table(read_csv_string(ftsz_csv), "ftsZ (synthetic, McGrath-like)");
+}
+
+Ftsz_generation_info ftsz_generation_info() { return {}; }
+
+}  // namespace cellsync

@@ -1,0 +1,52 @@
+// Embedded expression datasets and conversion helpers.
+//
+// The paper's Figure 5 uses the Caulobacter ftsZ microarray time course of
+// McGrath et al. 2007. That raw dataset is not redistributable, so this
+// module ships a synthetic stand-in generated offline with this library's
+// own forward model (ftsZ-like single-cell profile -> kernel -> 8%
+// relative noise, seeds recorded below) and stored as literal CSV text.
+// The deconvolution code path — parse, weight, invert, diagnose — is
+// identical to what real microarray data would exercise; see DESIGN.md's
+// substitution table.
+#ifndef CELLSYNC_IO_EXPRESSION_DATA_H
+#define CELLSYNC_IO_EXPRESSION_DATA_H
+
+#include "core/measurement.h"
+#include "io/table.h"
+
+namespace cellsync {
+
+/// Convert a table with `time`, `value`, and optional `sigma` columns into
+/// a measurement series (unit sigmas if the column is absent).
+/// Throws std::invalid_argument if required columns are missing.
+Measurement_series series_from_table(const Table& table, std::string label);
+
+/// Convert a series to a 3-column table (time,value,sigma).
+Table table_from_series(const Measurement_series& series);
+
+/// The embedded synthetic ftsZ population time course (11 samples,
+/// 15-minute spacing over 0-150 min, mimicking the McGrath et al.
+/// sampling). Parsed from embedded CSV through the real parser.
+Measurement_series ftsz_population_dataset();
+
+/// The single-cell profile parameters used to generate the embedded ftsZ
+/// dataset (onset just after the SW->ST transition, peak at phi = 0.4):
+/// the "truth" available to tests and EXPERIMENTS.md because the dataset
+/// is synthetic.
+struct Ftsz_generation_info {
+    double onset = 0.16;
+    double peak_phi = 0.40;
+    double peak_level = 10.0;
+    double final_level = 0.0;
+    double background = 2.0;        ///< additive microarray background term
+    double noise_level = 0.08;      ///< relative Gaussian
+    unsigned long long kernel_seed = 424242;
+    unsigned long long noise_seed = 99;
+};
+
+/// Generation provenance of the embedded dataset.
+Ftsz_generation_info ftsz_generation_info();
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_IO_EXPRESSION_DATA_H

@@ -1,0 +1,65 @@
+#include "io/kernel_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/csv.h"
+
+namespace cellsync {
+
+void write_kernel(std::ostream& out, const Kernel_grid& kernel) {
+    Table table;
+    table.add_column("phi", kernel.phi_centers());
+    for (std::size_t m = 0; m < kernel.time_count(); ++m) {
+        std::ostringstream name;
+        name << "t" << kernel.times()[m];
+        Vector column(kernel.bin_count());
+        for (std::size_t b = 0; b < kernel.bin_count(); ++b) column[b] = kernel.q()(m, b);
+        table.add_column(name.str(), column);
+    }
+    write_csv(out, table);
+}
+
+void write_kernel_file(const std::string& path, const Kernel_grid& kernel) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_kernel_file: cannot open '" + path + "'");
+    write_kernel(out, kernel);
+}
+
+Kernel_grid read_kernel(std::istream& in) {
+    const Table table = read_csv(in);
+    if (!table.has_column("phi")) {
+        throw std::runtime_error("read_kernel: missing 'phi' column");
+    }
+    if (table.column_count() < 2) {
+        throw std::runtime_error("read_kernel: no time-slice columns");
+    }
+
+    const Vector& phi = table.column("phi");
+    Vector times;
+    Matrix q(table.column_count() - 1, phi.size());
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < table.column_count(); ++c) {
+        const std::string& name = table.names()[c];
+        if (name == "phi") continue;
+        if (name.size() < 2 || name.front() != 't') {
+            throw std::runtime_error("read_kernel: bad time column name '" + name + "'");
+        }
+        try {
+            times.push_back(std::stod(name.substr(1)));
+        } catch (const std::exception&) {
+            throw std::runtime_error("read_kernel: unparseable time in column '" + name + "'");
+        }
+        q.set_row(row++, table.column(c));
+    }
+    return Kernel_grid(std::move(times), phi, std::move(q));
+}
+
+Kernel_grid read_kernel_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_kernel_file: cannot open '" + path + "'");
+    return read_kernel(in);
+}
+
+}  // namespace cellsync

@@ -1,0 +1,35 @@
+// Kernel serialization: save/load the discretized Q(phi, t) grid as CSV.
+//
+// Kernel construction is the expensive pipeline stage (a Monte-Carlo
+// population simulation); persisting the grid lets a lab simulate once per
+// organism/protocol and reuse the kernel across gene panels and sessions.
+// The format is a plain CSV: first column `phi`, one further column per
+// time slice named `t<minutes>`; all Kernel_grid invariants are
+// re-validated on load.
+#ifndef CELLSYNC_IO_KERNEL_IO_H
+#define CELLSYNC_IO_KERNEL_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "population/kernel_builder.h"
+
+namespace cellsync {
+
+/// Write the kernel grid as CSV.
+void write_kernel(std::ostream& out, const Kernel_grid& kernel);
+
+/// Write to a file; throws std::runtime_error on open failure.
+void write_kernel_file(const std::string& path, const Kernel_grid& kernel);
+
+/// Parse a kernel grid from CSV. Throws std::runtime_error on malformed
+/// input and std::invalid_argument if the parsed grid violates the
+/// Kernel_grid invariants (row normalization, ascending grids).
+Kernel_grid read_kernel(std::istream& in);
+
+/// Read from a file; throws std::runtime_error on open failure.
+Kernel_grid read_kernel_file(const std::string& path);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_IO_KERNEL_IO_H

@@ -1,0 +1,88 @@
+#include "io/reference_data.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special.h"
+
+namespace cellsync {
+
+Reference_census judd_reference_census(const Vector& times, const Cell_cycle_config& config,
+                                       const Cell_type_thresholds& thresholds, double scatter) {
+    config.validate();
+    thresholds.validate();
+    if (times.empty()) throw std::invalid_argument("judd_reference_census: empty time grid");
+    for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+        if (!(times[i] < times[i + 1])) {
+            throw std::invalid_argument("judd_reference_census: times must be ascending");
+        }
+    }
+    if (scatter < 0.0) throw std::invalid_argument("judd_reference_census: negative scatter");
+
+    // Deterministic cohort enumeration: a grid of (initial phase u, cycle
+    // time v) pairs at Gaussian/uniform quantiles. Every cohort progresses
+    // deterministically; a cohort that divides contributes its SW and ST
+    // daughters (daughters inherit the cohort's cycle time — a deliberate
+    // structural difference from the stochastic simulator).
+    constexpr std::size_t n_phase = 41;
+    constexpr std::size_t n_cycle = 21;
+    const double mu_sst = config.mu_sst;
+
+    Reference_census ref;
+    ref.times = times;
+    ref.fractions = Matrix(times.size(), cell_type_count);
+
+    for (std::size_t m = 0; m < times.size(); ++m) {
+        const double t = times[m];
+        std::array<double, cell_type_count> mass{};
+
+        for (std::size_t iu = 0; iu < n_phase; ++iu) {
+            // Initial phase uniform on [0, mu_sst] (synchronized SW isolate).
+            const double u = (static_cast<double>(iu) + 0.5) / n_phase;
+            const double phi0 = u * mu_sst;
+            for (std::size_t iv = 0; iv < n_cycle; ++iv) {
+                const double qv = (static_cast<double>(iv) + 0.5) / n_cycle;
+                const double cycle =
+                    config.mean_cycle_minutes + config.sigma_cycle() * gaussian_quantile(qv);
+                const double weight = 1.0 / (n_phase * n_cycle);
+
+                double phi = phi0 + t / cycle;
+                if (phi < 1.0) {
+                    const Cell_type type = classify_cell(phi, mu_sst, thresholds);
+                    mass[static_cast<std::size_t>(type)] += weight;
+                } else {
+                    // One division: SW daughter restarts at 0, ST daughter
+                    // restarts at mu_sst, both progressing with the mother's
+                    // cycle time. (Second divisions are outside the 150-min
+                    // window this reference is used for.)
+                    const double since_division = (phi - 1.0) * cycle;
+                    const double phi_sw = since_division / cycle;
+                    const double phi_st = mu_sst + since_division / cycle;
+                    mass[static_cast<std::size_t>(
+                        classify_cell(std::min(phi_sw, 1.0), mu_sst, thresholds))] +=
+                        0.5 * weight;
+                    mass[static_cast<std::size_t>(
+                        classify_cell(std::min(phi_st, 1.0), mu_sst, thresholds))] +=
+                        0.5 * weight;
+                }
+            }
+        }
+
+        // Deterministic "experimental scatter": small phase-shifted
+        // sinusoids per class, renormalized.
+        double total = 0.0;
+        for (std::size_t k = 0; k < cell_type_count; ++k) {
+            const double wiggle =
+                scatter * std::sin(0.13 * t + 1.7 * static_cast<double>(k) + 0.5);
+            mass[k] = std::max(0.0, mass[k] + wiggle * mass[k] * 4.0);
+            total += mass[k];
+        }
+        for (std::size_t k = 0; k < cell_type_count; ++k) {
+            ref.fractions(m, k) = mass[k] / total;
+        }
+    }
+    return ref;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,41 @@
+// External reference data for validation figures.
+//
+// Paper Figure 4 compares the simulated cell-type distribution against the
+// experimental fractions of Judd et al. 2003 (fluorescence microscopy of a
+// synchronized Caulobacter culture). The original counts are not
+// redistributable, so this module generates a stand-in reference from an
+// INDEPENDENT deterministic cohort model — quantile-enumerated initial
+// phases and cycle times progressing without stochastic simulation — plus
+// a small deterministic "experimental scatter" term. Because the reference
+// is produced by a structurally different model than the agent-based
+// simulator being validated, the Figure-4 comparison remains a genuine
+// consistency check. See DESIGN.md's substitution table.
+#ifndef CELLSYNC_IO_REFERENCE_DATA_H
+#define CELLSYNC_IO_REFERENCE_DATA_H
+
+#include "biology/cell_cycle.h"
+#include "biology/cell_types.h"
+#include "numerics/matrix.h"
+
+namespace cellsync {
+
+/// Reference cell-type fractions at the requested times (minutes).
+/// fractions(m, k): fraction of type k (Cell_type underlying index) at
+/// times[m]; rows sum to 1.
+struct Reference_census {
+    Vector times;
+    Matrix fractions;
+};
+
+/// Deterministic cohort-model reference (Judd-style). `scatter` adds a
+/// bounded deterministic perturbation mimicking experimental counting
+/// noise (0 disables). Throws std::invalid_argument on an empty or
+/// descending time grid.
+Reference_census judd_reference_census(const Vector& times,
+                                       const Cell_cycle_config& config = {},
+                                       const Cell_type_thresholds& thresholds = thresholds_mid(),
+                                       double scatter = 0.015);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_IO_REFERENCE_DATA_H

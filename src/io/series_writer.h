@@ -1,0 +1,39 @@
+// Figure-series export: collect named series over a shared abscissa and
+// write them as one CSV, the format the benches use to dump reproduced
+// figures for external plotting.
+#ifndef CELLSYNC_IO_SERIES_WRITER_H
+#define CELLSYNC_IO_SERIES_WRITER_H
+
+#include <string>
+
+#include "io/table.h"
+
+namespace cellsync {
+
+/// Accumulates columns against a fixed abscissa and writes CSV.
+class Series_writer {
+  public:
+    /// The abscissa column (e.g. "minutes" or "phi").
+    Series_writer(std::string axis_name, Vector axis_values);
+
+    /// Add a series; length must match the abscissa.
+    /// Throws std::invalid_argument on mismatch or duplicate name.
+    Series_writer& add(const std::string& name, const Vector& values);
+
+    /// The accumulated table.
+    const Table& table() const { return table_; }
+
+    /// Write to a file (creates/truncates). Throws std::runtime_error on
+    /// failure.
+    void write(const std::string& path) const;
+
+    /// Render as CSV text (for stdout-oriented benches).
+    std::string to_csv_string() const;
+
+  private:
+    Table table_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_IO_SERIES_WRITER_H

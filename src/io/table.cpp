@@ -1,0 +1,34 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+
+void Table::add_column(std::string name, Vector values) {
+    if (has_column(name)) {
+        throw std::invalid_argument("Table: duplicate column name '" + name + "'");
+    }
+    if (!columns_.empty() && values.size() != columns_.front().size()) {
+        throw std::invalid_argument("Table: column length mismatch for '" + name + "'");
+    }
+    names_.push_back(std::move(name));
+    columns_.push_back(std::move(values));
+}
+
+const Vector& Table::column(std::size_t i) const {
+    if (i >= columns_.size()) throw std::out_of_range("Table: column index out of range");
+    return columns_[i];
+}
+
+const Vector& Table::column(const std::string& name) const {
+    const auto it = std::find(names_.begin(), names_.end(), name);
+    if (it == names_.end()) throw std::invalid_argument("Table: no column named '" + name + "'");
+    return columns_[static_cast<std::size_t>(it - names_.begin())];
+}
+
+bool Table::has_column(const std::string& name) const {
+    return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+}  // namespace cellsync

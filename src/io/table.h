@@ -1,0 +1,43 @@
+// Minimal column-oriented numeric table, the interchange type between the
+// CSV layer and the analysis layers.
+#ifndef CELLSYNC_IO_TABLE_H
+#define CELLSYNC_IO_TABLE_H
+
+#include <string>
+#include <vector>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Named numeric columns of equal length.
+class Table {
+  public:
+    Table() = default;
+
+    /// Append a column; its length must match existing columns.
+    /// Throws std::invalid_argument on mismatch or duplicate name.
+    void add_column(std::string name, Vector values);
+
+    std::size_t column_count() const { return names_.size(); }
+    std::size_t row_count() const { return columns_.empty() ? 0 : columns_.front().size(); }
+
+    const std::vector<std::string>& names() const { return names_; }
+
+    /// Column by index. Throws std::out_of_range.
+    const Vector& column(std::size_t i) const;
+
+    /// Column by name. Throws std::invalid_argument if absent.
+    const Vector& column(const std::string& name) const;
+
+    /// True if a column with this name exists.
+    bool has_column(const std::string& name) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<Vector> columns_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_IO_TABLE_H

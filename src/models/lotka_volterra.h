@@ -1,0 +1,67 @@
+// The Lotka-Volterra oscillator used as the paper's validation model
+// (paper Eqs 20-21):
+//
+//     x1' = x1 (a - b x2)
+//     x2' = x2 (c x1 - d)
+//
+// x1 and x2 are "two chemical species which bind and convert x1 to x2".
+// The paper chooses parameters giving a 150-minute period, matching the
+// average Caulobacter cycle time, so one oscillation maps onto one cell
+// cycle: f(phi) = x(phi * T).
+#ifndef CELLSYNC_MODELS_LOTKA_VOLTERRA_H
+#define CELLSYNC_MODELS_LOTKA_VOLTERRA_H
+
+#include "biology/gene_profiles.h"
+#include "numerics/ode.h"
+
+namespace cellsync {
+
+/// Parameters and initial state of the oscillator.
+struct Lotka_volterra_params {
+    double a = 1.0;
+    double b = 1.0;
+    double c = 1.0;
+    double d = 1.0;
+    double x1_0 = 0.5;  ///< initial x1
+    double x2_0 = 0.3;  ///< initial x2
+
+    /// Throws std::invalid_argument unless all rates and initial values are
+    /// positive (the positive quadrant is invariant).
+    void validate() const;
+
+    /// Center (fixed point) of the oscillation: (d/c, a/b).
+    double x1_center() const { return d / c; }
+    double x2_center() const { return a / b; }
+
+    /// Return a copy with all rates multiplied by `factor` — Lotka-Volterra
+    /// time-scaling: solutions are reproduced with time compressed by
+    /// `factor`, so the period divides by it exactly.
+    Lotka_volterra_params time_scaled(double factor) const;
+};
+
+/// Right-hand side for the ODE integrators.
+Ode_rhs lotka_volterra_rhs(const Lotka_volterra_params& params);
+
+/// Integrate over [0, t1] minutes with the adaptive RK45 integrator.
+Ode_solution solve_lotka_volterra(const Lotka_volterra_params& params, double t1);
+
+/// Measure the oscillation period by timing upward crossings of x1 through
+/// its center value over `cycles` cycles. Throws std::runtime_error if
+/// fewer than two crossings are found (degenerate parameters).
+double measure_period(const Lotka_volterra_params& params, double horizon, std::size_t cycles = 4);
+
+/// The paper's parameterization: a fixed oscillation shape, rate-scaled so
+/// the period is exactly `period_minutes` (default 150, the average
+/// Caulobacter cycle time).
+Lotka_volterra_params paper_lv_params(double period_minutes = 150.0);
+
+/// Wrap one component of the periodic solution as a phase profile
+/// f(phi) = x_comp(phi * period). `component` is 0 for x1, 1 for x2.
+/// The solution is sampled once over a period and interpolated by a
+/// cubic spline.
+Gene_profile lotka_volterra_profile(const Lotka_volterra_params& params, std::size_t component,
+                                    double period_minutes);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_MODELS_LOTKA_VOLTERRA_H

@@ -1,0 +1,69 @@
+#include "models/oscillators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cellsync {
+
+void Goodwin_params::validate() const {
+    if (!(k1 > 0 && k2 > 0 && k3 > 0 && k4 > 0 && k5 > 0 && k6 > 0)) {
+        throw std::invalid_argument("Goodwin_params: rates must be positive");
+    }
+    if (!(hill >= 1.0)) throw std::invalid_argument("Goodwin_params: hill must be >= 1");
+    if (initial.size() != 3) throw std::invalid_argument("Goodwin_params: need 3 initial values");
+}
+
+Ode_rhs goodwin_rhs(const Goodwin_params& params) {
+    params.validate();
+    return [params](double, const Vector& y) {
+        return Vector{params.k1 / (1.0 + std::pow(std::max(y[2], 0.0), params.hill)) -
+                          params.k2 * y[0],
+                      params.k3 * y[0] - params.k4 * y[1],
+                      params.k5 * y[1] - params.k6 * y[2]};
+    };
+}
+
+void Repressilator_params::validate() const {
+    if (!(alpha > 0 && beta > 0 && hill >= 1.0 && alpha0 >= 0)) {
+        throw std::invalid_argument("Repressilator_params: invalid parameters");
+    }
+    if (initial.size() != 6) {
+        throw std::invalid_argument("Repressilator_params: need 6 initial values");
+    }
+}
+
+Ode_rhs repressilator_rhs(const Repressilator_params& params) {
+    params.validate();
+    return [params](double, const Vector& y) {
+        Vector dy(6);
+        for (std::size_t i = 0; i < 3; ++i) {
+            const std::size_t repressor = 3 + (i + 2) % 3;  // p_{i-1}
+            dy[i] = -y[i] +
+                    params.alpha / (1.0 + std::pow(std::max(y[repressor], 0.0), params.hill)) +
+                    params.alpha0;
+            dy[3 + i] = -params.beta * (y[3 + i] - y[i]);
+        }
+        return dy;
+    };
+}
+
+Gene_profile oscillator_profile(const Ode_rhs& rhs, const Vector& initial,
+                                std::size_t component, double period, double t_offset,
+                                std::string name) {
+    if (component >= initial.size()) {
+        throw std::invalid_argument("oscillator_profile: bad component");
+    }
+    if (!(period > 0.0) || t_offset < 0.0) {
+        throw std::invalid_argument("oscillator_profile: bad period or offset");
+    }
+    const Ode_solution sol = rk45_solve(rhs, initial, 0.0, t_offset + period);
+    const std::size_t samples = 512;
+    Vector phi(samples + 1), value(samples + 1);
+    for (std::size_t i = 0; i <= samples; ++i) {
+        phi[i] = static_cast<double>(i) / static_cast<double>(samples);
+        value[i] = std::max(0.0, sol.interpolate(t_offset + phi[i] * period, component));
+    }
+    return tabulated_profile(std::move(name), phi, value);
+}
+
+}  // namespace cellsync

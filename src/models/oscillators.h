@@ -1,0 +1,56 @@
+// Additional single-cell oscillator models.
+//
+// The paper validates on Lotka-Volterra; these extensions (Goodwin
+// oscillator, repressilator, damped oscillator) broaden the profile family
+// available to examples, tests, and the robustness ablations — the
+// deconvolution method itself is agnostic to which model generated f(phi).
+#ifndef CELLSYNC_MODELS_OSCILLATORS_H
+#define CELLSYNC_MODELS_OSCILLATORS_H
+
+#include "biology/gene_profiles.h"
+#include "numerics/ode.h"
+
+namespace cellsync {
+
+/// Goodwin oscillator: the classic three-stage negative feedback loop
+///   x' = k1 / (1 + z^n) - k2 x
+///   y' = k3 x - k4 y
+///   z' = k5 y - k6 z
+/// Oscillates for Hill coefficients n >~ 8.
+struct Goodwin_params {
+    double k1 = 1.0, k2 = 0.1, k3 = 1.0, k4 = 0.1, k5 = 1.0, k6 = 0.1;
+    double hill = 10.0;
+    Vector initial{0.1, 0.2, 2.5};
+
+    void validate() const;
+};
+
+Ode_rhs goodwin_rhs(const Goodwin_params& params);
+
+/// Repressilator (Elowitz & Leibler 2000), six-state mRNA/protein form
+/// with symmetric parameters:
+///   m_i' = -m_i + alpha / (1 + p_{i-1}^n) + alpha0
+///   p_i' = -beta (p_i - m_i)
+struct Repressilator_params {
+    double alpha = 216.0;
+    double alpha0 = 0.216;
+    double beta = 0.2;
+    double hill = 2.0;
+    Vector initial{1.0, 2.0, 3.0, 1.5, 2.5, 3.5};  // m1 m2 m3 p1 p2 p3
+
+    void validate() const;
+};
+
+Ode_rhs repressilator_rhs(const Repressilator_params& params);
+
+/// Turn any periodic ODE solution component into a phase profile
+/// f(phi) = max(0, x_comp(t_offset + phi * period)), spline-sampled.
+/// Integrates with RK45 over [0, t_offset + period]. Throws on bad
+/// component or non-positive period.
+Gene_profile oscillator_profile(const Ode_rhs& rhs, const Vector& initial,
+                                std::size_t component, double period, double t_offset,
+                                std::string name);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_MODELS_OSCILLATORS_H

@@ -1,0 +1,110 @@
+#include "models/parameter_estimation.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cellsync {
+
+double Lv_fit_result::relative_error(const Lotka_volterra_params& truth) const {
+    truth.validate();
+    const double ea = (params.a - truth.a) / truth.a;
+    const double eb = (params.b - truth.b) / truth.b;
+    const double ec = (params.c - truth.c) / truth.c;
+    const double ed = (params.d - truth.d) / truth.d;
+    return std::sqrt((ea * ea + eb * eb + ec * ec + ed * ed) / 4.0);
+}
+
+namespace {
+
+// Decode the optimizer's unconstrained vector into positive rates via exp;
+// keeps the search unconstrained while the model stays valid.
+Lotka_volterra_params decode(const Vector& log_rates, const Lotka_volterra_params& base) {
+    Lotka_volterra_params p = base;
+    p.a = std::exp(log_rates[0]);
+    p.b = std::exp(log_rates[1]);
+    p.c = std::exp(log_rates[2]);
+    p.d = std::exp(log_rates[3]);
+    return p;
+}
+
+Vector encode(const Lotka_volterra_params& p) {
+    return {std::log(p.a), std::log(p.b), std::log(p.c), std::log(p.d)};
+}
+
+Lv_fit_result run_fit(const Objective& objective, const Lotka_volterra_params& initial_guess,
+                      const Nelder_mead_options& options) {
+    initial_guess.validate();
+    const Nelder_mead_result r = nelder_mead(objective, encode(initial_guess), options);
+    Lv_fit_result fit;
+    fit.params = decode(r.x, initial_guess);
+    fit.objective = r.value;
+    fit.evaluations = r.evaluations;
+    fit.converged = r.converged;
+    return fit;
+}
+
+}  // namespace
+
+Lv_fit_result fit_lv_to_profiles(const std::function<double(double)>& x1_target,
+                                 const std::function<double(double)>& x2_target,
+                                 const Vector& phi_grid, double period_minutes,
+                                 const Lotka_volterra_params& initial_guess,
+                                 const Nelder_mead_options& options) {
+    if (phi_grid.size() < 4) {
+        throw std::invalid_argument("fit_lv_to_profiles: need at least 4 phase points");
+    }
+    if (!(period_minutes > 0.0)) {
+        throw std::invalid_argument("fit_lv_to_profiles: period must be positive");
+    }
+
+    const Objective objective = [&, period_minutes](const Vector& log_rates) {
+        const Lotka_volterra_params p = decode(log_rates, initial_guess);
+        Ode_solution sol;
+        try {
+            sol = solve_lotka_volterra(p, period_minutes);
+        } catch (const std::runtime_error&) {
+            return std::numeric_limits<double>::infinity();
+        }
+        double sse = 0.0;
+        for (double phi : phi_grid) {
+            const double t = phi * period_minutes;
+            const double r1 = sol.interpolate(t, 0) - x1_target(phi);
+            const double r2 = sol.interpolate(t, 1) - x2_target(phi);
+            sse += r1 * r1 + r2 * r2;
+        }
+        return sse;
+    };
+    return run_fit(objective, initial_guess, options);
+}
+
+Lv_fit_result fit_lv_to_population(const Measurement_series& g1, const Measurement_series& g2,
+                                   const Lotka_volterra_params& initial_guess,
+                                   const Nelder_mead_options& options) {
+    g1.validate();
+    g2.validate();
+    if (g1.size() != g2.size()) {
+        throw std::invalid_argument("fit_lv_to_population: series length mismatch");
+    }
+
+    const double horizon = g1.times.back();
+    const Objective objective = [&, horizon](const Vector& log_rates) {
+        const Lotka_volterra_params p = decode(log_rates, initial_guess);
+        Ode_solution sol;
+        try {
+            sol = solve_lotka_volterra(p, std::max(horizon, 1.0));
+        } catch (const std::runtime_error&) {
+            return std::numeric_limits<double>::infinity();
+        }
+        double sse = 0.0;
+        for (std::size_t m = 0; m < g1.size(); ++m) {
+            const double r1 = sol.interpolate(g1.times[m], 0) - g1.values[m];
+            const double r2 = sol.interpolate(g2.times[m], 1) - g2.values[m];
+            sse += r1 * r1 + r2 * r2;
+        }
+        return sse;
+    };
+    return run_fit(objective, initial_guess, options);
+}
+
+}  // namespace cellsync

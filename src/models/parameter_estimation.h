@@ -1,0 +1,54 @@
+// ODE parameter estimation from expression data (paper Sec 5, "ongoing
+// work").
+//
+// Single-cell gene-regulation models are usually fitted to population
+// data, which the paper argues biases the parameters; fitting to the
+// deconvolved profile instead recovers parameters closer to the truth.
+// This module implements both fits for the Lotka-Volterra model so the
+// claim can be evaluated quantitatively:
+//
+//  * fit-to-population: pretend the population series IS single-cell data
+//    (the naive approach);
+//  * fit-to-deconvolved: fit against the deconvolution's f(phi).
+#ifndef CELLSYNC_MODELS_PARAMETER_ESTIMATION_H
+#define CELLSYNC_MODELS_PARAMETER_ESTIMATION_H
+
+#include "core/deconvolver.h"
+#include "core/measurement.h"
+#include "models/lotka_volterra.h"
+#include "numerics/nelder_mead.h"
+
+namespace cellsync {
+
+/// Result of a Lotka-Volterra fit. Only the four rate parameters are
+/// estimated; initial conditions are taken as known (the standard setup in
+/// the companion work).
+struct Lv_fit_result {
+    Lotka_volterra_params params;
+    double objective = 0.0;
+    std::size_t evaluations = 0;
+    bool converged = false;
+
+    /// Relative parameter-vector error vs a ground truth (L2 over the four
+    /// rates, each normalized by the true value).
+    double relative_error(const Lotka_volterra_params& truth) const;
+};
+
+/// Fit (a, b, c, d) so the model's trajectories match two phase-sampled
+/// target profiles x1_target(phi), x2_target(phi) with phi = t / period.
+/// Targets are callables on [0, 1]; `phi_grid` sets the comparison points.
+Lv_fit_result fit_lv_to_profiles(const std::function<double(double)>& x1_target,
+                                 const std::function<double(double)>& x2_target,
+                                 const Vector& phi_grid, double period_minutes,
+                                 const Lotka_volterra_params& initial_guess,
+                                 const Nelder_mead_options& options = {});
+
+/// Naive fit: match model trajectories directly against the population
+/// measurement series (as if G(t) were single-cell data).
+Lv_fit_result fit_lv_to_population(const Measurement_series& g1, const Measurement_series& g2,
+                                   const Lotka_volterra_params& initial_guess,
+                                   const Nelder_mead_options& options = {});
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_MODELS_PARAMETER_ESTIMATION_H

@@ -1,0 +1,95 @@
+// General Hill-kinetics gene-regulatory-network ODE models.
+//
+// The paper's closing programme is "estimating parameters for differential
+// equation models of gene regulatory networks ... typically built to model
+// single cell behavior but fitted to population data". This module supplies
+// that model family: N genes with Hill-type activation/repression edges and
+// first-order decay,
+//
+//   x_i' = basal_i + beta_i * PROD_j H_ij(x_j) - delta_i * x_i
+//
+// where H_ij is an activating or repressing Hill function for each edge
+// j -> i (absent edges contribute 1). Presets include the two-gene
+// activator-repressor relaxation oscillator used in the examples.
+#ifndef CELLSYNC_MODELS_REGULATORY_NETWORK_H
+#define CELLSYNC_MODELS_REGULATORY_NETWORK_H
+
+#include <string>
+#include <vector>
+
+#include "biology/gene_profiles.h"
+#include "numerics/ode.h"
+
+namespace cellsync {
+
+/// One regulatory edge j -> i.
+struct Regulatory_edge {
+    std::size_t source = 0;     ///< regulator gene index j
+    std::size_t target = 0;     ///< regulated gene index i
+    bool activating = true;     ///< activation vs repression
+    double threshold = 1.0;     ///< Hill half-saturation K > 0
+    double hill = 2.0;          ///< Hill coefficient n >= 1
+};
+
+/// A gene-regulatory network with Hill kinetics.
+class Regulatory_network {
+  public:
+    /// `gene_count` genes with unit production and decay rates and no edges.
+    /// Throws std::invalid_argument for zero genes.
+    explicit Regulatory_network(std::size_t gene_count);
+
+    std::size_t gene_count() const { return production_.size(); }
+
+    /// Set the maximal production rate beta_i > 0 of gene i.
+    /// Throws std::invalid_argument / std::out_of_range on bad input.
+    void set_production(std::size_t gene, double rate);
+
+    /// Set the basal (regulation-independent) production rate >= 0 of gene
+    /// i; default 0. Needed by self-activating genes to escape x = 0.
+    void set_basal(std::size_t gene, double rate);
+
+    /// Set the decay rate delta_i > 0 of gene i.
+    void set_decay(std::size_t gene, double rate);
+
+    /// Add a regulatory edge; multiple regulators of one target multiply
+    /// (AND-logic). Throws on invalid indices or non-positive threshold /
+    /// hill < 1.
+    void add_edge(const Regulatory_edge& edge);
+
+    const std::vector<Regulatory_edge>& edges() const { return edges_; }
+
+    /// Right-hand side for the ODE integrators.
+    Ode_rhs rhs() const;
+
+    /// Integrate from `initial` (length == gene_count) over [0, t1] with
+    /// RK45. Throws std::invalid_argument on a bad initial state.
+    Ode_solution simulate(const Vector& initial, double t1) const;
+
+    /// Extract gene `gene`'s trajectory over [t_offset, t_offset + period]
+    /// as a phase profile (see oscillator_profile).
+    Gene_profile profile(const Vector& initial, std::size_t gene, double period,
+                         double t_offset, std::string name) const;
+
+  private:
+    std::vector<double> production_;
+    std::vector<double> basal_;
+    std::vector<double> decay_;
+    std::vector<Regulatory_edge> edges_;
+};
+
+/// Three-gene repression ring (a repressilator expressed in this module's
+/// general Hill form): gene i is repressed by gene i-1. Rate-scaled so the
+/// limit-cycle period equals `period_minutes` exactly (the network shares
+/// Lotka-Volterra's time-scaling property: multiplying every rate by k
+/// compresses time by k). Initial state {1.0, 0.5, 0.1} breaks the ring's
+/// symmetry.
+struct Ring_oscillator {
+    Regulatory_network network;
+    Vector initial;
+    double period = 0.0;
+};
+Ring_oscillator ring_oscillator_network(double period_minutes = 150.0);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_MODELS_REGULATORY_NETWORK_H

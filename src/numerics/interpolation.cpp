@@ -1,0 +1,45 @@
+#include "numerics/interpolation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+
+Linear_interpolant::Linear_interpolant(Vector x, Vector y)
+    : x_(std::move(x)), y_(std::move(y)) {
+    if (x_.size() != y_.size()) {
+        throw std::invalid_argument("Linear_interpolant: size mismatch");
+    }
+    if (x_.size() < 2) {
+        throw std::invalid_argument("Linear_interpolant: need at least 2 points");
+    }
+    for (std::size_t i = 0; i + 1 < x_.size(); ++i) {
+        if (!(x_[i] < x_[i + 1])) {
+            throw std::invalid_argument("Linear_interpolant: grid must be strictly ascending");
+        }
+    }
+}
+
+std::size_t Linear_interpolant::segment(double q) const {
+    // Index i such that x_[i] <= q < x_[i+1], clamped to valid segments.
+    const auto it = std::upper_bound(x_.begin(), x_.end(), q);
+    if (it == x_.begin()) return 0;
+    const std::size_t i = static_cast<std::size_t>(it - x_.begin()) - 1;
+    return std::min(i, x_.size() - 2);
+}
+
+double Linear_interpolant::operator()(double q) const {
+    if (q <= x_.front()) return y_.front();
+    if (q >= x_.back()) return y_.back();
+    const std::size_t i = segment(q);
+    const double t = (q - x_[i]) / (x_[i + 1] - x_[i]);
+    return y_[i] * (1.0 - t) + y_[i + 1] * t;
+}
+
+double Linear_interpolant::derivative(double q) const {
+    if (q < x_.front() || q > x_.back()) return 0.0;  // constant extrapolation
+    const std::size_t i = segment(q);
+    return (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+}
+
+}  // namespace cellsync

@@ -1,0 +1,39 @@
+// Piecewise-linear interpolation over tabulated series. The kernel builder
+// produces Q(phi, t) on a discrete time grid; measurement times between
+// grid points are served by these interpolants.
+#ifndef CELLSYNC_NUMERICS_INTERPOLATION_H
+#define CELLSYNC_NUMERICS_INTERPOLATION_H
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Piecewise-linear interpolant over a strictly ascending grid.
+/// Queries outside the grid clamp to the boundary values (constant
+/// extrapolation), which is the correct behaviour for kernel time slices.
+class Linear_interpolant {
+  public:
+    /// Throws std::invalid_argument if sizes differ, fewer than 2 points, or
+    /// x is not strictly ascending.
+    Linear_interpolant(Vector x, Vector y);
+
+    /// Interpolated value at query point q.
+    double operator()(double q) const;
+
+    /// First derivative of the interpolant at q (piecewise constant; at a
+    /// knot the right-segment slope is used, at the last knot the left).
+    double derivative(double q) const;
+
+    const Vector& x() const { return x_; }
+    const Vector& y() const { return y_; }
+
+  private:
+    std::size_t segment(double q) const;
+
+    Vector x_;
+    Vector y_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_INTERPOLATION_H

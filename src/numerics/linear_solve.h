@@ -1,0 +1,54 @@
+// Dense linear solvers: LU with partial pivoting, Cholesky (LLT), LDLT for
+// symmetric indefinite KKT systems, Householder QR least squares.
+//
+// All factorizations are written for the small dense systems that arise in
+// the deconvolution pipeline (KKT systems of a few dozen unknowns). Each
+// solver validates its input and throws `std::invalid_argument` for shape
+// errors and `std::runtime_error` for numerically singular systems.
+#ifndef CELLSYNC_NUMERICS_LINEAR_SOLVE_H
+#define CELLSYNC_NUMERICS_LINEAR_SOLVE_H
+
+#include "numerics/matrix.h"
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Solve A x = b by LU factorization with partial pivoting.
+/// A must be square with A.rows() == b.size(). Throws std::runtime_error if
+/// A is singular to working precision.
+Vector lu_solve(const Matrix& a, const Vector& b);
+
+/// Solve A X = B column-by-column (B as matrix). Same contracts as lu_solve.
+Matrix lu_solve(const Matrix& a, const Matrix& b);
+
+/// Determinant via LU (sign-tracked product of pivots). Square input only.
+double determinant(const Matrix& a);
+
+/// Inverse via LU; prefer the solve forms when possible. Throws on singular.
+Matrix inverse(const Matrix& a);
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns lower-triangular L. Throws std::runtime_error if A is not
+/// positive definite (non-positive pivot encountered).
+Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b for symmetric positive-definite A using Cholesky.
+Vector cholesky_solve(const Matrix& a, const Vector& b);
+
+/// Solve A x = b for symmetric (possibly indefinite) A using Bunch-Kaufman
+/// style LDLT with symmetric diagonal pivoting. Intended for KKT systems.
+/// Throws std::runtime_error on singular input.
+Vector ldlt_solve(const Matrix& a, const Vector& b);
+
+/// Minimum-norm least-squares solution of min ||A x - b||_2 via Householder
+/// QR with column pivoting. Works for any rows >= 1; rank-deficient columns
+/// get zero coefficients. Throws on dimension mismatch.
+Vector qr_least_squares(const Matrix& a, const Vector& b);
+
+/// Estimated 1-norm condition number via explicit inverse (small dense
+/// matrices only). Returns +inf for singular input instead of throwing.
+double condition_number_1(const Matrix& a);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_LINEAR_SOLVE_H

@@ -1,0 +1,117 @@
+// Dense row-major matrix type used by every numerical routine in cellsync.
+//
+// The library deliberately owns its (small, dense) linear algebra rather
+// than depending on an external package: problem sizes in the
+// deconvolution pipeline are tiny (tens of basis functions, tens of
+// measurements), so clarity and exact control over conditioning beats BLAS
+// throughput.
+#ifndef CELLSYNC_NUMERICS_MATRIX_H
+#define CELLSYNC_NUMERICS_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Dense row-major matrix of double.
+///
+/// Invariant: data_.size() == rows_ * cols_ at all times. A 0x0 matrix is
+/// a valid empty state. Element access is bounds-checked in at() and
+/// unchecked (assert-level contract) in operator().
+class Matrix {
+  public:
+    /// Empty 0x0 matrix.
+    Matrix() = default;
+
+    /// rows x cols matrix, all entries `fill` (default 0).
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /// Build from nested initializer list; all rows must have equal length.
+    /// Throws std::invalid_argument on ragged input.
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /// Unchecked element access (row i, column j).
+    double& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+    double operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+    /// Bounds-checked element access; throws std::out_of_range.
+    double& at(std::size_t i, std::size_t j);
+    double at(std::size_t i, std::size_t j) const;
+
+    /// Copy of row i as a vector. Throws std::out_of_range.
+    Vector row(std::size_t i) const;
+
+    /// Copy of column j as a vector. Throws std::out_of_range.
+    Vector col(std::size_t j) const;
+
+    /// Overwrite row i with v (v.size() must equal cols()).
+    void set_row(std::size_t i, const Vector& v);
+
+    /// Overwrite column j with v (v.size() must equal rows()).
+    void set_col(std::size_t j, const Vector& v);
+
+    /// Transposed copy.
+    Matrix transposed() const;
+
+    /// n x n identity.
+    static Matrix identity(std::size_t n);
+
+    /// n x n diagonal matrix from d.
+    static Matrix diagonal(const Vector& d);
+
+    /// Matrix whose rows are the given vectors (all equal length).
+    static Matrix from_rows(const std::vector<Vector>& rows);
+
+    /// Raw storage (row-major), useful for tests and serialization.
+    const std::vector<double>& data() const { return data_; }
+
+    /// True if every entry is finite.
+    bool all_finite() const;
+
+    /// Max absolute entry (0 for empty).
+    double norm_inf() const;
+
+    /// Human-readable rendering for diagnostics; not a serialization format.
+    std::string to_string(int precision = 4) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Matrix sum; throws std::invalid_argument on shape mismatch.
+Matrix operator+(const Matrix& a, const Matrix& b);
+
+/// Matrix difference; throws std::invalid_argument on shape mismatch.
+Matrix operator-(const Matrix& a, const Matrix& b);
+
+/// Scalar multiple.
+Matrix operator*(double alpha, const Matrix& a);
+
+/// Matrix product; throws std::invalid_argument on inner-dimension mismatch.
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product; throws std::invalid_argument on mismatch.
+Vector operator*(const Matrix& a, const Vector& x);
+
+/// a^T * x without forming the transpose.
+Vector transposed_times(const Matrix& a, const Vector& x);
+
+/// a^T * a (Gram matrix), exploiting symmetry of the result.
+Matrix gram(const Matrix& a);
+
+/// a^T * diag(w) * a with non-negative weights w (size = a.rows()).
+Matrix weighted_gram(const Matrix& a, const Vector& w);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_MATRIX_H

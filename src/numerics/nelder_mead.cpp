@@ -1,0 +1,133 @@
+#include "numerics/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cellsync {
+
+namespace {
+
+double guarded(const Objective& f, const Vector& x, std::size_t& evals) {
+    ++evals;
+    const double v = f(x);
+    return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+Nelder_mead_result nelder_mead(const Objective& f, const Vector& x0,
+                               const Nelder_mead_options& options) {
+    if (x0.empty()) throw std::invalid_argument("nelder_mead: empty start point");
+    const std::size_t n = x0.size();
+
+    Nelder_mead_result result;
+    result.x = x0;
+    std::size_t evals = 0;
+    result.value = guarded(f, x0, evals);
+
+    Vector best = x0;
+    double best_value = result.value;
+
+    for (std::size_t restart = 0; restart <= options.restarts; ++restart) {
+        // Initial simplex: best point plus one perturbed vertex per axis.
+        std::vector<Vector> simplex(n + 1, best);
+        Vector values(n + 1);
+        values[0] = best_value;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double step =
+                options.initial_scale * std::max(std::abs(best[i]), 0.1) *
+                (restart % 2 == 0 ? 1.0 : -1.0);
+            simplex[i + 1][i] += step;
+            values[i + 1] = guarded(f, simplex[i + 1], evals);
+        }
+
+        std::vector<std::size_t> order(n + 1);
+        while (evals < options.max_evaluations) {
+            std::iota(order.begin(), order.end(), std::size_t{0});
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+            const std::size_t lo = order.front();
+            const std::size_t hi = order.back();
+            const std::size_t second_hi = order[n - 1];
+
+            // Convergence: value spread and simplex diameter both small.
+            const double spread = values[hi] - values[lo];
+            double diameter = 0.0;
+            for (std::size_t i = 0; i <= n; ++i) {
+                diameter = std::max(diameter, norm_inf(simplex[i] - simplex[lo]));
+            }
+            if (spread < options.f_tolerance && diameter < options.x_tolerance) {
+                result.converged = true;
+                break;
+            }
+
+            // Centroid of all vertices except the worst.
+            Vector centroid(n, 0.0);
+            for (std::size_t i = 0; i <= n; ++i) {
+                if (i == hi) continue;
+                axpy(1.0, simplex[i], centroid);
+            }
+            centroid = scaled(centroid, 1.0 / static_cast<double>(n));
+
+            auto blend = [&](double coeff) {
+                Vector x(n);
+                for (std::size_t j = 0; j < n; ++j) {
+                    x[j] = centroid[j] + coeff * (simplex[hi][j] - centroid[j]);
+                }
+                return x;
+            };
+
+            const Vector reflected = blend(-1.0);
+            const double fr = guarded(f, reflected, evals);
+            if (fr < values[lo]) {
+                const Vector expanded = blend(-2.0);
+                const double fe = guarded(f, expanded, evals);
+                if (fe < fr) {
+                    simplex[hi] = expanded;
+                    values[hi] = fe;
+                } else {
+                    simplex[hi] = reflected;
+                    values[hi] = fr;
+                }
+            } else if (fr < values[second_hi]) {
+                simplex[hi] = reflected;
+                values[hi] = fr;
+            } else {
+                const Vector contracted = blend(fr < values[hi] ? -0.5 : 0.5);
+                const double fc = guarded(f, contracted, evals);
+                if (fc < std::min(fr, values[hi])) {
+                    simplex[hi] = contracted;
+                    values[hi] = fc;
+                } else {
+                    // Shrink towards the best vertex.
+                    for (std::size_t i = 0; i <= n; ++i) {
+                        if (i == lo) continue;
+                        for (std::size_t j = 0; j < n; ++j) {
+                            simplex[i][j] = simplex[lo][j] + 0.5 * (simplex[i][j] - simplex[lo][j]);
+                        }
+                        values[i] = guarded(f, simplex[i], evals);
+                    }
+                }
+            }
+        }
+
+        // Track the best vertex across restarts.
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (values[i] < best_value) {
+                best_value = values[i];
+                best = simplex[i];
+            }
+        }
+        if (evals >= options.max_evaluations) break;
+    }
+
+    result.x = best;
+    result.value = best_value;
+    result.evaluations = evals;
+    return result;
+}
+
+}  // namespace cellsync

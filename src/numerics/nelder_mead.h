@@ -1,0 +1,45 @@
+// Nelder-Mead derivative-free simplex minimization.
+//
+// Used by the parameter-estimation application (paper Sec 5, "ongoing
+// work"): fitting ODE model parameters to population or deconvolved
+// expression data, where the objective involves an ODE solve and has no
+// cheap gradient.
+#ifndef CELLSYNC_NUMERICS_NELDER_MEAD_H
+#define CELLSYNC_NUMERICS_NELDER_MEAD_H
+
+#include <functional>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Objective to minimize.
+using Objective = std::function<double(const Vector&)>;
+
+/// Options for the simplex iteration.
+struct Nelder_mead_options {
+    std::size_t max_evaluations = 20000;
+    double f_tolerance = 1e-10;   ///< spread of simplex values at convergence
+    double x_tolerance = 1e-10;   ///< simplex diameter at convergence
+    double initial_scale = 0.1;   ///< relative size of the initial simplex
+    std::size_t restarts = 1;     ///< re-initialize around the best point
+};
+
+/// Result of a minimization.
+struct Nelder_mead_result {
+    Vector x;              ///< best point found
+    double value = 0.0;    ///< objective at x
+    std::size_t evaluations = 0;
+    bool converged = false;
+};
+
+/// Minimize `f` starting from `x0`. Non-finite objective values are treated
+/// as +inf (rejected moves), so hard constraint violations can be signalled
+/// by returning NaN/inf from the objective. Throws std::invalid_argument on
+/// an empty start point.
+Nelder_mead_result nelder_mead(const Objective& f, const Vector& x0,
+                               const Nelder_mead_options& options = {});
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_NELDER_MEAD_H

@@ -1,0 +1,97 @@
+#include "numerics/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/linear_solve.h"
+
+namespace cellsync {
+
+namespace {
+
+// Least-squares solve restricted to the passive column set.
+Vector restricted_ls(const Matrix& a, const Vector& b, const std::vector<char>& passive) {
+    std::vector<std::size_t> cols;
+    for (std::size_t j = 0; j < passive.size(); ++j) {
+        if (passive[j]) cols.push_back(j);
+    }
+    Matrix ap(a.rows(), cols.size());
+    for (std::size_t k = 0; k < cols.size(); ++k) ap.set_col(k, a.col(cols[k]));
+    const Vector zp = qr_least_squares(ap, b);
+    Vector z(a.cols(), 0.0);
+    for (std::size_t k = 0; k < cols.size(); ++k) z[cols[k]] = zp[k];
+    return z;
+}
+
+}  // namespace
+
+Nnls_result solve_nnls(const Matrix& a, const Vector& b, double tol) {
+    if (a.rows() != b.size()) throw std::invalid_argument("solve_nnls: rhs length mismatch");
+    const std::size_t n = a.cols();
+
+    Nnls_result result;
+    result.x.assign(n, 0.0);
+    std::vector<char> passive(n, 0);
+
+    const std::size_t max_iter = 3 * n + 10;
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+        result.iterations = iter + 1;
+
+        // Gradient of 0.5||Ax-b||^2 is A'(Ax - b); w = -gradient.
+        const Vector r = b - a * result.x;
+        const Vector w = transposed_times(a, r);
+
+        // Select the most promising inactive column.
+        std::size_t best = n;
+        double best_w = tol;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!passive[j] && w[j] > best_w) {
+                best_w = w[j];
+                best = j;
+            }
+        }
+        if (best == n) {
+            result.converged = true;
+            break;
+        }
+        passive[best] = 1;
+
+        // Inner loop: retreat until the passive-set LS solution is positive.
+        for (std::size_t inner = 0; inner < max_iter; ++inner) {
+            const Vector z = restricted_ls(a, b, passive);
+            double alpha = std::numeric_limits<double>::infinity();
+            bool all_positive = true;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (passive[j] && z[j] <= tol) {
+                    all_positive = false;
+                    const double denom = result.x[j] - z[j];
+                    if (denom > 0.0) alpha = std::min(alpha, result.x[j] / denom);
+                }
+            }
+            if (all_positive) {
+                result.x = z;
+                break;
+            }
+            if (!std::isfinite(alpha)) alpha = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (passive[j]) {
+                    result.x[j] += alpha * (z[j] - result.x[j]);
+                    if (result.x[j] <= tol) {
+                        result.x[j] = 0.0;
+                        passive[j] = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    if (!result.converged) {
+        throw std::runtime_error("solve_nnls: iteration budget exhausted");
+    }
+    result.residual_norm = norm2(b - a * result.x);
+    return result;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,30 @@
+// Lawson-Hanson non-negative least squares.
+//
+// NNLS solves min ||A x - b||_2 subject to x >= 0. cellsync uses it as a
+// simpler baseline estimator (positivity only, no smoothness penalty or
+// division-continuity constraints) against which the full QP estimator is
+// compared in the constraint-ablation bench.
+#ifndef CELLSYNC_NUMERICS_NNLS_H
+#define CELLSYNC_NUMERICS_NNLS_H
+
+#include "numerics/matrix.h"
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Result of an NNLS solve.
+struct Nnls_result {
+    Vector x;                    ///< non-negative solution
+    double residual_norm = 0.0;  ///< ||A x - b||_2
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/// Solve min ||A x - b|| s.t. x >= 0 by the Lawson-Hanson active-set
+/// algorithm. Throws std::invalid_argument on dimension mismatch and
+/// std::runtime_error if the iteration budget (3 * cols) is exhausted.
+Nnls_result solve_nnls(const Matrix& a, const Vector& b, double tol = 1e-10);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_NNLS_H

@@ -1,0 +1,150 @@
+#include "numerics/ode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cellsync {
+
+double Ode_solution::interpolate(double t, std::size_t comp) const {
+    if (times.empty()) throw std::out_of_range("Ode_solution: empty solution");
+    if (comp >= states.front().size()) throw std::out_of_range("Ode_solution: bad component");
+    if (t <= times.front()) return states.front()[comp];
+    if (t >= times.back()) return states.back()[comp];
+    const auto it = std::upper_bound(times.begin(), times.end(), t);
+    const std::size_t i = static_cast<std::size_t>(it - times.begin()) - 1;
+    const double u = (t - times[i]) / (times[i + 1] - times[i]);
+    return states[i][comp] * (1.0 - u) + states[i + 1][comp] * u;
+}
+
+Vector Ode_solution::component(std::size_t comp) const {
+    Vector v(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        if (comp >= states[i].size()) throw std::out_of_range("Ode_solution: bad component");
+        v[i] = states[i][comp];
+    }
+    return v;
+}
+
+Ode_solution rk4_solve(const Ode_rhs& rhs, const Vector& y0, double t0, double t1,
+                       std::size_t n_steps) {
+    if (n_steps == 0) throw std::invalid_argument("rk4_solve: n_steps must be positive");
+    if (!(t1 > t0)) throw std::invalid_argument("rk4_solve: need t1 > t0");
+    const double h = (t1 - t0) / static_cast<double>(n_steps);
+
+    Ode_solution sol;
+    sol.times.reserve(n_steps + 1);
+    sol.states.reserve(n_steps + 1);
+    sol.times.push_back(t0);
+    sol.states.push_back(y0);
+
+    Vector y = y0;
+    for (std::size_t s = 0; s < n_steps; ++s) {
+        const double t = t0 + h * static_cast<double>(s);
+        const Vector k1 = rhs(t, y);
+        const Vector k2 = rhs(t + 0.5 * h, y + (0.5 * h) * k1);
+        const Vector k3 = rhs(t + 0.5 * h, y + (0.5 * h) * k2);
+        const Vector k4 = rhs(t + h, y + h * k3);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        sol.times.push_back(t + h);
+        sol.states.push_back(y);
+    }
+    sol.times.back() = t1;
+    return sol;
+}
+
+namespace {
+
+// Dormand-Prince RK5(4) Butcher tableau.
+constexpr double c2 = 1.0 / 5.0, c3 = 3.0 / 10.0, c4 = 4.0 / 5.0, c5 = 8.0 / 9.0;
+constexpr double a21 = 1.0 / 5.0;
+constexpr double a31 = 3.0 / 40.0, a32 = 9.0 / 40.0;
+constexpr double a41 = 44.0 / 45.0, a42 = -56.0 / 15.0, a43 = 32.0 / 9.0;
+constexpr double a51 = 19372.0 / 6561.0, a52 = -25360.0 / 2187.0, a53 = 64448.0 / 6561.0,
+                 a54 = -212.0 / 729.0;
+constexpr double a61 = 9017.0 / 3168.0, a62 = -355.0 / 33.0, a63 = 46732.0 / 5247.0,
+                 a64 = 49.0 / 176.0, a65 = -5103.0 / 18656.0;
+constexpr double b1 = 35.0 / 384.0, b3 = 500.0 / 1113.0, b4 = 125.0 / 192.0,
+                 b5 = -2187.0 / 6784.0, b6 = 11.0 / 84.0;
+// 4th-order embedded weights.
+constexpr double e1 = 5179.0 / 57600.0, e3 = 7571.0 / 16695.0, e4 = 393.0 / 640.0,
+                 e5 = -92097.0 / 339200.0, e6 = 187.0 / 2100.0, e7 = 1.0 / 40.0;
+
+}  // namespace
+
+Ode_solution rk45_solve(const Ode_rhs& rhs, const Vector& y0, double t0, double t1,
+                        const Ode_options& options) {
+    if (!(t1 > t0)) throw std::invalid_argument("rk45_solve: need t1 > t0");
+    const std::size_t n = y0.size();
+    const double max_step = options.max_step > 0.0 ? options.max_step : (t1 - t0);
+
+    Ode_solution sol;
+    sol.times.push_back(t0);
+    sol.states.push_back(y0);
+
+    double t = t0;
+    Vector y = y0;
+    double h = std::min(options.initial_step, max_step);
+    Vector k1 = rhs(t, y);  // FSAL: reused across accepted steps
+
+    for (std::size_t step = 0; step < options.max_steps; ++step) {
+        if (t >= t1) return sol;
+        h = std::min(h, t1 - t);
+        if (h < options.min_step) {
+            throw std::runtime_error("rk45_solve: step size underflow (stiff system?)");
+        }
+
+        const Vector k2 = rhs(t + c2 * h, y + (h * a21) * k1);
+        Vector tmp(n);
+        for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * (a31 * k1[i] + a32 * k2[i]);
+        const Vector k3 = rhs(t + c3 * h, tmp);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = y[i] + h * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
+        const Vector k4 = rhs(t + c4 * h, tmp);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = y[i] + h * (a51 * k1[i] + a52 * k2[i] + a53 * k3[i] + a54 * k4[i]);
+        const Vector k5 = rhs(t + c5 * h, tmp);
+        for (std::size_t i = 0; i < n; ++i)
+            tmp[i] = y[i] + h * (a61 * k1[i] + a62 * k2[i] + a63 * k3[i] + a64 * k4[i] +
+                                 a65 * k5[i]);
+        const Vector k6 = rhs(t + h, tmp);
+
+        Vector y5(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            y5[i] = y[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] + b5 * k5[i] + b6 * k6[i]);
+        }
+        const Vector k7 = rhs(t + h, y5);
+
+        // Scaled error estimate between 5th- and 4th-order solutions.
+        double err = 0.0;
+        bool finite = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double y4i = y[i] + h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] + e5 * k5[i] +
+                                           e6 * k6[i] + e7 * k7[i]);
+            const double sc = options.abs_tol +
+                              options.rel_tol * std::max(std::abs(y[i]), std::abs(y5[i]));
+            const double d = (y5[i] - y4i) / sc;
+            err += d * d;
+            finite = finite && std::isfinite(y5[i]);
+        }
+        err = std::sqrt(err / static_cast<double>(n));
+
+        if (finite && err <= 1.0) {
+            t += h;
+            y = y5;
+            k1 = k7;  // first-same-as-last
+            sol.times.push_back(t);
+            sol.states.push_back(y);
+        }
+        const double safety = 0.9;
+        const double factor = finite && err > 0.0
+                                  ? std::clamp(safety * std::pow(err, -0.2), 0.2, 5.0)
+                                  : (finite ? 5.0 : 0.2);
+        h = std::min(h * factor, max_step);
+    }
+    throw std::runtime_error("rk45_solve: step budget exhausted before reaching t1");
+}
+
+}  // namespace cellsync

@@ -1,0 +1,55 @@
+// Initial-value ODE integrators: classic fixed-step RK4 and adaptive
+// Dormand-Prince RK5(4). These integrate the single-cell gene-regulation
+// models (e.g. the Lotka-Volterra oscillator of paper Eqs 20-21) whose
+// solutions supply the 'true' synchronized expression profiles for the
+// validation experiments.
+#ifndef CELLSYNC_NUMERICS_ODE_H
+#define CELLSYNC_NUMERICS_ODE_H
+
+#include <functional>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Right-hand side y' = f(t, y).
+using Ode_rhs = std::function<Vector(double t, const Vector& y)>;
+
+/// A sampled trajectory: times[i] pairs with states[i].
+struct Ode_solution {
+    Vector times;
+    std::vector<Vector> states;
+
+    /// Linear interpolation of component `comp` at time t (clamped to the
+    /// solution's time span). Throws std::out_of_range for a bad component.
+    double interpolate(double t, std::size_t comp) const;
+
+    /// Extract one component as a series aligned with times.
+    Vector component(std::size_t comp) const;
+};
+
+/// Options for the adaptive integrator.
+struct Ode_options {
+    double rel_tol = 1e-8;
+    double abs_tol = 1e-10;
+    double initial_step = 1e-2;
+    double min_step = 1e-12;
+    double max_step = 0.0;  // 0 means (t1 - t0)
+    std::size_t max_steps = 2'000'000;
+};
+
+/// Fixed-step classic Runge-Kutta 4. Records every step (n_steps + 1
+/// samples, endpoints included). Throws std::invalid_argument for a
+/// non-positive step count or t1 <= t0.
+Ode_solution rk4_solve(const Ode_rhs& rhs, const Vector& y0, double t0, double t1,
+                       std::size_t n_steps);
+
+/// Adaptive Dormand-Prince RK5(4) with PI step-size control. Records every
+/// accepted step. Throws std::runtime_error if the step size underflows or
+/// the step budget is exhausted (stiff or non-finite dynamics).
+Ode_solution rk45_solve(const Ode_rhs& rhs, const Vector& y0, double t0, double t1,
+                        const Ode_options& options = {});
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_ODE_H

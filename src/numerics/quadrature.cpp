@@ -1,0 +1,104 @@
+#include "numerics/quadrature.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cellsync {
+
+double trapezoid(const Vector& y, double h) {
+    if (y.size() < 2) throw std::invalid_argument("trapezoid: need at least 2 samples");
+    if (h <= 0.0) throw std::invalid_argument("trapezoid: step must be positive");
+    double s = 0.5 * (y.front() + y.back());
+    for (std::size_t i = 1; i + 1 < y.size(); ++i) s += y[i];
+    return s * h;
+}
+
+double simpson(const Vector& y, double h) {
+    if (y.size() < 3 || y.size() % 2 == 0) {
+        throw std::invalid_argument("simpson: need an odd sample count >= 3");
+    }
+    if (h <= 0.0) throw std::invalid_argument("simpson: step must be positive");
+    double s = y.front() + y.back();
+    for (std::size_t i = 1; i + 1 < y.size(); ++i) s += (i % 2 == 1 ? 4.0 : 2.0) * y[i];
+    return s * h / 3.0;
+}
+
+double trapezoid_nonuniform(const Vector& x, const Vector& y) {
+    if (x.size() != y.size()) throw std::invalid_argument("trapezoid_nonuniform: size mismatch");
+    if (x.size() < 2) throw std::invalid_argument("trapezoid_nonuniform: need at least 2 samples");
+    double s = 0.0;
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+        const double dx = x[i + 1] - x[i];
+        if (dx < 0.0) throw std::invalid_argument("trapezoid_nonuniform: grid must be ascending");
+        s += 0.5 * dx * (y[i] + y[i + 1]);
+    }
+    return s;
+}
+
+Quadrature_rule gauss_legendre(std::size_t n, double lo, double hi) {
+    if (n == 0) throw std::invalid_argument("gauss_legendre: n must be positive");
+    if (!(lo < hi)) throw std::invalid_argument("gauss_legendre: need lo < hi");
+
+    Quadrature_rule rule;
+    rule.nodes.resize(n);
+    rule.weights.resize(n);
+
+    // Roots of P_n on [-1,1] by Newton iteration from Chebyshev-like guesses,
+    // exploiting symmetry: compute the first half, mirror the rest.
+    const std::size_t half = (n + 1) / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+        double x = std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                            (static_cast<double>(n) + 0.5));
+        double dp = 0.0;
+        for (int iter = 0; iter < 100; ++iter) {
+            // Evaluate P_n(x) and P_n'(x) by the three-term recurrence.
+            double p0 = 1.0, p1 = x;
+            for (std::size_t k = 2; k <= n; ++k) {
+                const double kk = static_cast<double>(k);
+                const double p2 = ((2.0 * kk - 1.0) * x * p1 - (kk - 1.0) * p0) / kk;
+                p0 = p1;
+                p1 = p2;
+            }
+            const double pn = (n == 1) ? p1 : p1;
+            dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+            const double dx = pn / dp;
+            x -= dx;
+            if (std::abs(dx) < 1e-15) break;
+        }
+        const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+        rule.nodes[i] = -x;  // ascending order
+        rule.weights[i] = w;
+        rule.nodes[n - 1 - i] = x;
+        rule.weights[n - 1 - i] = w;
+    }
+
+    // Affine map [-1,1] -> [lo, hi].
+    const double c = 0.5 * (hi + lo);
+    const double hwidth = 0.5 * (hi - lo);
+    for (std::size_t i = 0; i < n; ++i) {
+        rule.nodes[i] = c + hwidth * rule.nodes[i];
+        rule.weights[i] *= hwidth;
+    }
+    return rule;
+}
+
+double integrate_gauss(const std::function<double(double)>& f, double lo, double hi,
+                       std::size_t n) {
+    const Quadrature_rule r = gauss_legendre(n, lo, hi);
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += r.weights[i] * f(r.nodes[i]);
+    return s;
+}
+
+double integrate_simpson(const std::function<double(double)>& f, double lo, double hi,
+                         std::size_t panels) {
+    if (panels == 0) throw std::invalid_argument("integrate_simpson: panels must be positive");
+    const std::size_t samples = 2 * panels + 1;
+    const double h = (hi - lo) / static_cast<double>(samples - 1);
+    Vector y(samples);
+    for (std::size_t i = 0; i < samples; ++i) y[i] = f(lo + h * static_cast<double>(i));
+    return simpson(y, h);
+}
+
+}  // namespace cellsync

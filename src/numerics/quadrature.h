@@ -1,0 +1,47 @@
+// Numerical integration: composite trapezoid / Simpson rules on uniform
+// grids, Gauss-Legendre nodes and weights, and convenience integrators for
+// callables. Used for the integral transforms (paper Eq 3) and constraint
+// rows (paper Eqs 17-19).
+#ifndef CELLSYNC_NUMERICS_QUADRATURE_H
+#define CELLSYNC_NUMERICS_QUADRATURE_H
+
+#include <functional>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Nodes and weights of a quadrature rule on some interval.
+struct Quadrature_rule {
+    Vector nodes;
+    Vector weights;
+};
+
+/// Composite trapezoid rule over samples y on the uniform grid
+/// [a, a+h, ..., b]; y.size() >= 2. Throws std::invalid_argument otherwise.
+double trapezoid(const Vector& y, double h);
+
+/// Composite Simpson rule over uniformly spaced samples. Requires an odd
+/// number of samples >= 3 (even panel count); throws otherwise.
+double simpson(const Vector& y, double h);
+
+/// Trapezoid rule on a possibly non-uniform grid x (ascending) with samples y.
+double trapezoid_nonuniform(const Vector& x, const Vector& y);
+
+/// n-point Gauss-Legendre rule on [lo, hi], exact for polynomials of degree
+/// 2n-1. Nodes are computed by Newton iteration on Legendre polynomials.
+/// Throws std::invalid_argument if n == 0 or lo >= hi.
+Quadrature_rule gauss_legendre(std::size_t n, double lo, double hi);
+
+/// Integrate f over [lo, hi] with an n-point Gauss-Legendre rule.
+double integrate_gauss(const std::function<double(double)>& f, double lo, double hi,
+                       std::size_t n = 32);
+
+/// Integrate f over [lo, hi] with a composite Simpson rule on `panels`
+/// uniform panels (panels >= 1).
+double integrate_simpson(const std::function<double(double)>& f, double lo, double hi,
+                         std::size_t panels = 256);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_QUADRATURE_H

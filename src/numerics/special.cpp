@@ -1,0 +1,79 @@
+#include "numerics/special.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cellsync {
+
+double gaussian_pdf(double x) {
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double gaussian_pdf(double x, double mu, double sigma) {
+    if (sigma <= 0.0) throw std::invalid_argument("gaussian_pdf: sigma must be positive");
+    const double z = (x - mu) / sigma;
+    return gaussian_pdf(z) / sigma;
+}
+
+double gaussian_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double gaussian_cdf(double x, double mu, double sigma) {
+    if (sigma <= 0.0) throw std::invalid_argument("gaussian_cdf: sigma must be positive");
+    return gaussian_cdf((x - mu) / sigma);
+}
+
+double gaussian_quantile(double p) {
+    if (!(p > 0.0 && p < 1.0)) {
+        throw std::invalid_argument("gaussian_quantile: p must lie in (0,1)");
+    }
+    // Acklam's approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    double x;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - plow) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    // One Newton refinement on CDF(x) = p.
+    const double e = gaussian_cdf(x) - p;
+    const double u = e / gaussian_pdf(x);
+    x -= u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+double truncated_normal_mean(double mu, double sigma, double lo, double hi) {
+    if (sigma <= 0.0) throw std::invalid_argument("truncated_normal_mean: sigma must be positive");
+    if (!(lo < hi)) throw std::invalid_argument("truncated_normal_mean: need lo < hi");
+    const double a = (lo - mu) / sigma;
+    const double b = (hi - mu) / sigma;
+    const double z = gaussian_cdf(b) - gaussian_cdf(a);
+    if (z <= 0.0) {
+        // Truncation window carries essentially no mass; fall back to the
+        // nearest boundary, which is the limit of the formula.
+        return (mu < lo) ? lo : hi;
+    }
+    return mu + sigma * (gaussian_pdf(a) - gaussian_pdf(b)) / z;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,33 @@
+// Special functions used by the cell-cycle model: Gaussian pdf/cdf and
+// truncated-normal moments. The SW->ST transition phase distribution
+// p(phi) = N(phi; mu_sst, sigma_sst^2) (paper Sec 2.1) flows through all
+// constraint integrals, so these are kept exact and branch-free.
+#ifndef CELLSYNC_NUMERICS_SPECIAL_H
+#define CELLSYNC_NUMERICS_SPECIAL_H
+
+namespace cellsync {
+
+/// Standard normal probability density.
+double gaussian_pdf(double x);
+
+/// Normal density with mean mu, standard deviation sigma > 0.
+/// Throws std::invalid_argument if sigma <= 0.
+double gaussian_pdf(double x, double mu, double sigma);
+
+/// Standard normal cumulative distribution (via std::erfc, full precision).
+double gaussian_cdf(double x);
+
+/// Normal CDF with mean mu, standard deviation sigma > 0.
+double gaussian_cdf(double x, double mu, double sigma);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Newton step; |error| < 1e-13 over (0,1)). Throws for p outside (0,1).
+double gaussian_quantile(double p);
+
+/// Mean of a Normal(mu, sigma) truncated to [lo, hi].
+/// Throws std::invalid_argument if lo >= hi or sigma <= 0.
+double truncated_normal_mean(double mu, double sigma, double lo, double hi);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_SPECIAL_H

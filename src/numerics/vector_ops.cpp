@@ -1,0 +1,91 @@
+#include "numerics/vector_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cellsync {
+
+namespace {
+
+void require_same_size(const Vector& a, const Vector& b, const char* what) {
+    if (a.size() != b.size()) {
+        throw std::invalid_argument(std::string(what) + ": size mismatch (" +
+                                    std::to_string(a.size()) + " vs " +
+                                    std::to_string(b.size()) + ")");
+    }
+}
+
+}  // namespace
+
+double dot(const Vector& a, const Vector& b) {
+    require_same_size(a, b, "dot");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+    double m = 0.0;
+    for (double v : a) m = std::max(m, std::abs(v));
+    return m;
+}
+
+double sum(const Vector& a) {
+    double s = 0.0;
+    for (double v : a) s += v;
+    return s;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+    require_same_size(x, y, "axpy");
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector scaled(const Vector& a, double alpha) {
+    Vector r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) r[i] = alpha * a[i];
+    return r;
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+    require_same_size(a, b, "operator+");
+    Vector r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+    return r;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+    require_same_size(a, b, "operator-");
+    Vector r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+    return r;
+}
+
+Vector operator*(double alpha, const Vector& a) { return scaled(a, alpha); }
+
+Vector hadamard(const Vector& a, const Vector& b) {
+    require_same_size(a, b, "hadamard");
+    Vector r(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] * b[i];
+    return r;
+}
+
+Vector linspace(double lo, double hi, std::size_t n) {
+    if (n < 2) throw std::invalid_argument("linspace: need at least 2 points");
+    Vector r(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) r[i] = lo + step * static_cast<double>(i);
+    r.back() = hi;  // avoid accumulated rounding at the endpoint
+    return r;
+}
+
+bool all_finite(const Vector& a) {
+    for (double v : a) {
+        if (!std::isfinite(v)) return false;
+    }
+    return true;
+}
+
+}  // namespace cellsync

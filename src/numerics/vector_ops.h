@@ -1,0 +1,59 @@
+// Vector type and elementary dense-vector operations.
+//
+// cellsync uses `std::vector<double>` as its vector type throughout; this
+// header provides the named operations (dot products, norms, axpy-style
+// updates) and arithmetic operators used by the linear-algebra and
+// optimization layers. All functions validate dimensions and throw
+// `std::invalid_argument` on mismatch.
+#ifndef CELLSYNC_NUMERICS_VECTOR_OPS_H
+#define CELLSYNC_NUMERICS_VECTOR_OPS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cellsync {
+
+/// Dense column vector. Index i is element i; sizes are validated by every
+/// operation in this header.
+using Vector = std::vector<double>;
+
+/// Euclidean inner product <a, b>. Throws if sizes differ.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm ||a||_2.
+double norm2(const Vector& a);
+
+/// Maximum absolute entry ||a||_inf. Returns 0 for an empty vector.
+double norm_inf(const Vector& a);
+
+/// Sum of all entries.
+double sum(const Vector& a);
+
+/// y := y + alpha * x. Throws if sizes differ.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Returns alpha * a.
+Vector scaled(const Vector& a, double alpha);
+
+/// Element-wise sum a + b.
+Vector operator+(const Vector& a, const Vector& b);
+
+/// Element-wise difference a - b.
+Vector operator-(const Vector& a, const Vector& b);
+
+/// Scalar product alpha * a.
+Vector operator*(double alpha, const Vector& a);
+
+/// Element-wise (Hadamard) product.
+Vector hadamard(const Vector& a, const Vector& b);
+
+/// Linearly spaced grid of `n >= 2` points from lo to hi inclusive.
+/// Throws if n < 2.
+Vector linspace(double lo, double hi, std::size_t n);
+
+/// True if every entry is finite (no NaN / inf).
+bool all_finite(const Vector& a);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_VECTOR_OPS_H

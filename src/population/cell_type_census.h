@@ -1,0 +1,45 @@
+// Time series of morphological cell-type fractions (paper Sec 4.2,
+// Figure 4).
+//
+// The census classifies every live cell at each sample time into
+// SW / STE / STEPD / STLPD and reports population fractions. Running it at
+// the paper's low/mid/high thresholds produces the shaded bands of
+// Figure 4.
+#ifndef CELLSYNC_POPULATION_CELL_TYPE_CENSUS_H
+#define CELLSYNC_POPULATION_CELL_TYPE_CENSUS_H
+
+#include <cstdint>
+
+#include "biology/cell_types.h"
+#include "numerics/matrix.h"
+#include "population/population_simulator.h"
+
+namespace cellsync {
+
+/// Fractions of each cell type over time; fractions(m, k) is the fraction
+/// of cells of type k (Cell_type underlying value) at times[m]. Rows sum
+/// to 1.
+struct Census_series {
+    Vector times;
+    Matrix fractions;  // times x cell_type_count
+
+    /// Column of one type's fraction series.
+    Vector type_series(Cell_type type) const;
+};
+
+/// Census simulation parameters.
+struct Census_options {
+    std::size_t n_cells = 100000;
+    std::uint64_t seed = 20030714;
+};
+
+/// Simulate a population and record type fractions at each requested time
+/// (minutes, strictly ascending, >= 0). Throws std::invalid_argument on a
+/// bad time grid or zero cells.
+Census_series simulate_census(const Cell_cycle_config& config,
+                              const Cell_type_thresholds& thresholds, const Vector& times,
+                              const Census_options& options = {});
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_POPULATION_CELL_TYPE_CENSUS_H

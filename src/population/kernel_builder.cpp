@@ -1,0 +1,106 @@
+#include "population/kernel_builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "population/phase_distribution.h"
+
+namespace cellsync {
+
+Kernel_grid::Kernel_grid(Vector times, Vector phi_centers, Matrix q)
+    : times_(std::move(times)), phi_centers_(std::move(phi_centers)), q_(std::move(q)) {
+    if (times_.empty() || phi_centers_.empty()) {
+        throw std::invalid_argument("Kernel_grid: empty time or phase grid");
+    }
+    if (q_.rows() != times_.size() || q_.cols() != phi_centers_.size()) {
+        throw std::invalid_argument("Kernel_grid: Q shape mismatch");
+    }
+    for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+        if (!(times_[i] < times_[i + 1])) {
+            throw std::invalid_argument("Kernel_grid: times must be strictly ascending");
+        }
+    }
+    for (std::size_t i = 0; i + 1 < phi_centers_.size(); ++i) {
+        if (!(phi_centers_[i] < phi_centers_[i + 1])) {
+            throw std::invalid_argument("Kernel_grid: phase centers must be strictly ascending");
+        }
+    }
+    bin_width_ = 1.0 / static_cast<double>(phi_centers_.size());
+    for (std::size_t m = 0; m < q_.rows(); ++m) {
+        double mass = 0.0;
+        for (std::size_t b = 0; b < q_.cols(); ++b) {
+            if (q_(m, b) < -1e-12) {
+                throw std::invalid_argument("Kernel_grid: negative density entry");
+            }
+            mass += q_(m, b) * bin_width_;
+        }
+        if (std::abs(mass - 1.0) > 1e-6) {
+            throw std::invalid_argument("Kernel_grid: row " + std::to_string(m) +
+                                        " does not integrate to 1");
+        }
+    }
+}
+
+Vector Kernel_grid::apply(const std::function<double(double)>& f) const {
+    Vector fv(phi_centers_.size());
+    for (std::size_t b = 0; b < phi_centers_.size(); ++b) fv[b] = f(phi_centers_[b]);
+    return apply_sampled(fv);
+}
+
+Vector Kernel_grid::apply_sampled(const Vector& f_values) const {
+    if (f_values.size() != phi_centers_.size()) {
+        throw std::invalid_argument("Kernel_grid::apply_sampled: profile length mismatch");
+    }
+    Vector g(times_.size(), 0.0);
+    for (std::size_t m = 0; m < times_.size(); ++m) {
+        double s = 0.0;
+        for (std::size_t b = 0; b < phi_centers_.size(); ++b) s += q_(m, b) * f_values[b];
+        g[m] = s * bin_width_;
+    }
+    return g;
+}
+
+Matrix Kernel_grid::basis_matrix(const Basis& basis) const {
+    // K(m, i) = sum_b Q(phi_b, t_m) psi_i(phi_b) dphi  (midpoint rule on the
+    // kernel's own bins — the kernel is piecewise constant by construction,
+    // so this is the natural exact pairing).
+    const Matrix design = basis.design_matrix(phi_centers_);  // bins x Nc
+    Matrix k(times_.size(), basis.size());
+    for (std::size_t m = 0; m < times_.size(); ++m) {
+        for (std::size_t i = 0; i < basis.size(); ++i) {
+            double s = 0.0;
+            for (std::size_t b = 0; b < phi_centers_.size(); ++b) {
+                s += q_(m, b) * design(b, i);
+            }
+            k(m, i) = s * bin_width_;
+        }
+    }
+    return k;
+}
+
+Kernel_grid build_kernel(const Cell_cycle_config& config, const Volume_model& volume_model,
+                         const Vector& times, const Kernel_build_options& options) {
+    if (times.empty()) throw std::invalid_argument("build_kernel: empty time grid");
+    if (times.front() < 0.0) throw std::invalid_argument("build_kernel: negative time");
+    for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+        if (!(times[i] < times[i + 1])) {
+            throw std::invalid_argument("build_kernel: times must be strictly ascending");
+        }
+    }
+    if (options.n_cells == 0 || options.n_bins == 0) {
+        throw std::invalid_argument("build_kernel: n_cells and n_bins must be positive");
+    }
+
+    Population_simulator sim(config, options.n_cells, options.seed);
+    Matrix q(times.size(), options.n_bins);
+    Vector centers;
+    for (std::size_t m = 0; m < times.size(); ++m) {
+        sim.advance_to(times[m]);
+        const Phase_density d = phase_volume_density(sim.snapshot(volume_model), options.n_bins);
+        q.set_row(m, d.density);
+        if (m == 0) centers = d.bin_centers;
+    }
+    return Kernel_grid(times, centers, std::move(q));
+}
+
+}  // namespace cellsync

@@ -1,0 +1,73 @@
+// Builder for the integral-transform kernel Q(phi, t) of paper Eq 3.
+//
+// Q(phi, t) is the fractional volume density: the fraction of total
+// population volume at experiment time t residing near phase phi. The
+// paper evaluates it by simulation; this builder runs the agent-based
+// population simulator, collects volume-weighted phase histograms at the
+// requested times, and packages them as a discretized kernel usable both
+// forwards (generating population data from a known single-cell profile)
+// and backwards (assembling the deconvolution's kernel matrix).
+#ifndef CELLSYNC_POPULATION_KERNEL_BUILDER_H
+#define CELLSYNC_POPULATION_KERNEL_BUILDER_H
+
+#include <cstdint>
+#include <functional>
+
+#include "numerics/matrix.h"
+#include "population/population_simulator.h"
+#include "spline/basis.h"
+
+namespace cellsync {
+
+/// Discretized kernel: row m holds Q(phi, times[m]) sampled at the phase
+/// bin centers; every row integrates to 1 over phi.
+class Kernel_grid {
+  public:
+    /// Direct construction from precomputed slices (used by tests and by
+    /// deserialization); validates shapes and row normalization.
+    Kernel_grid(Vector times, Vector phi_centers, Matrix q);
+
+    const Vector& times() const { return times_; }
+    const Vector& phi_centers() const { return phi_centers_; }
+    const Matrix& q() const { return q_; }
+    double bin_width() const { return bin_width_; }
+    std::size_t time_count() const { return times_.size(); }
+    std::size_t bin_count() const { return phi_centers_.size(); }
+
+    /// Forward transform of an arbitrary profile:
+    /// G(t_m) = integral Q(phi, t_m) f(phi) dphi, by midpoint quadrature on
+    /// the phase bins.
+    Vector apply(const std::function<double(double)>& f) const;
+
+    /// Forward transform of a sampled profile (values at phi_centers).
+    Vector apply_sampled(const Vector& f_values) const;
+
+    /// Kernel matrix K with K(m, i) = integral Q(phi, t_m) psi_i(phi) dphi
+    /// for the given basis (the linear map from basis coefficients to
+    /// model-predicted measurements Ghat, paper Eq 5).
+    Matrix basis_matrix(const Basis& basis) const;
+
+  private:
+    Vector times_;
+    Vector phi_centers_;
+    Matrix q_;  // time_count x bin_count
+    double bin_width_ = 0.0;
+};
+
+/// Monte-Carlo kernel construction parameters.
+struct Kernel_build_options {
+    std::size_t n_cells = 100000;  ///< initial population size
+    std::size_t n_bins = 200;      ///< phase resolution of the kernel
+    std::uint64_t seed = 20110605; ///< simulator seed
+};
+
+/// Build Q(phi, t) at the given measurement times (minutes, ascending,
+/// starting at >= 0) by simulating the configured population.
+/// Throws std::invalid_argument for empty/descending times or zero
+/// cells/bins.
+Kernel_grid build_kernel(const Cell_cycle_config& config, const Volume_model& volume_model,
+                         const Vector& times, const Kernel_build_options& options = {});
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_POPULATION_KERNEL_BUILDER_H

@@ -1,0 +1,61 @@
+#include "population/phase_distribution.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+
+double Phase_density::mass() const {
+    return sum(density) * bin_width;
+}
+
+double Phase_density::mean_phase() const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < bin_centers.size(); ++i) {
+        m += bin_centers[i] * density[i] * bin_width;
+    }
+    return m;
+}
+
+namespace {
+
+Phase_density weighted_density(const std::vector<Snapshot_entry>& snapshot, std::size_t bins,
+                               bool volume_weighted) {
+    if (bins == 0) throw std::invalid_argument("phase density: bins must be positive");
+    if (snapshot.empty()) throw std::invalid_argument("phase density: empty snapshot");
+
+    Phase_density d;
+    d.bin_width = 1.0 / static_cast<double>(bins);
+    d.bin_centers.resize(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+        d.bin_centers[b] = (static_cast<double>(b) + 0.5) * d.bin_width;
+    }
+    d.density.assign(bins, 0.0);
+
+    double total = 0.0;
+    for (const Snapshot_entry& e : snapshot) {
+        const double w = volume_weighted ? e.relative_volume : 1.0;
+        const double phi = std::clamp(e.phi, 0.0, 1.0);
+        auto b = static_cast<std::size_t>(phi * static_cast<double>(bins));
+        if (b >= bins) b = bins - 1;  // phi exactly 1 lands in the last bin
+        d.density[b] += w;
+        total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("phase density: non-positive total weight");
+    for (double& v : d.density) v /= total * d.bin_width;
+    return d;
+}
+
+}  // namespace
+
+Phase_density phase_number_density(const std::vector<Snapshot_entry>& snapshot,
+                                   std::size_t bins) {
+    return weighted_density(snapshot, bins, false);
+}
+
+Phase_density phase_volume_density(const std::vector<Snapshot_entry>& snapshot,
+                                   std::size_t bins) {
+    return weighted_density(snapshot, bins, true);
+}
+
+}  // namespace cellsync

@@ -1,0 +1,44 @@
+// Phase-distribution estimators over population snapshots.
+//
+// Histograms of cell phase, either number-weighted (the classic phase
+// distribution) or volume-weighted (the Q(phi, t) kernel slice of paper
+// Eq 3), normalized to integrate to one over phi in [0, 1].
+#ifndef CELLSYNC_POPULATION_PHASE_DISTRIBUTION_H
+#define CELLSYNC_POPULATION_PHASE_DISTRIBUTION_H
+
+#include <vector>
+
+#include "numerics/vector_ops.h"
+#include "population/population_simulator.h"
+
+namespace cellsync {
+
+/// A density sampled at bin centers on [0, 1]; sum(density) * bin_width = 1
+/// for non-empty snapshots.
+struct Phase_density {
+    Vector bin_centers;
+    Vector density;
+    double bin_width = 0.0;
+
+    /// Integral of the density over [0,1] (== 1 up to rounding).
+    double mass() const;
+
+    /// Mean phase under this density.
+    double mean_phase() const;
+};
+
+/// Number-weighted phase density. Throws std::invalid_argument for zero
+/// bins or an empty snapshot.
+Phase_density phase_number_density(const std::vector<Snapshot_entry>& snapshot,
+                                   std::size_t bins);
+
+/// Volume-weighted phase density: each cell contributes its relative
+/// volume. This is the Monte-Carlo estimate of Q(phi, t) at the snapshot's
+/// time. Throws std::invalid_argument for zero bins, an empty snapshot, or
+/// non-positive total volume.
+Phase_density phase_volume_density(const std::vector<Snapshot_entry>& snapshot,
+                                   std::size_t bins);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_POPULATION_PHASE_DISTRIBUTION_H

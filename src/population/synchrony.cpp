@@ -1,0 +1,34 @@
+#include "population/synchrony.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "population/phase_distribution.h"
+
+namespace cellsync {
+
+double phase_order_parameter(const std::vector<Snapshot_entry>& snapshot) {
+    if (snapshot.empty()) throw std::invalid_argument("phase_order_parameter: empty snapshot");
+    double re = 0.0, im = 0.0;
+    for (const Snapshot_entry& e : snapshot) {
+        const double a = 2.0 * std::numbers::pi * e.phi;
+        re += std::cos(a);
+        im += std::sin(a);
+    }
+    const double n = static_cast<double>(snapshot.size());
+    return std::sqrt(re * re + im * im) / n;
+}
+
+double phase_entropy(const std::vector<Snapshot_entry>& snapshot, std::size_t bins) {
+    if (bins < 2) throw std::invalid_argument("phase_entropy: need at least 2 bins");
+    const Phase_density d = phase_number_density(snapshot, bins);
+    double h = 0.0;
+    for (double rho : d.density) {
+        const double p = rho * d.bin_width;  // bin probability
+        if (p > 0.0) h -= p * std::log(p);
+    }
+    return h / std::log(static_cast<double>(bins));
+}
+
+}  // namespace cellsync

@@ -1,0 +1,27 @@
+// Synchrony metrics for a population snapshot.
+//
+// Quantifies how far a population has drifted from synchrony — the decay
+// these metrics show over experiment time is exactly the asynchronous
+// variability the deconvolution removes in silico.
+#ifndef CELLSYNC_POPULATION_SYNCHRONY_H
+#define CELLSYNC_POPULATION_SYNCHRONY_H
+
+#include <vector>
+
+#include "population/population_simulator.h"
+
+namespace cellsync {
+
+/// Kuramoto-style circular order parameter r = |mean(exp(2 pi i phi))|.
+/// r = 1 for a perfectly synchronized population, -> 0 for phases spread
+/// uniformly. Throws std::invalid_argument on an empty snapshot.
+double phase_order_parameter(const std::vector<Snapshot_entry>& snapshot);
+
+/// Normalized Shannon entropy of the phase histogram (`bins` bins):
+/// 0 when all mass is in one bin, 1 for the uniform distribution.
+/// Throws std::invalid_argument on an empty snapshot or zero bins.
+double phase_entropy(const std::vector<Snapshot_entry>& snapshot, std::size_t bins = 50);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_POPULATION_SYNCHRONY_H

@@ -1,0 +1,61 @@
+// Abstract function basis on [0, 1].
+//
+// The single-cell expression is expanded as f_alpha(phi) =
+// sum_i alpha_i psi_i(phi) (paper Eq 4). The deconvolution core is written
+// against this interface so the natural-spline basis of the paper and the
+// B-spline ablation alternative are interchangeable.
+#ifndef CELLSYNC_SPLINE_BASIS_H
+#define CELLSYNC_SPLINE_BASIS_H
+
+#include <memory>
+
+#include "numerics/matrix.h"
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// A finite family of C2 basis functions {psi_i} on the phase interval
+/// [0, 1].
+class Basis {
+  public:
+    virtual ~Basis() = default;
+
+    /// Number of basis functions Nc.
+    virtual std::size_t size() const = 0;
+
+    /// psi_i(x). i must be < size(); x is clamped to [0,1] by callers.
+    virtual double value(std::size_t i, double x) const = 0;
+
+    /// psi_i'(x).
+    virtual double derivative(std::size_t i, double x) const = 0;
+
+    /// psi_i''(x).
+    virtual double second_derivative(std::size_t i, double x) const = 0;
+
+    /// Second-derivative penalty Gram matrix
+    /// Omega_ij = integral_0^1 psi_i''(x) psi_j''(x) dx (paper Eq 5's
+    /// regularizer in coefficient space). The default implementation uses
+    /// high-order quadrature; subclasses with piecewise-polynomial second
+    /// derivatives override it with exact formulas.
+    virtual Matrix penalty_matrix() const;
+
+    /// Design matrix B with B(p, i) = psi_i(points[p]).
+    Matrix design_matrix(const Vector& points) const;
+
+    /// Derivative design matrix B' with B'(p, i) = psi_i'(points[p]).
+    Matrix derivative_matrix(const Vector& points) const;
+
+    /// Evaluate the expansion sum_i alpha_i psi_i at x.
+    /// Throws std::invalid_argument if alpha.size() != size().
+    double expand(const Vector& alpha, double x) const;
+
+    /// Evaluate the expansion derivative at x.
+    double expand_derivative(const Vector& alpha, double x) const;
+
+    /// Sample the expansion on a grid of points.
+    Vector expand_on(const Vector& alpha, const Vector& points) const;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_SPLINE_BASIS_H

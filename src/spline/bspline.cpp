@@ -1,0 +1,76 @@
+#include "spline/bspline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+
+namespace {
+constexpr std::size_t degree = 3;
+}
+
+Bspline_basis::Bspline_basis(std::size_t count) : count_(count) {
+    if (count < 4) throw std::invalid_argument("Bspline_basis: need at least 4 basis functions");
+    // Clamped knot vector: degree+1 copies of 0, uniform interior knots,
+    // degree+1 copies of 1. Total length count + degree + 1.
+    const std::size_t interior = count - degree - 1;
+    knots_.assign(degree + 1, 0.0);
+    for (std::size_t k = 1; k <= interior; ++k) {
+        knots_.push_back(static_cast<double>(k) / static_cast<double>(interior + 1));
+    }
+    knots_.insert(knots_.end(), degree + 1, 1.0);
+}
+
+double Bspline_basis::basis_value(std::size_t i, std::size_t deg, double x) const {
+    if (deg == 0) {
+        // Half-open spans, except the final span which is closed so that the
+        // basis partitions unity at x == 1.
+        const bool last = (knots_[i + 1] >= 1.0 && x >= 1.0);
+        return (x >= knots_[i] && (x < knots_[i + 1] || last)) ? 1.0 : 0.0;
+    }
+    double left = 0.0, right = 0.0;
+    const double dl = knots_[i + deg] - knots_[i];
+    if (dl > 0.0) left = (x - knots_[i]) / dl * basis_value(i, deg - 1, x);
+    const double dr = knots_[i + deg + 1] - knots_[i + 1];
+    if (dr > 0.0) right = (knots_[i + deg + 1] - x) / dr * basis_value(i + 1, deg - 1, x);
+    return left + right;
+}
+
+double Bspline_basis::value(std::size_t i, double x) const {
+    if (i >= count_) throw std::out_of_range("Bspline_basis::value: bad index");
+    return basis_value(i, degree, std::clamp(x, 0.0, 1.0));
+}
+
+double Bspline_basis::derivative(std::size_t i, double x) const {
+    if (i >= count_) throw std::out_of_range("Bspline_basis::derivative: bad index");
+    x = std::clamp(x, 0.0, 1.0);
+    // N'_{i,p} = p/(t_{i+p}-t_i) N_{i,p-1} - p/(t_{i+p+1}-t_{i+1}) N_{i+1,p-1}
+    double s = 0.0;
+    const double dl = knots_[i + degree] - knots_[i];
+    if (dl > 0.0) s += static_cast<double>(degree) / dl * basis_value(i, degree - 1, x);
+    const double dr = knots_[i + degree + 1] - knots_[i + 1];
+    if (dr > 0.0) s -= static_cast<double>(degree) / dr * basis_value(i + 1, degree - 1, x);
+    return s;
+}
+
+double Bspline_basis::second_derivative(std::size_t i, double x) const {
+    if (i >= count_) throw std::out_of_range("Bspline_basis::second_derivative: bad index");
+    x = std::clamp(x, 0.0, 1.0);
+    // Apply the derivative formula twice (degree-2 pieces).
+    auto d1 = [&](std::size_t j) {
+        double s = 0.0;
+        const double dl = knots_[j + degree - 1] - knots_[j];
+        if (dl > 0.0) s += static_cast<double>(degree - 1) / dl * basis_value(j, degree - 2, x);
+        const double dr = knots_[j + degree] - knots_[j + 1];
+        if (dr > 0.0) s -= static_cast<double>(degree - 1) / dr * basis_value(j + 1, degree - 2, x);
+        return s;
+    };
+    double s = 0.0;
+    const double dl = knots_[i + degree] - knots_[i];
+    if (dl > 0.0) s += static_cast<double>(degree) / dl * d1(i);
+    const double dr = knots_[i + degree + 1] - knots_[i + 1];
+    if (dr > 0.0) s -= static_cast<double>(degree) / dr * d1(i + 1);
+    return s;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,50 @@
+// Natural cubic spline interpolation.
+//
+// The deconvolution estimator models the synchronized single-cell
+// expression f(phi) as a natural cubic spline (paper Eq 4). This class is
+// the scalar interpolant; the basis expansion lives in spline_basis.h.
+#ifndef CELLSYNC_SPLINE_CUBIC_SPLINE_H
+#define CELLSYNC_SPLINE_CUBIC_SPLINE_H
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Natural cubic spline through (x_i, y_i): C2 piecewise cubic with zero
+/// second derivative at both boundary knots. Outside the knot span the
+/// spline continues linearly (consistent with the natural boundary
+/// condition).
+class Cubic_spline {
+  public:
+    /// Throws std::invalid_argument if sizes differ, fewer than 2 knots, or
+    /// x is not strictly ascending. Two knots degenerate gracefully to a
+    /// straight line.
+    Cubic_spline(Vector x, Vector y);
+
+    /// Spline value at q.
+    double operator()(double q) const;
+
+    /// First derivative at q.
+    double derivative(double q) const;
+
+    /// Second derivative at q (zero outside the knot span).
+    double second_derivative(double q) const;
+
+    const Vector& knots() const { return x_; }
+    const Vector& values() const { return y_; }
+
+    /// Second derivatives at the knots (the tridiagonal solve's output);
+    /// first and last are exactly zero by the natural boundary condition.
+    const Vector& knot_second_derivatives() const { return m_; }
+
+  private:
+    std::size_t segment(double q) const;
+
+    Vector x_;
+    Vector y_;
+    Vector m_;  // second derivatives at knots
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_SPLINE_CUBIC_SPLINE_H

@@ -1,0 +1,48 @@
+// Cardinal natural cubic spline basis on [0, 1] — the basis of paper Eq 4.
+//
+// psi_i is the natural cubic spline interpolating the i-th unit vector on
+// the knot grid, so the coefficient alpha_i equals the expansion's value at
+// knot i. That makes positivity constraints and results directly readable
+// in expression units.
+#ifndef CELLSYNC_SPLINE_SPLINE_BASIS_H
+#define CELLSYNC_SPLINE_SPLINE_BASIS_H
+
+#include <vector>
+
+#include "spline/basis.h"
+#include "spline/cubic_spline.h"
+
+namespace cellsync {
+
+/// Cardinal natural-spline basis with Nc knots.
+class Natural_spline_basis final : public Basis {
+  public:
+    /// Uniform knot grid of `count >= 4` knots on [0, 1].
+    /// Throws std::invalid_argument for smaller counts.
+    explicit Natural_spline_basis(std::size_t count);
+
+    /// Arbitrary strictly ascending knots spanning [0, 1] (first knot 0,
+    /// last knot 1). Throws std::invalid_argument otherwise.
+    explicit Natural_spline_basis(Vector knots);
+
+    std::size_t size() const override { return knots_.size(); }
+    double value(std::size_t i, double x) const override;
+    double derivative(std::size_t i, double x) const override;
+    double second_derivative(std::size_t i, double x) const override;
+
+    /// Exact penalty matrix: natural-spline second derivatives are
+    /// piecewise linear, so each product integrates in closed form.
+    Matrix penalty_matrix() const override;
+
+    const Vector& knots() const { return knots_; }
+
+  private:
+    void build();
+
+    Vector knots_;
+    std::vector<Cubic_spline> cardinal_;  // one spline per basis function
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_SPLINE_SPLINE_BASIS_H

@@ -1,0 +1,128 @@
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "biology/gene_profiles.h"
+#include "core/forward_model.h"
+#include "spline/spline_basis.h"
+
+namespace cellsync {
+namespace {
+
+class BatchTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        Kernel_build_options options;
+        options.n_cells = 20000;
+        options.n_bins = 120;
+        options.seed = 99;
+        kernel_ = new Kernel_grid(build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                               linspace(0.0, 180.0, 13), options));
+        deconvolver_ = new Deconvolver(std::make_shared<Natural_spline_basis>(12), *kernel_,
+                                       Cell_cycle_config{});
+    }
+    static void TearDownTestSuite() {
+        delete deconvolver_;
+        delete kernel_;
+        deconvolver_ = nullptr;
+        kernel_ = nullptr;
+    }
+    static Kernel_grid* kernel_;
+    static Deconvolver* deconvolver_;
+};
+
+Kernel_grid* BatchTest::kernel_ = nullptr;
+Deconvolver* BatchTest::deconvolver_ = nullptr;
+
+std::vector<Measurement_series> gene_panel(const Kernel_grid& kernel) {
+    // Genes peaking at different cycle points, like the paper's regulator
+    // panel.
+    std::vector<Gene_profile> profiles = {
+        pulse_profile(0.5, 5.0, 0.25, 0.15),
+        pulse_profile(0.5, 5.0, 0.55, 0.15),
+        pulse_profile(0.5, 5.0, 0.80, 0.15),
+    };
+    profiles[0].name = "early-gene";
+    profiles[1].name = "mid-gene";
+    profiles[2].name = "late-gene";
+    std::vector<Measurement_series> panel;
+    Rng rng(7);
+    for (const Gene_profile& p : profiles) {
+        panel.push_back(forward_measurements_noisy(
+            kernel, p.f, {Noise_type::relative_gaussian, 0.05}, rng, p.name));
+    }
+    return panel;
+}
+
+TEST_F(BatchTest, AllGenesEstimated) {
+    Batch_options options;
+    options.lambda_grid = default_lambda_grid(9, 1e-6, 1e0);
+    options.cv_folds = 4;
+    const std::vector<Batch_entry> batch =
+        deconvolve_batch(*deconvolver_, gene_panel(*kernel_), options);
+    ASSERT_EQ(batch.size(), 3u);
+    for (const Batch_entry& entry : batch) {
+        EXPECT_TRUE(entry.estimate.has_value()) << entry.label << ": " << entry.error;
+        EXPECT_TRUE(entry.error.empty());
+        EXPECT_GT(entry.lambda, 0.0);
+    }
+}
+
+TEST_F(BatchTest, PeakOrderingRecoversTranscriptionalProgram) {
+    Batch_options options;
+    options.lambda_grid = default_lambda_grid(9, 1e-6, 1e0);
+    options.cv_folds = 4;
+    const std::vector<Batch_entry> batch =
+        deconvolve_batch(*deconvolver_, gene_panel(*kernel_), options);
+    const std::vector<Peak_summary> peaks = peak_ordering(batch);
+    ASSERT_EQ(peaks.size(), 3u);
+    EXPECT_EQ(peaks[0].label, "early-gene");
+    EXPECT_EQ(peaks[1].label, "mid-gene");
+    EXPECT_EQ(peaks[2].label, "late-gene");
+    EXPECT_NEAR(peaks[0].peak_phi, 0.25, 0.10);
+    EXPECT_NEAR(peaks[1].peak_phi, 0.55, 0.10);
+    EXPECT_NEAR(peaks[2].peak_phi, 0.80, 0.10);
+}
+
+TEST_F(BatchTest, FailedGeneReportedNotThrown) {
+    std::vector<Measurement_series> panel = gene_panel(*kernel_);
+    // Corrupt one gene: wrong time grid.
+    panel[1].times[3] += 1.0;
+    Batch_options options;
+    options.select_lambda = false;
+    options.deconvolution.lambda = 1e-3;
+    const std::vector<Batch_entry> batch = deconvolve_batch(*deconvolver_, panel, options);
+    EXPECT_TRUE(batch[0].estimate.has_value());
+    EXPECT_FALSE(batch[1].estimate.has_value());
+    EXPECT_FALSE(batch[1].error.empty());
+    EXPECT_TRUE(batch[2].estimate.has_value());
+    // peak_ordering silently skips the failure.
+    EXPECT_EQ(peak_ordering(batch).size(), 2u);
+}
+
+TEST_F(BatchTest, FixedLambdaPath) {
+    Batch_options options;
+    options.select_lambda = false;
+    options.deconvolution.lambda = 2.5e-4;
+    const std::vector<Batch_entry> batch =
+        deconvolve_batch(*deconvolver_, gene_panel(*kernel_), options);
+    for (const Batch_entry& entry : batch) {
+        EXPECT_DOUBLE_EQ(entry.lambda, 2.5e-4);
+    }
+}
+
+TEST_F(BatchTest, EmptyPanelRejected) {
+    EXPECT_THROW(deconvolve_batch(*deconvolver_, {}, Batch_options{}),
+                 std::invalid_argument);
+}
+
+TEST(PeakOrdering, GridValidation) {
+    EXPECT_THROW(peak_ordering({}, 2), std::invalid_argument);
+    EXPECT_TRUE(peak_ordering({}, 11).empty());
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,118 @@
+#include "spline/bspline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+namespace {
+
+TEST(BsplineBasis, PartitionOfUnity) {
+    const Bspline_basis basis(9);
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < basis.size(); ++i) s += basis.value(i, x);
+        EXPECT_NEAR(s, 1.0, 1e-12) << "x=" << x;
+    }
+}
+
+TEST(BsplineBasis, NonNegativeEverywhere) {
+    const Bspline_basis basis(7);
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+        for (std::size_t i = 0; i < basis.size(); ++i) {
+            EXPECT_GE(basis.value(i, x), -1e-15);
+        }
+    }
+}
+
+TEST(BsplineBasis, LocalSupport) {
+    const Bspline_basis basis(10);
+    // The first basis function must vanish on the right half of the domain.
+    EXPECT_DOUBLE_EQ(basis.value(0, 0.8), 0.0);
+    EXPECT_DOUBLE_EQ(basis.value(9, 0.1), 0.0);
+    // But be positive near its own support.
+    EXPECT_GT(basis.value(0, 0.0), 0.0);
+    EXPECT_GT(basis.value(9, 1.0), 0.0);
+}
+
+TEST(BsplineBasis, ClampedEndValues) {
+    // Clamped cubic B-splines: first function equals 1 at x=0, last at x=1.
+    const Bspline_basis basis(8);
+    EXPECT_NEAR(basis.value(0, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(basis.value(7, 1.0), 1.0, 1e-12);
+}
+
+TEST(BsplineBasis, DerivativesSumToZero) {
+    // d/dx of a partition of unity is zero.
+    const Bspline_basis basis(9);
+    for (double x : {0.1, 0.37, 0.62, 0.9}) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < basis.size(); ++i) s += basis.derivative(i, x);
+        EXPECT_NEAR(s, 0.0, 1e-10);
+    }
+}
+
+TEST(BsplineBasis, DerivativeMatchesFiniteDifference) {
+    const Bspline_basis basis(8);
+    const double h = 1e-7;
+    for (std::size_t i : {0u, 3u, 7u}) {
+        for (double x : {0.2, 0.5, 0.8}) {
+            const double fd = (basis.value(i, x + h) - basis.value(i, x - h)) / (2.0 * h);
+            EXPECT_NEAR(basis.derivative(i, x), fd, 1e-5) << "i=" << i << " x=" << x;
+        }
+    }
+}
+
+TEST(BsplineBasis, SecondDerivativeMatchesFiniteDifference) {
+    const Bspline_basis basis(8);
+    const double h = 1e-5;
+    for (std::size_t i : {1u, 4u, 6u}) {
+        for (double x : {0.25, 0.55, 0.85}) {
+            const double fd =
+                (basis.value(i, x + h) - 2.0 * basis.value(i, x) + basis.value(i, x - h)) /
+                (h * h);
+            EXPECT_NEAR(basis.second_derivative(i, x), fd, 1e-3) << "i=" << i << " x=" << x;
+        }
+    }
+}
+
+TEST(BsplineBasis, PenaltyMatrixSymmetricPsd) {
+    const Bspline_basis basis(8);
+    const Matrix omega = basis.penalty_matrix();
+    for (std::size_t i = 0; i < omega.rows(); ++i) {
+        for (std::size_t j = 0; j < omega.cols(); ++j) {
+            EXPECT_NEAR(omega(i, j), omega(j, i), 1e-9);
+        }
+    }
+    // Constant function has zero roughness.
+    const Vector ones(basis.size(), 1.0);
+    EXPECT_NEAR(dot(ones, omega * ones), 0.0, 1e-8);
+}
+
+TEST(BsplineBasis, MinimumCountEnforced) {
+    EXPECT_THROW(Bspline_basis(3), std::invalid_argument);
+    EXPECT_NO_THROW(Bspline_basis(4));
+}
+
+TEST(BsplineBasis, IndexOutOfRangeThrows) {
+    const Bspline_basis basis(5);
+    EXPECT_THROW(basis.value(5, 0.5), std::out_of_range);
+    EXPECT_THROW(basis.derivative(6, 0.5), std::out_of_range);
+    EXPECT_THROW(basis.second_derivative(7, 0.5), std::out_of_range);
+}
+
+TEST(BsplineBasis, KnotVectorClampedStructure) {
+    const Bspline_basis basis(6);
+    const Vector& t = basis.knot_vector();
+    EXPECT_EQ(t.size(), 10u);  // count + degree + 1
+    EXPECT_DOUBLE_EQ(t[0], 0.0);
+    EXPECT_DOUBLE_EQ(t[3], 0.0);
+    EXPECT_DOUBLE_EQ(t[6], 1.0);
+    EXPECT_DOUBLE_EQ(t[9], 1.0);
+}
+
+}  // namespace
+}  // namespace cellsync

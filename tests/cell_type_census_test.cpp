@@ -1,0 +1,109 @@
+#include "population/cell_type_census.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+Census_options fast_census() {
+    Census_options o;
+    o.n_cells = 20000;
+    o.seed = 14;
+    return o;
+}
+
+TEST(CellTypeCensus, FractionsSumToOneAtEveryTime) {
+    const Census_series s = simulate_census(Cell_cycle_config{}, thresholds_mid(),
+                                            linspace(0.0, 150.0, 11), fast_census());
+    for (std::size_t m = 0; m < s.times.size(); ++m) {
+        double total = 0.0;
+        for (std::size_t k = 0; k < cell_type_count; ++k) total += s.fractions(m, k);
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(CellTypeCensus, StartsAllSwarmer) {
+    const Census_series s =
+        simulate_census(Cell_cycle_config{}, thresholds_mid(), {0.0}, fast_census());
+    EXPECT_NEAR(s.fractions(0, 0), 1.0, 1e-12);  // SW fraction
+}
+
+TEST(CellTypeCensus, SwarmersConvertToStalkedOverFirstCycle) {
+    // By mid-cycle (75 min, phase ~0.5) the initial swarmers are stalked.
+    const Census_series s = simulate_census(Cell_cycle_config{}, thresholds_mid(),
+                                            {0.0, 75.0}, fast_census());
+    EXPECT_LT(s.type_series(Cell_type::swarmer)[1], 0.1);
+    EXPECT_GT(s.type_series(Cell_type::stalked_early)[1], 0.5);
+}
+
+TEST(CellTypeCensus, PredivisionalTypesAppearLate) {
+    const Census_series s = simulate_census(Cell_cycle_config{}, thresholds_mid(),
+                                            {75.0, 120.0, 135.0}, fast_census());
+    const Vector stepd = s.type_series(Cell_type::early_predivisional);
+    const Vector stlpd = s.type_series(Cell_type::late_predivisional);
+    // At 75 min (phase ~0.5): essentially no late predivisional cells.
+    EXPECT_LT(stlpd[0], 0.02);
+    // By 135 min (phase ~0.9): late predivisional cells present.
+    EXPECT_GT(stlpd[2], 0.1);
+    EXPECT_GT(stepd[1], stepd[0]);
+}
+
+TEST(CellTypeCensus, NewSwarmersReappearAfterDivision) {
+    // At mid-cycle (75 min) the synchronized isolate has no swarmers left;
+    // by the division wave (150 min) SW daughters have repopulated the
+    // class.
+    const Census_series s = simulate_census(Cell_cycle_config{}, thresholds_mid(),
+                                            {75.0, 150.0}, fast_census());
+    EXPECT_LT(s.type_series(Cell_type::swarmer)[0], 0.05);
+    EXPECT_GT(s.type_series(Cell_type::swarmer)[1], 0.05);
+}
+
+TEST(CellTypeCensus, ThresholdRangeBracketsMidline) {
+    // Same seed -> same population, so threshold monotonicity is exact:
+    // widening the STE window ([phi_sst, ste_to_stepd)) grows STE, and
+    // raising stepd_to_stlpd shrinks STLPD ([stepd_to_stlpd, 1]).
+    const Vector times{110.0};
+    const Census_series lo = simulate_census(Cell_cycle_config{}, thresholds_low(),
+                                             times, fast_census());
+    const Census_series mid = simulate_census(Cell_cycle_config{}, thresholds_mid(),
+                                              times, fast_census());
+    const Census_series hi = simulate_census(Cell_cycle_config{}, thresholds_high(),
+                                             times, fast_census());
+    const auto ste = static_cast<std::size_t>(Cell_type::stalked_early);
+    EXPECT_LE(lo.fractions(0, ste), mid.fractions(0, ste));
+    EXPECT_LE(mid.fractions(0, ste), hi.fractions(0, ste));
+    const auto stlpd = static_cast<std::size_t>(Cell_type::late_predivisional);
+    EXPECT_GE(lo.fractions(0, stlpd), mid.fractions(0, stlpd));
+    EXPECT_GE(mid.fractions(0, stlpd), hi.fractions(0, stlpd));
+}
+
+TEST(CellTypeCensus, ValidationErrors) {
+    EXPECT_THROW(simulate_census(Cell_cycle_config{}, thresholds_mid(), {}, fast_census()),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        simulate_census(Cell_cycle_config{}, thresholds_mid(), {-5.0}, fast_census()),
+        std::invalid_argument);
+    EXPECT_THROW(
+        simulate_census(Cell_cycle_config{}, thresholds_mid(), {10.0, 5.0}, fast_census()),
+        std::invalid_argument);
+    Census_options bad = fast_census();
+    bad.n_cells = 0;
+    EXPECT_THROW(simulate_census(Cell_cycle_config{}, thresholds_mid(), {0.0}, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(simulate_census(Cell_cycle_config{}, Cell_type_thresholds{0.9, 0.5}, {0.0},
+                                 fast_census()),
+                 std::invalid_argument);
+}
+
+TEST(CellTypeCensus, TypeSeriesExtractsColumns) {
+    const Census_series s = simulate_census(Cell_cycle_config{}, thresholds_mid(),
+                                            {0.0, 75.0}, fast_census());
+    const Vector sw = s.type_series(Cell_type::swarmer);
+    ASSERT_EQ(sw.size(), 2u);
+    EXPECT_DOUBLE_EQ(sw[0], s.fractions(0, 0));
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,84 @@
+#include "biology/cell_types.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(CellTypes, LabelsAreStable) {
+    EXPECT_EQ(to_string(Cell_type::swarmer), "SW");
+    EXPECT_EQ(to_string(Cell_type::stalked_early), "STE");
+    EXPECT_EQ(to_string(Cell_type::early_predivisional), "STEPD");
+    EXPECT_EQ(to_string(Cell_type::late_predivisional), "STLPD");
+}
+
+TEST(CellTypes, PaperThresholdPresets) {
+    EXPECT_DOUBLE_EQ(thresholds_low().ste_to_stepd, 0.60);
+    EXPECT_DOUBLE_EQ(thresholds_low().stepd_to_stlpd, 0.85);
+    EXPECT_DOUBLE_EQ(thresholds_mid().ste_to_stepd, 0.65);
+    EXPECT_DOUBLE_EQ(thresholds_mid().stepd_to_stlpd, 0.875);
+    EXPECT_DOUBLE_EQ(thresholds_high().ste_to_stepd, 0.70);
+    EXPECT_DOUBLE_EQ(thresholds_high().stepd_to_stlpd, 0.90);
+}
+
+TEST(CellTypes, ThresholdValidation) {
+    EXPECT_NO_THROW(thresholds_mid().validate());
+    EXPECT_THROW((Cell_type_thresholds{0.9, 0.6}.validate()), std::invalid_argument);
+    EXPECT_THROW((Cell_type_thresholds{0.0, 0.5}.validate()), std::invalid_argument);
+    EXPECT_THROW((Cell_type_thresholds{0.5, 1.0}.validate()), std::invalid_argument);
+}
+
+TEST(CellTypes, ClassificationBoundaries) {
+    const Cell_type_thresholds t = thresholds_mid();
+    const double phi_sst = 0.15;
+    EXPECT_EQ(classify_cell(0.00, phi_sst, t), Cell_type::swarmer);
+    EXPECT_EQ(classify_cell(0.149, phi_sst, t), Cell_type::swarmer);
+    EXPECT_EQ(classify_cell(0.15, phi_sst, t), Cell_type::stalked_early);
+    EXPECT_EQ(classify_cell(0.649, phi_sst, t), Cell_type::stalked_early);
+    EXPECT_EQ(classify_cell(0.65, phi_sst, t), Cell_type::early_predivisional);
+    EXPECT_EQ(classify_cell(0.874, phi_sst, t), Cell_type::early_predivisional);
+    EXPECT_EQ(classify_cell(0.875, phi_sst, t), Cell_type::late_predivisional);
+    EXPECT_EQ(classify_cell(1.0, phi_sst, t), Cell_type::late_predivisional);
+}
+
+TEST(CellTypes, PerCellTransitionPhaseRespected) {
+    // A cell with a late personal transition is still a swarmer at phi=0.3.
+    EXPECT_EQ(classify_cell(0.3, 0.35, thresholds_mid()), Cell_type::swarmer);
+    EXPECT_EQ(classify_cell(0.3, 0.25, thresholds_mid()), Cell_type::stalked_early);
+}
+
+TEST(CellTypes, PhiClampedToUnitInterval) {
+    EXPECT_EQ(classify_cell(-0.2, 0.15, thresholds_mid()), Cell_type::swarmer);
+    EXPECT_EQ(classify_cell(1.7, 0.15, thresholds_mid()), Cell_type::late_predivisional);
+}
+
+TEST(CellTypes, InvalidArgumentsThrow) {
+    EXPECT_THROW(classify_cell(0.5, 0.0, thresholds_mid()), std::invalid_argument);
+    EXPECT_THROW(classify_cell(0.5, 1.0, thresholds_mid()), std::invalid_argument);
+    EXPECT_THROW(classify_cell(0.5, 0.15, Cell_type_thresholds{0.9, 0.5}),
+                 std::invalid_argument);
+}
+
+// Property sweep: classification is monotone in phi — later phases never
+// map to earlier types.
+class ClassificationMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClassificationMonotone, TypeIndexNonDecreasingInPhi) {
+    const double phi_sst = GetParam();
+    const Cell_type_thresholds t = thresholds_mid();
+    int prev = -1;
+    for (double phi = 0.0; phi <= 1.0; phi += 0.001) {
+        const int type = static_cast<int>(classify_cell(phi, phi_sst, t));
+        EXPECT_GE(type, prev) << "phi=" << phi;
+        prev = type;
+    }
+    EXPECT_EQ(prev, 3);  // ends in STLPD
+}
+
+INSTANTIATE_TEST_SUITE_P(PhiSstSweep, ClassificationMonotone,
+                         ::testing::Values(0.10, 0.15, 0.20, 0.30));
+
+}  // namespace
+}  // namespace cellsync

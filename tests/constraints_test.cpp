@@ -1,0 +1,162 @@
+#include "core/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "biology/volume_model.h"
+#include "numerics/special.h"
+#include "spline/spline_basis.h"
+
+namespace cellsync {
+namespace {
+
+TEST(Beta0, MatchesPointEvaluationForNarrowDistribution) {
+    // With a very tight transition distribution, beta0 -> beta(mu_sst).
+    Cell_cycle_config config;
+    config.cv_sst = 0.001;
+    EXPECT_NEAR(beta0(config), growth_rate_beta(config.mu_sst), 1e-6);
+}
+
+TEST(Beta0, DefaultConfigValueIsReasonable) {
+    // beta(0.15) = 0.4/0.85 ~ 0.4706; averaging over the Gaussian inflates
+    // it only slightly (convexity of 1/(1-phi)).
+    const double b0 = beta0(Cell_cycle_config{});
+    EXPECT_GT(b0, 0.470);
+    EXPECT_LT(b0, 0.475);
+}
+
+TEST(ConservationRow, ConstantProfileSatisfiesConstraint) {
+    // f == c: f(1) - 0.4 f(0) - 0.6 <f(phi_sst)> = c (1 - 0.4 - 0.6) = 0.
+    const Natural_spline_basis basis(10);
+    const Vector row = conservation_row(basis, Cell_cycle_config{});
+    const Vector ones(basis.size(), 1.0);
+    EXPECT_NEAR(dot(row, ones), 0.0, 1e-9);
+}
+
+TEST(ConservationRow, ViolatingProfileDetected) {
+    // f(phi) = phi: f(1)=1, f(0)=0, <f(phi_sst)> ~ 0.15
+    // -> 1 - 0 - 0.6*0.15 = 0.91 != 0.
+    const Natural_spline_basis basis(10);
+    const Vector row = conservation_row(basis, Cell_cycle_config{});
+    const Vector alpha = basis.knots();  // expansion == identity
+    EXPECT_NEAR(dot(row, alpha), 1.0 - 0.6 * 0.15, 1e-3);
+}
+
+TEST(RateContinuityRow, LinearProfileResidualMatchesAnalyticForm) {
+    // For f = phi: LHS integral(w1 f) = beta0*1 - 0 - <beta(phi) phi>;
+    // RHS integral(w2 f') = 0.4 + 0.6 - 1 = 0. Check against direct
+    // numerical evaluation through the row.
+    Cell_cycle_config config;
+    config.cv_sst = 0.001;  // tight: averages collapse to point values
+    const Natural_spline_basis basis(12);
+    const Vector row = rate_continuity_row(basis, config);
+    const Vector alpha = basis.knots();
+    const double expected =
+        growth_rate_beta(config.mu_sst) * (1.0 - 0.0 - config.mu_sst) - 0.0;
+    EXPECT_NEAR(dot(row, alpha), expected, 1e-3);
+}
+
+TEST(RateContinuityRow, ConstantProfileViolatesUnlessBalanced) {
+    // f == c: LHS = beta0 c - beta0 c - c beta0 = -c beta0; RHS = 0.
+    // So the row applied to a constant is -beta0 * c.
+    const Natural_spline_basis basis(10);
+    const Cell_cycle_config config;
+    const Vector row = rate_continuity_row(basis, config);
+    const Vector ones(basis.size(), 1.0);
+    EXPECT_NEAR(dot(row, ones), -beta0(config), 1e-6);
+}
+
+TEST(BuildConstraints, AllBlocksPresentByDefault) {
+    const Natural_spline_basis basis(8);
+    const Constraint_set set = build_constraints(basis, Cell_cycle_config{});
+    EXPECT_EQ(set.equality.rows(), 2u);  // conservation + rate continuity
+    EXPECT_EQ(set.equality.cols(), 8u);
+    EXPECT_EQ(set.inequality.rows(), 101u);  // default positivity grid
+    EXPECT_EQ(set.equality_rhs.size(), 2u);
+    EXPECT_EQ(set.inequality_rhs.size(), 101u);
+    for (double v : set.equality_rhs) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BuildConstraints, OptionsDisableBlocks) {
+    const Natural_spline_basis basis(8);
+    Constraint_options options;
+    options.positivity = false;
+    options.rate_continuity = false;
+    const Constraint_set set = build_constraints(basis, Cell_cycle_config{}, options);
+    EXPECT_EQ(set.equality.rows(), 1u);
+    EXPECT_EQ(set.inequality.rows(), 0u);
+
+    options = {};
+    options.conservation = false;
+    options.rate_continuity = false;
+    options.positivity = false;
+    const Constraint_set none = build_constraints(basis, Cell_cycle_config{}, options);
+    EXPECT_EQ(none.equality.rows(), 0u);
+    EXPECT_EQ(none.inequality.rows(), 0u);
+}
+
+TEST(BuildConstraints, PositivityGridConfigurable) {
+    const Natural_spline_basis basis(8);
+    Constraint_options options;
+    options.positivity_points = 21;
+    const Constraint_set set = build_constraints(basis, Cell_cycle_config{}, options);
+    EXPECT_EQ(set.inequality.rows(), 21u);
+    options.positivity_points = 1;
+    EXPECT_THROW(build_constraints(basis, Cell_cycle_config{}, options),
+                 std::invalid_argument);
+}
+
+TEST(BuildConstraints, PositivityRowsAreBasisValues) {
+    const Natural_spline_basis basis(6);
+    Constraint_options options;
+    options.positivity_points = 11;
+    const Constraint_set set = build_constraints(basis, Cell_cycle_config{}, options);
+    const Vector grid = linspace(0.0, 1.0, 11);
+    for (std::size_t p = 0; p < 11; ++p) {
+        for (std::size_t i = 0; i < basis.size(); ++i) {
+            EXPECT_NEAR(set.inequality(p, i), basis.value(i, grid[p]), 1e-12);
+        }
+    }
+}
+
+TEST(BuildConstraints, InvalidConfigRejected) {
+    const Natural_spline_basis basis(6);
+    Cell_cycle_config bad;
+    bad.mu_sst = -1.0;
+    EXPECT_THROW(build_constraints(basis, bad), std::invalid_argument);
+}
+
+// Property sweep: both equality rows annihilate profiles that genuinely
+// satisfy the division balance — constructed here as f with
+// f(1) = 0.4 f(0) + 0.6 f(mu_sst) for a tight transition distribution.
+class ConservationProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConservationProperty, BalancedProfilesAreFeasible) {
+    Cell_cycle_config config;
+    config.mu_sst = GetParam();
+    config.cv_sst = 0.0005;
+    const Natural_spline_basis basis(16);
+    // Build alpha for f = A + B*cos(2 pi phi): f(0)=f(1)=A+B, so the
+    // balance needs A+B = 0.4(A+B) + 0.6 f(mu). Choose B from A = 1.
+    // f(mu) = A + B cos(2 pi mu) -> A+B = 0.4A + 0.4B + 0.6A + 0.6B cmu
+    // -> B (0.6 - 0.6 cmu) = 0 ... degenerate; instead use numeric check:
+    // verify the row value equals the analytic residual for a generic f.
+    const Vector row = conservation_row(basis, config);
+    Vector alpha(basis.size());
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const double k = basis.knots()[i];
+        alpha[i] = 2.0 + std::sin(5.0 * k);
+    }
+    const auto f = [&](double phi) { return basis.expand(alpha, phi); };
+    const double analytic = f(1.0) - 0.4 * f(0.0) - 0.6 * f(config.mu_sst);
+    EXPECT_NEAR(dot(row, alpha), analytic, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(MuSweep, ConservationProperty,
+                         ::testing::Values(0.10, 0.15, 0.25, 0.35));
+
+}  // namespace
+}  // namespace cellsync

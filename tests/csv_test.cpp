@@ -1,0 +1,95 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(Csv, ParsesSimpleTable) {
+    const Table t = read_csv_string("time,value\n0,1.5\n15,2.5\n30,3.5\n");
+    EXPECT_EQ(t.column_count(), 2u);
+    EXPECT_EQ(t.row_count(), 3u);
+    EXPECT_DOUBLE_EQ(t.column("time")[1], 15.0);
+    EXPECT_DOUBLE_EQ(t.column("value")[2], 3.5);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+    const Table t = read_csv_string(
+        "# provenance comment\n\ntime,value\n# interior comment\n0,1\n\n1,2\n");
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Csv, TrimsWhitespaceAroundFields) {
+    const Table t = read_csv_string("a , b\n 1.0 ,\t2.0 \n");
+    EXPECT_DOUBLE_EQ(t.column("a")[0], 1.0);
+    EXPECT_DOUBLE_EQ(t.column("b")[0], 2.0);
+}
+
+TEST(Csv, ScientificNotationAndNegatives) {
+    const Table t = read_csv_string("x\n-1.5e-3\n2E4\n");
+    EXPECT_DOUBLE_EQ(t.column("x")[0], -1.5e-3);
+    EXPECT_DOUBLE_EQ(t.column("x")[1], 2e4);
+}
+
+TEST(Csv, RaggedRowReportsLineNumber) {
+    try {
+        read_csv_string("a,b\n1,2\n3\n");
+        FAIL() << "expected ragged-row error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Csv, NonNumericFieldReportsFieldText) {
+    try {
+        read_csv_string("a\nhello\n");
+        FAIL() << "expected non-numeric error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("hello"), std::string::npos);
+    }
+}
+
+TEST(Csv, EmptyInputRejected) {
+    EXPECT_THROW(read_csv_string(""), std::runtime_error);
+    EXPECT_THROW(read_csv_string("# only a comment\n"), std::runtime_error);
+}
+
+TEST(Csv, EmptyHeaderFieldRejected) {
+    EXPECT_THROW(read_csv_string("a,,c\n1,2,3\n"), std::runtime_error);
+}
+
+TEST(Csv, MissingFileThrows) {
+    EXPECT_THROW(read_csv_file("/nonexistent/path/data.csv"), std::runtime_error);
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+    Table t;
+    t.add_column("time", {0.0, 15.0, 30.0});
+    t.add_column("value", {1.23456789012345, -2.5, 3.75e-8});
+    std::ostringstream out;
+    write_csv(out, t);
+    const Table back = read_csv_string(out.str());
+    EXPECT_EQ(back.column_count(), 2u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        EXPECT_DOUBLE_EQ(back.column("time")[r], t.column("time")[r]);
+        EXPECT_DOUBLE_EQ(back.column("value")[r], t.column("value")[r]);
+    }
+}
+
+TEST(Csv, FileRoundTrip) {
+    Table t;
+    t.add_column("x", {1.0, 2.0});
+    const std::string path = ::testing::TempDir() + "/cellsync_csv_test.csv";
+    write_csv_file(path, t);
+    const Table back = read_csv_file(path);
+    EXPECT_DOUBLE_EQ(back.column("x")[1], 2.0);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cellsync

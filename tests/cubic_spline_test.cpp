@@ -1,0 +1,104 @@
+#include "spline/cubic_spline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+namespace {
+
+TEST(CubicSpline, InterpolatesKnots) {
+    const Cubic_spline s({0.0, 0.3, 0.7, 1.0}, {1.0, -2.0, 4.0, 0.5});
+    EXPECT_NEAR(s(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(s(0.3), -2.0, 1e-12);
+    EXPECT_NEAR(s(0.7), 4.0, 1e-12);
+    EXPECT_NEAR(s(1.0), 0.5, 1e-12);
+}
+
+TEST(CubicSpline, TwoKnotsDegenerateToLine) {
+    const Cubic_spline s({0.0, 2.0}, {1.0, 5.0});
+    EXPECT_DOUBLE_EQ(s(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.derivative(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(s.second_derivative(1.0), 0.0);
+}
+
+TEST(CubicSpline, NaturalBoundaryConditions) {
+    const Cubic_spline s({0.0, 0.25, 0.5, 0.75, 1.0}, {0.0, 1.0, 0.0, -1.0, 0.0});
+    EXPECT_NEAR(s.second_derivative(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(s.second_derivative(1.0), 0.0, 1e-12);
+}
+
+TEST(CubicSpline, ReproducesStraightLineExactly) {
+    // A line is a natural spline: zero second derivatives everywhere.
+    Vector x = linspace(0.0, 1.0, 7);
+    Vector y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = 3.0 * x[i] - 1.0;
+    const Cubic_spline s(x, y);
+    for (double q : {0.05, 0.33, 0.61, 0.99}) {
+        EXPECT_NEAR(s(q), 3.0 * q - 1.0, 1e-12);
+        EXPECT_NEAR(s.derivative(q), 3.0, 1e-12);
+        EXPECT_NEAR(s.second_derivative(q), 0.0, 1e-12);
+    }
+}
+
+TEST(CubicSpline, ApproximatesSmoothFunction) {
+    Vector x = linspace(0.0, 1.0, 21);
+    Vector y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::sin(6.0 * x[i]);
+    const Cubic_spline s(x, y);
+    // Natural boundary conditions cost O(h^2) accuracy near the ends (the
+    // target has nonzero curvature there); the interior is O(h^4).
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+        const double tol = (q < 0.15 || q > 0.85) ? 2e-2 : 1e-3;
+        EXPECT_NEAR(s(q), std::sin(6.0 * q), tol) << "q=" << q;
+    }
+}
+
+TEST(CubicSpline, DerivativeMatchesFiniteDifference) {
+    const Cubic_spline s({0.0, 0.4, 0.8, 1.0}, {0.0, 2.0, -1.0, 3.0});
+    const double h = 1e-6;
+    for (double q : {0.1, 0.5, 0.9}) {
+        const double fd = (s(q + h) - s(q - h)) / (2.0 * h);
+        EXPECT_NEAR(s.derivative(q), fd, 1e-6);
+    }
+}
+
+TEST(CubicSpline, SecondDerivativeContinuousAtKnots) {
+    const Cubic_spline s({0.0, 0.4, 0.8, 1.0}, {0.0, 2.0, -1.0, 3.0});
+    for (double knot : {0.4, 0.8}) {
+        const double left = s.second_derivative(knot - 1e-10);
+        const double right = s.second_derivative(knot + 1e-10);
+        EXPECT_NEAR(left, right, 1e-6);
+    }
+}
+
+TEST(CubicSpline, LinearExtrapolationOutsideSpan) {
+    const Cubic_spline s({0.0, 0.5, 1.0}, {0.0, 1.0, 0.0});
+    const double slope_right = s.derivative(1.0);
+    EXPECT_NEAR(s(1.2), s(1.0) + 0.2 * slope_right, 1e-12);
+    EXPECT_DOUBLE_EQ(s.second_derivative(1.5), 0.0);
+    const double slope_left = s.derivative(0.0);
+    EXPECT_NEAR(s(-0.3), s(0.0) - 0.3 * slope_left, 1e-12);
+}
+
+TEST(CubicSpline, ValidationErrors) {
+    EXPECT_THROW(Cubic_spline({0.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(Cubic_spline({0.0, 1.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(Cubic_spline({0.0, 0.0, 1.0}, {1.0, 2.0, 3.0}), std::invalid_argument);
+    EXPECT_THROW(Cubic_spline({1.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(CubicSpline, KnotSecondDerivativesExposeNaturalEnds) {
+    const Cubic_spline s({0.0, 0.5, 1.0}, {0.0, 1.0, 0.0});
+    const Vector& m = s.knot_second_derivatives();
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_DOUBLE_EQ(m.front(), 0.0);
+    EXPECT_DOUBLE_EQ(m.back(), 0.0);
+    EXPECT_LT(m[1], 0.0);  // concave at the interior peak
+}
+
+}  // namespace
+}  // namespace cellsync

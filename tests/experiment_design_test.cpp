@@ -1,0 +1,83 @@
+#include "core/experiment_design.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "spline/spline_basis.h"
+
+namespace cellsync {
+namespace {
+
+Kernel_build_options fast_options(std::uint64_t seed = 5) {
+    Kernel_build_options o;
+    o.n_cells = 10000;
+    o.n_bins = 100;
+    o.seed = seed;
+    return o;
+}
+
+TEST(ExperimentDesign, ScoreFieldsArePopulatedAndFinite) {
+    const Kernel_grid kernel = build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                            linspace(0.0, 180.0, 13), fast_options());
+    const Natural_spline_basis basis(12);
+    const Design_score score = score_design(kernel, basis, 1e-3, "baseline");
+    EXPECT_EQ(score.label, "baseline");
+    EXPECT_EQ(score.measurement_count, 13u);
+    EXPECT_GT(score.a_criterion, 0.0);
+    EXPECT_TRUE(std::isfinite(score.neg_log10_d_criterion));
+    EXPECT_GT(score.effective_dof, 0.0);
+    EXPECT_LT(score.effective_dof, 13.0 + 1e-9);
+}
+
+TEST(ExperimentDesign, MoreSamplesImproveConditioning) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model volume;
+    const Natural_spline_basis basis(12);
+    const Kernel_grid sparse =
+        build_kernel(config, volume, linspace(0.0, 180.0, 7), fast_options());
+    const Kernel_grid dense =
+        build_kernel(config, volume, linspace(0.0, 180.0, 25), fast_options());
+    const Design_score sparse_score = score_design(sparse, basis, 1e-3);
+    const Design_score dense_score = score_design(dense, basis, 1e-3);
+    EXPECT_LT(dense_score.a_criterion, sparse_score.a_criterion);
+    EXPECT_LT(dense_score.neg_log10_d_criterion, sparse_score.neg_log10_d_criterion);
+    EXPECT_GT(dense_score.effective_dof, sparse_score.effective_dof);
+}
+
+TEST(ExperimentDesign, StrongerRegularizationReducesEffectiveDof) {
+    const Kernel_grid kernel = build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                            linspace(0.0, 180.0, 13), fast_options());
+    const Natural_spline_basis basis(12);
+    const Design_score loose = score_design(kernel, basis, 1e-6);
+    const Design_score tight = score_design(kernel, basis, 1e0);
+    EXPECT_GT(loose.effective_dof, tight.effective_dof);
+    EXPECT_GT(loose.a_criterion, tight.a_criterion);  // penalty shrinks variance
+}
+
+TEST(ExperimentDesign, CompareDesignsRanksCandidates) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model volume;
+    const Natural_spline_basis basis(10);
+    const std::vector<std::pair<std::string, Vector>> candidates = {
+        {"uniform-13", linspace(0.0, 180.0, 13)},
+        {"uniform-7", linspace(0.0, 180.0, 7)},
+    };
+    const std::vector<Design_score> scores =
+        compare_designs(config, volume, candidates, basis, 1e-3, fast_options());
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_EQ(scores[0].label, "uniform-13");
+    EXPECT_LT(scores[0].a_criterion, scores[1].a_criterion);
+}
+
+TEST(ExperimentDesign, Validation) {
+    const Kernel_grid kernel = build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                            {0.0, 60.0}, fast_options());
+    const Natural_spline_basis basis(8);
+    EXPECT_THROW(score_design(kernel, basis, -1.0), std::invalid_argument);
+    EXPECT_THROW(compare_designs(Cell_cycle_config{}, Smooth_volume_model{}, {}, basis, 1e-3),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,63 @@
+#include "io/expression_data.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(ExpressionData, SeriesFromTableHappyPath) {
+    Table t;
+    t.add_column("time", {0.0, 15.0});
+    t.add_column("value", {1.0, 2.0});
+    t.add_column("sigma", {0.1, 0.2});
+    const Measurement_series s = series_from_table(t, "gene");
+    EXPECT_EQ(s.label, "gene");
+    EXPECT_DOUBLE_EQ(s.sigmas[1], 0.2);
+}
+
+TEST(ExpressionData, SigmaColumnOptionalDefaultsToUnit) {
+    Table t;
+    t.add_column("time", {0.0, 15.0});
+    t.add_column("value", {1.0, 2.0});
+    const Measurement_series s = series_from_table(t, "gene");
+    EXPECT_DOUBLE_EQ(s.sigmas[0], 1.0);
+}
+
+TEST(ExpressionData, MissingColumnsRejected) {
+    Table t;
+    t.add_column("time", {0.0, 15.0});
+    EXPECT_THROW(series_from_table(t, "gene"), std::invalid_argument);
+    Table t2;
+    t2.add_column("value", {1.0, 2.0});
+    EXPECT_THROW(series_from_table(t2, "gene"), std::invalid_argument);
+}
+
+TEST(ExpressionData, TableFromSeriesRoundTrip) {
+    const Measurement_series s =
+        Measurement_series::with_unit_sigma("g", {0.0, 10.0}, {3.0, 4.0});
+    const Table t = table_from_series(s);
+    const Measurement_series back = series_from_table(t, s.label);
+    EXPECT_DOUBLE_EQ(back.values[1], 4.0);
+    EXPECT_DOUBLE_EQ(back.times[0], 0.0);
+}
+
+TEST(ExpressionData, EmbeddedFtszDatasetParsesAndValidates) {
+    const Measurement_series s = ftsz_population_dataset();
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_EQ(s.size(), 11u);  // 0..150 min at 15-min spacing
+    EXPECT_DOUBLE_EQ(s.times.front(), 0.0);
+    EXPECT_DOUBLE_EQ(s.times.back(), 150.0);
+    for (double v : s.values) EXPECT_GT(v, 0.0);
+}
+
+TEST(ExpressionData, FtszGenerationInfoMatchesDocumentedProvenance) {
+    const Ftsz_generation_info info = ftsz_generation_info();
+    EXPECT_DOUBLE_EQ(info.onset, 0.16);
+    EXPECT_DOUBLE_EQ(info.peak_phi, 0.40);
+    EXPECT_DOUBLE_EQ(info.noise_level, 0.08);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,97 @@
+#include "biology/gene_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(GeneProfiles, ConstantProfile) {
+    const Gene_profile p = constant_profile(2.5);
+    EXPECT_DOUBLE_EQ(p(0.0), 2.5);
+    EXPECT_DOUBLE_EQ(p(0.7), 2.5);
+    EXPECT_THROW(constant_profile(-1.0), std::invalid_argument);
+}
+
+TEST(GeneProfiles, SinusoidShapeAndBounds) {
+    const Gene_profile p = sinusoid_profile(3.0, 2.0);
+    EXPECT_NEAR(p(0.0), 3.0, 1e-12);
+    EXPECT_NEAR(p(0.25), 5.0, 1e-12);
+    EXPECT_NEAR(p(0.75), 1.0, 1e-12);
+    for (double phi = 0.0; phi <= 1.0; phi += 0.01) EXPECT_GE(p(phi), 0.0);
+}
+
+TEST(GeneProfiles, SinusoidRejectsNegativeExcursion) {
+    EXPECT_THROW(sinusoid_profile(1.0, 2.0), std::invalid_argument);
+}
+
+TEST(GeneProfiles, SinusoidMultipleCycles) {
+    const Gene_profile p = sinusoid_profile(2.0, 1.0, 2.0);
+    EXPECT_NEAR(p(0.0), p(0.5), 1e-12);  // two full cycles on [0,1]
+}
+
+TEST(GeneProfiles, PulseLocalizedAndBaselineElsewhere) {
+    const Gene_profile p = pulse_profile(1.0, 4.0, 0.5, 0.1);
+    EXPECT_NEAR(p(0.5), 5.0, 1e-12);       // peak = baseline + height
+    EXPECT_DOUBLE_EQ(p(0.2), 1.0);         // outside support
+    EXPECT_DOUBLE_EQ(p(0.8), 1.0);
+    EXPECT_GT(p(0.45), 1.0);
+    EXPECT_THROW(pulse_profile(1.0, 1.0, 0.5, 0.0), std::invalid_argument);
+    EXPECT_THROW(pulse_profile(-1.0, 1.0, 0.5, 0.1), std::invalid_argument);
+}
+
+TEST(GeneProfiles, FtszLikeEncodesTranscriptionDelay) {
+    const Gene_profile p = ftsz_like_profile();
+    // Silent before the SW->ST transition (paper Sec 4.3 / Kelly 1998).
+    EXPECT_DOUBLE_EQ(p(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(p(0.10), 0.0);
+    EXPECT_DOUBLE_EQ(p(0.16), 0.0);
+    // Peak at phi = 0.4.
+    EXPECT_NEAR(p(0.40), 10.0, 1e-12);
+    // Declines after the peak, ending at final_level.
+    EXPECT_LT(p(0.7), p(0.5));
+    EXPECT_NEAR(p(1.0), 0.0, 1e-12);
+}
+
+TEST(GeneProfiles, FtszLikeParameterValidation) {
+    EXPECT_THROW(ftsz_like_profile(0.5, 0.4), std::invalid_argument);
+    EXPECT_THROW(ftsz_like_profile(0.0, 0.4), std::invalid_argument);
+    EXPECT_THROW(ftsz_like_profile(0.16, 0.4, 10.0, 20.0), std::invalid_argument);
+    EXPECT_THROW(ftsz_like_profile(0.16, 0.4, -1.0), std::invalid_argument);
+}
+
+TEST(GeneProfiles, FtszLikeIsContinuousAtSegmentJoints) {
+    const Gene_profile p = ftsz_like_profile(0.2, 0.5, 8.0, 2.0);
+    const double eps = 1e-9;
+    EXPECT_NEAR(p(0.2 - eps), p(0.2 + eps), 1e-6);
+    EXPECT_NEAR(p(0.5 - eps), p(0.5 + eps), 1e-6);
+}
+
+TEST(GeneProfiles, StepTransitionsBetweenLevels) {
+    const Gene_profile p = step_profile(1.0, 5.0, 0.5, 0.2);
+    EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p(1.0), 5.0);
+    EXPECT_NEAR(p(0.5), 3.0, 1e-12);  // midpoint of the smoothstep
+    EXPECT_THROW(step_profile(1.0, 5.0, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(GeneProfiles, TabulatedInterpolatesAndClampsNegatives) {
+    const Gene_profile p =
+        tabulated_profile("custom", {0.0, 0.5, 1.0}, {1.0, -3.0, 2.0});
+    EXPECT_DOUBLE_EQ(p(0.5), 0.0);  // clamped at zero
+    EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+    EXPECT_EQ(p.name, "custom");
+}
+
+TEST(GeneProfiles, SampleMatchesPointwiseEvaluation) {
+    const Gene_profile p = sinusoid_profile(2.0, 1.0);
+    const Vector grid = linspace(0.0, 1.0, 11);
+    const Vector s = p.sample(grid);
+    ASSERT_EQ(s.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) EXPECT_DOUBLE_EQ(s[i], p(grid[i]));
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,44 @@
+#include "numerics/interpolation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(LinearInterpolant, HitsKnots) {
+    const Linear_interpolant f({0.0, 1.0, 2.0}, {10.0, 20.0, 15.0});
+    EXPECT_DOUBLE_EQ(f(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 15.0);
+}
+
+TEST(LinearInterpolant, MidpointsAreAverages) {
+    const Linear_interpolant f({0.0, 1.0, 2.0}, {10.0, 20.0, 15.0});
+    EXPECT_DOUBLE_EQ(f(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(f(1.5), 17.5);
+}
+
+TEST(LinearInterpolant, ClampsOutsideGrid) {
+    const Linear_interpolant f({0.0, 1.0}, {3.0, 7.0});
+    EXPECT_DOUBLE_EQ(f(-5.0), 3.0);
+    EXPECT_DOUBLE_EQ(f(9.0), 7.0);
+}
+
+TEST(LinearInterpolant, DerivativePiecewiseConstant) {
+    const Linear_interpolant f({0.0, 1.0, 3.0}, {0.0, 2.0, 2.0});
+    EXPECT_DOUBLE_EQ(f.derivative(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(f.derivative(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(f.derivative(-1.0), 0.0);  // outside: flat extrapolation
+}
+
+TEST(LinearInterpolant, ValidationErrors) {
+    EXPECT_THROW(Linear_interpolant({0.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(Linear_interpolant({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(Linear_interpolant({1.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(Linear_interpolant({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

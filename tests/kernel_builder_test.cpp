@@ -1,0 +1,167 @@
+#include "population/kernel_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spline/spline_basis.h"
+
+namespace cellsync {
+namespace {
+
+Kernel_build_options small_options() {
+    Kernel_build_options o;
+    o.n_cells = 20000;
+    o.n_bins = 100;
+    o.seed = 31;
+    return o;
+}
+
+TEST(KernelGrid, ConstructorValidatesShapes) {
+    const Vector times{0.0, 10.0};
+    const Vector centers{0.25, 0.75};
+    Matrix q(2, 2, 1.0);  // each row: density 1 everywhere = integrates to 1
+    EXPECT_NO_THROW(Kernel_grid(times, centers, q));
+    EXPECT_THROW(Kernel_grid({}, centers, q), std::invalid_argument);
+    EXPECT_THROW(Kernel_grid(times, centers, Matrix(3, 2, 1.0)), std::invalid_argument);
+    // Row not integrating to 1:
+    Matrix bad(2, 2, 2.0);
+    EXPECT_THROW(Kernel_grid(times, centers, bad), std::invalid_argument);
+    // Negative density:
+    Matrix neg(2, 2, 1.0);
+    neg(0, 0) = -1.0;
+    neg(0, 1) = 3.0;
+    EXPECT_THROW(Kernel_grid(times, centers, neg), std::invalid_argument);
+}
+
+TEST(BuildKernel, RowsIntegrateToOneAtAllTimes) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Kernel_grid k = build_kernel(config, vm, linspace(0.0, 180.0, 13), small_options());
+    EXPECT_EQ(k.time_count(), 13u);
+    EXPECT_EQ(k.bin_count(), 100u);
+    for (std::size_t m = 0; m < k.time_count(); ++m) {
+        double mass = 0.0;
+        for (std::size_t b = 0; b < k.bin_count(); ++b) mass += k.q()(m, b) * k.bin_width();
+        EXPECT_NEAR(mass, 1.0, 1e-9) << "time " << k.times()[m];
+    }
+}
+
+TEST(BuildKernel, InitialKernelConcentratedInSwarmerStage) {
+    // At t=0 a synchronized culture has all cells below their phi_sst
+    // (~0.15), so virtually all kernel mass sits at low phase.
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Kernel_grid k = build_kernel(config, vm, {0.0, 75.0}, small_options());
+    double low_mass = 0.0;
+    for (std::size_t b = 0; b < k.bin_count(); ++b) {
+        if (k.phi_centers()[b] < 0.25) low_mass += k.q()(0, b) * k.bin_width();
+    }
+    EXPECT_GT(low_mass, 0.99);
+}
+
+TEST(BuildKernel, KernelSpreadsWithTime) {
+    // Asynchrony grows: the phase spread at 150 min far exceeds t=0.
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Kernel_grid k = build_kernel(config, vm, {0.0, 150.0}, small_options());
+    auto spread = [&](std::size_t row) {
+        double mean_phi = 0.0;
+        for (std::size_t b = 0; b < k.bin_count(); ++b) {
+            mean_phi += k.phi_centers()[b] * k.q()(row, b) * k.bin_width();
+        }
+        double var = 0.0;
+        for (std::size_t b = 0; b < k.bin_count(); ++b) {
+            const double d = k.phi_centers()[b] - mean_phi;
+            var += d * d * k.q()(row, b) * k.bin_width();
+        }
+        return std::sqrt(var);
+    };
+    EXPECT_GT(spread(1), 3.0 * spread(0));
+}
+
+TEST(BuildKernel, ConstantProfileIsFixedPoint) {
+    // G(t) = integral Q * c = c at every time: deconvolution's sanity
+    // anchor (concentration is volume-normalized).
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Kernel_grid k = build_kernel(config, vm, linspace(0.0, 180.0, 7), small_options());
+    const Vector g = k.apply([](double) { return 3.7; });
+    for (double v : g) EXPECT_NEAR(v, 3.7, 1e-9);
+}
+
+TEST(BuildKernel, ApplySampledMatchesApply) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Kernel_grid k = build_kernel(config, vm, {0.0, 60.0}, small_options());
+    const auto f = [](double phi) { return 1.0 + phi * phi; };
+    Vector fv(k.bin_count());
+    for (std::size_t b = 0; b < k.bin_count(); ++b) fv[b] = f(k.phi_centers()[b]);
+    const Vector g1 = k.apply(f);
+    const Vector g2 = k.apply_sampled(fv);
+    for (std::size_t m = 0; m < g1.size(); ++m) EXPECT_DOUBLE_EQ(g1[m], g2[m]);
+    EXPECT_THROW(k.apply_sampled(Vector(3, 1.0)), std::invalid_argument);
+}
+
+TEST(BuildKernel, BasisMatrixConsistentWithApply) {
+    // K alpha must equal apply(f_alpha) for any coefficients.
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Kernel_grid k = build_kernel(config, vm, linspace(0.0, 120.0, 5), small_options());
+    const auto basis = Natural_spline_basis(8);
+    const Matrix km = k.basis_matrix(basis);
+    EXPECT_EQ(km.rows(), 5u);
+    EXPECT_EQ(km.cols(), 8u);
+    Vector alpha(8);
+    for (std::size_t i = 0; i < 8; ++i) alpha[i] = 1.0 + std::sin(static_cast<double>(i));
+    const Vector via_matrix = km * alpha;
+    const Vector via_apply = k.apply([&](double phi) { return basis.expand(alpha, phi); });
+    for (std::size_t m = 0; m < 5; ++m) EXPECT_NEAR(via_matrix[m], via_apply[m], 1e-10);
+}
+
+TEST(BuildKernel, DeterministicGivenSeed) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Kernel_grid a = build_kernel(config, vm, {0.0, 90.0}, small_options());
+    const Kernel_grid b = build_kernel(config, vm, {0.0, 90.0}, small_options());
+    for (std::size_t m = 0; m < a.time_count(); ++m) {
+        for (std::size_t c = 0; c < a.bin_count(); ++c) {
+            EXPECT_DOUBLE_EQ(a.q()(m, c), b.q()(m, c));
+        }
+    }
+}
+
+TEST(BuildKernel, ValidationErrors) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    EXPECT_THROW(build_kernel(config, vm, {}, small_options()), std::invalid_argument);
+    EXPECT_THROW(build_kernel(config, vm, {-1.0, 10.0}, small_options()),
+                 std::invalid_argument);
+    EXPECT_THROW(build_kernel(config, vm, {10.0, 5.0}, small_options()),
+                 std::invalid_argument);
+    Kernel_build_options bad = small_options();
+    bad.n_cells = 0;
+    EXPECT_THROW(build_kernel(config, vm, {0.0, 10.0}, bad), std::invalid_argument);
+    bad = small_options();
+    bad.n_bins = 0;
+    EXPECT_THROW(build_kernel(config, vm, {0.0, 10.0}, bad), std::invalid_argument);
+}
+
+TEST(BuildKernel, VolumeModelChangesKernel) {
+    // The two models differ only on the swarmer stage [0, phi_sst), so
+    // probe a time early enough that most cells are still swarmers.
+    const Cell_cycle_config config;
+    const Kernel_grid smooth =
+        build_kernel(config, Smooth_volume_model{}, {6.0}, small_options());
+    const Kernel_grid linear =
+        build_kernel(config, Linear_volume_model{}, {6.0}, small_options());
+    double diff = 0.0;
+    for (std::size_t b = 0; b < smooth.bin_count(); ++b) {
+        diff += std::abs(smooth.q()(0, b) - linear.q()(0, b)) * smooth.bin_width();
+    }
+    EXPECT_GT(diff, 1e-4);  // same cells, different volume weighting
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,86 @@
+#include "io/kernel_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+Kernel_grid small_kernel() {
+    Kernel_build_options options;
+    options.n_cells = 5000;
+    options.n_bins = 50;
+    options.seed = 3;
+    return build_kernel(Cell_cycle_config{}, Smooth_volume_model{}, {0.0, 30.0, 60.0},
+                        options);
+}
+
+TEST(KernelIo, RoundTripPreservesGrid) {
+    const Kernel_grid original = small_kernel();
+    std::ostringstream out;
+    write_kernel(out, original);
+    std::istringstream in(out.str());
+    const Kernel_grid loaded = read_kernel(in);
+
+    ASSERT_EQ(loaded.time_count(), original.time_count());
+    ASSERT_EQ(loaded.bin_count(), original.bin_count());
+    for (std::size_t m = 0; m < original.time_count(); ++m) {
+        EXPECT_DOUBLE_EQ(loaded.times()[m], original.times()[m]);
+        for (std::size_t b = 0; b < original.bin_count(); ++b) {
+            EXPECT_DOUBLE_EQ(loaded.q()(m, b), original.q()(m, b));
+        }
+    }
+}
+
+TEST(KernelIo, RoundTrippedKernelProducesIdenticalTransforms) {
+    const Kernel_grid original = small_kernel();
+    std::ostringstream out;
+    write_kernel(out, original);
+    std::istringstream in(out.str());
+    const Kernel_grid loaded = read_kernel(in);
+
+    const auto profile = [](double phi) { return 1.0 + phi * (1.0 - phi); };
+    const Vector g0 = original.apply(profile);
+    const Vector g1 = loaded.apply(profile);
+    for (std::size_t m = 0; m < g0.size(); ++m) EXPECT_DOUBLE_EQ(g0[m], g1[m]);
+}
+
+TEST(KernelIo, FileRoundTrip) {
+    const Kernel_grid original = small_kernel();
+    const std::string path = ::testing::TempDir() + "/cellsync_kernel_test.csv";
+    write_kernel_file(path, original);
+    const Kernel_grid loaded = read_kernel_file(path);
+    EXPECT_EQ(loaded.bin_count(), original.bin_count());
+    std::remove(path.c_str());
+}
+
+TEST(KernelIo, MissingPhiColumnRejected) {
+    std::istringstream in("t0,t30\n1.0,1.0\n1.0,1.0\n");
+    EXPECT_THROW(read_kernel(in), std::runtime_error);
+}
+
+TEST(KernelIo, BadTimeColumnNameRejected) {
+    std::istringstream in("phi,zzz\n0.25,1.0\n0.75,1.0\n");
+    EXPECT_THROW(read_kernel(in), std::runtime_error);
+}
+
+TEST(KernelIo, CorruptedDensityRejected) {
+    // Row scaled by 2: no longer integrates to 1 -> Kernel_grid invariant.
+    std::istringstream in("phi,t0\n0.25,2.0\n0.75,2.0\n");
+    EXPECT_THROW(read_kernel(in), std::invalid_argument);
+}
+
+TEST(KernelIo, NoTimeColumnsRejected) {
+    std::istringstream in("phi\n0.5\n");
+    EXPECT_THROW(read_kernel(in), std::runtime_error);
+}
+
+TEST(KernelIo, MissingFileThrows) {
+    EXPECT_THROW(read_kernel_file("/nonexistent/kernel.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,106 @@
+#include "models/lotka_volterra.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(LotkaVolterra, ParameterValidation) {
+    Lotka_volterra_params p;
+    EXPECT_NO_THROW(p.validate());
+    p.a = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.x1_0 = -1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(LotkaVolterra, FixedPointIsStationary) {
+    Lotka_volterra_params p;
+    p.a = 1.0;
+    p.b = 0.5;
+    p.c = 2.0;
+    p.d = 1.5;
+    const Ode_rhs rhs = lotka_volterra_rhs(p);
+    const Vector derivative = rhs(0.0, {p.x1_center(), p.x2_center()});
+    EXPECT_NEAR(derivative[0], 0.0, 1e-14);
+    EXPECT_NEAR(derivative[1], 0.0, 1e-14);
+}
+
+TEST(LotkaVolterra, ConservedQuantityAlongTrajectory) {
+    // H = c x1 - d ln x1 + b x2 - a ln x2 is a first integral.
+    const Lotka_volterra_params p;
+    const Ode_solution sol = solve_lotka_volterra(p, 30.0);
+    auto h = [&](const Vector& y) {
+        return p.c * y[0] - p.d * std::log(y[0]) + p.b * y[1] - p.a * std::log(y[1]);
+    };
+    const double h0 = h(sol.states.front());
+    for (const Vector& y : sol.states) {
+        EXPECT_NEAR(h(y), h0, 1e-6);
+    }
+}
+
+TEST(LotkaVolterra, SolutionsStayPositive) {
+    const Lotka_volterra_params p = paper_lv_params();
+    const Ode_solution sol = solve_lotka_volterra(p, 450.0);
+    for (const Vector& y : sol.states) {
+        EXPECT_GT(y[0], 0.0);
+        EXPECT_GT(y[1], 0.0);
+    }
+}
+
+TEST(LotkaVolterra, TimeScalingScalesPeriodExactly) {
+    Lotka_volterra_params p;
+    const double period = measure_period(p, 60.0);
+    const Lotka_volterra_params fast = p.time_scaled(2.0);
+    const double fast_period = measure_period(fast, 60.0);
+    EXPECT_NEAR(fast_period, period / 2.0, 0.01 * period);
+    EXPECT_THROW(p.time_scaled(0.0), std::invalid_argument);
+}
+
+TEST(LotkaVolterra, PaperParamsGive150MinutePeriod) {
+    const Lotka_volterra_params p = paper_lv_params(150.0);
+    const double period = measure_period(p, 800.0);
+    EXPECT_NEAR(period, 150.0, 1.0);
+}
+
+TEST(LotkaVolterra, PaperParamsProduceStrongOscillation) {
+    // The Fig 2 shape: x2 spikes several-fold above its trough.
+    const Lotka_volterra_params p = paper_lv_params(150.0);
+    const Ode_solution sol = solve_lotka_volterra(p, 150.0);
+    const Vector x2 = sol.component(1);
+    const auto [mn, mx] = std::minmax_element(x2.begin(), x2.end());
+    EXPECT_GT(*mx / std::max(*mn, 1e-9), 5.0);
+}
+
+TEST(LotkaVolterra, MeasurePeriodValidation) {
+    const Lotka_volterra_params p;
+    EXPECT_THROW(measure_period(p, 60.0, 0), std::invalid_argument);
+    // Horizon too short to see two crossings:
+    EXPECT_THROW(measure_period(p, 0.5), std::runtime_error);
+}
+
+TEST(LotkaVolterra, ProfileSamplesOneCycle) {
+    const Lotka_volterra_params p = paper_lv_params(150.0);
+    const Gene_profile x1 = lotka_volterra_profile(p, 0, 150.0);
+    const Gene_profile x2 = lotka_volterra_profile(p, 1, 150.0);
+    EXPECT_EQ(x1.name, "lv-x1");
+    EXPECT_EQ(x2.name, "lv-x2");
+    const Ode_solution sol = solve_lotka_volterra(p, 150.0);
+    for (double phi : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+        EXPECT_NEAR(x1(phi), sol.interpolate(phi * 150.0, 0), 5e-3) << "phi=" << phi;
+    }
+    EXPECT_THROW(lotka_volterra_profile(p, 2, 150.0), std::invalid_argument);
+    EXPECT_THROW(lotka_volterra_profile(p, 0, 0.0), std::invalid_argument);
+}
+
+TEST(LotkaVolterra, PaperParamsRejectNonPositivePeriod) {
+    EXPECT_THROW(paper_lv_params(0.0), std::invalid_argument);
+    EXPECT_THROW(paper_lv_params(-10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,157 @@
+#include "numerics/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+    const Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstructor) {
+    const Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, InitializerListRowMajor) {
+    const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+    Matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), std::out_of_range);
+    EXPECT_THROW(m.at(0, 2), std::out_of_range);
+    m.at(1, 1) = 9.0;
+    EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+}
+
+TEST(Matrix, RowAndColExtraction) {
+    const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    const Vector r = m.row(1);
+    const Vector c = m.col(2);
+    EXPECT_DOUBLE_EQ(r[0], 4.0);
+    EXPECT_DOUBLE_EQ(c[0], 3.0);
+    EXPECT_DOUBLE_EQ(c[1], 6.0);
+    EXPECT_THROW(m.row(2), std::out_of_range);
+    EXPECT_THROW(m.col(3), std::out_of_range);
+}
+
+TEST(Matrix, SetRowAndSetCol) {
+    Matrix m(2, 2);
+    m.set_row(0, {1.0, 2.0});
+    m.set_col(1, {8.0, 9.0});
+    EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+    EXPECT_THROW(m.set_row(0, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+    const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+    const Matrix i = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+    const Matrix d = Matrix::diagonal({2.0, 3.0});
+    EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, FromRows) {
+    const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+}
+
+TEST(Matrix, AdditionSubtraction) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+    EXPECT_DOUBLE_EQ((a + b)(1, 1), 44.0);
+    EXPECT_DOUBLE_EQ((b - a)(0, 0), 9.0);
+    EXPECT_THROW(a + Matrix(1, 2), std::invalid_argument);
+}
+
+TEST(Matrix, ScalarMultiple) {
+    const Matrix a{{1.0, -2.0}};
+    EXPECT_DOUBLE_EQ((3.0 * a)(0, 1), -6.0);
+}
+
+TEST(Matrix, MatrixProduct) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+    EXPECT_THROW(a * Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Vector y = a * Vector{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    EXPECT_THROW(a * Vector{1.0}, std::invalid_argument);
+}
+
+TEST(Matrix, TransposedTimesMatchesExplicitTranspose) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+    const Vector x{1.0, -1.0, 2.0};
+    const Vector direct = transposed_times(a, x);
+    const Vector explicit_t = a.transposed() * x;
+    EXPECT_DOUBLE_EQ(direct[0], explicit_t[0]);
+    EXPECT_DOUBLE_EQ(direct[1], explicit_t[1]);
+}
+
+TEST(Matrix, GramIsSymmetricAndCorrect) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+    const Matrix g = gram(a);
+    EXPECT_DOUBLE_EQ(g(0, 0), 35.0);
+    EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+    EXPECT_DOUBLE_EQ(g(0, 1), 44.0);
+}
+
+TEST(Matrix, WeightedGramAppliesWeights) {
+    const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+    const Matrix g = weighted_gram(a, {2.0, 3.0});
+    EXPECT_DOUBLE_EQ(g(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(g(1, 1), 3.0);
+    EXPECT_THROW(weighted_gram(a, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, AllFiniteAndNormInf) {
+    Matrix m{{1.0, -5.0}, {2.0, 3.0}};
+    EXPECT_TRUE(m.all_finite());
+    EXPECT_DOUBLE_EQ(m.norm_inf(), 5.0);
+    m(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(m.all_finite());
+}
+
+TEST(Matrix, ToStringRendersSomething) {
+    const Matrix m{{1.0, 2.0}};
+    EXPECT_NE(m.to_string().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,91 @@
+#include "numerics/nelder_mead.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(NelderMead, QuadraticBowl) {
+    const Objective f = [](const Vector& x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+    };
+    const Nelder_mead_result r = nelder_mead(f, {0.0, 0.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+    EXPECT_NEAR(r.x[1], -2.0, 1e-4);
+    EXPECT_LT(r.value, 1e-7);
+}
+
+TEST(NelderMead, RosenbrockValley) {
+    const Objective f = [](const Vector& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    Nelder_mead_options options;
+    options.max_evaluations = 50000;
+    options.restarts = 3;
+    const Nelder_mead_result r = nelder_mead(f, {-1.2, 1.0}, options);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+    EXPECT_NEAR(r.x[1], 1.0, 2e-2);
+}
+
+TEST(NelderMead, OneDimensional) {
+    const Objective f = [](const Vector& x) { return std::cos(x[0]); };
+    const Nelder_mead_result r = nelder_mead(f, {3.0});
+    EXPECT_NEAR(r.x[0], 3.14159265, 1e-3);
+}
+
+TEST(NelderMead, NonFiniteObjectiveTreatedAsRejected) {
+    // Objective invalid for x < 0; minimum at x = 1 within the valid region.
+    const Objective f = [](const Vector& x) {
+        if (x[0] < 0.0) return std::numeric_limits<double>::quiet_NaN();
+        return (x[0] - 1.0) * (x[0] - 1.0);
+    };
+    const Nelder_mead_result r = nelder_mead(f, {2.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+    EXPECT_THROW(nelder_mead([](const Vector&) { return 0.0; }, {}), std::invalid_argument);
+}
+
+TEST(NelderMead, EvaluationBudgetRespected) {
+    std::size_t calls = 0;
+    const Objective f = [&calls](const Vector& x) {
+        ++calls;
+        return x[0] * x[0];
+    };
+    Nelder_mead_options options;
+    options.max_evaluations = 57;
+    const Nelder_mead_result r = nelder_mead(f, {10.0}, options);
+    EXPECT_LE(r.evaluations, 60u);  // small overshoot from finishing a step
+    EXPECT_LE(calls, 60u);
+}
+
+TEST(NelderMead, ReportsConvergenceOnEasyProblem) {
+    const Objective f = [](const Vector& x) { return x[0] * x[0] + x[1] * x[1]; };
+    const Nelder_mead_result r = nelder_mead(f, {0.5, 0.5});
+    EXPECT_TRUE(r.converged);
+}
+
+// Property sweep: convergence from multiple start points on a convex bowl.
+class NelderMeadStarts : public ::testing::TestWithParam<double> {};
+
+TEST_P(NelderMeadStarts, ConvergesFromAnyStart) {
+    const Objective f = [](const Vector& x) {
+        return 3.0 * x[0] * x[0] + 0.5 * x[1] * x[1] + x[0] * x[1];
+    };
+    const double s = GetParam();
+    const Nelder_mead_result r = nelder_mead(f, {s, -s});
+    EXPECT_LT(r.value, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(StartSweep, NelderMeadStarts,
+                         ::testing::Values(-10.0, -1.0, 0.1, 1.0, 5.0, 20.0));
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,84 @@
+#include "numerics/nnls.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numerics/linear_solve.h"
+#include "numerics/rng.h"
+
+namespace cellsync {
+namespace {
+
+TEST(Nnls, UnconstrainedInteriorSolutionMatchesLeastSquares) {
+    // Well-posed system with positive solution: NNLS == LS.
+    const Matrix a{{2.0, 0.0}, {0.0, 3.0}, {1.0, 1.0}};
+    const Vector b{2.0, 6.0, 3.0};
+    const Nnls_result r = solve_nnls(a, b);
+    EXPECT_TRUE(r.converged);
+    const Vector ls = qr_least_squares(a, b);
+    EXPECT_NEAR(r.x[0], ls[0], 1e-9);
+    EXPECT_NEAR(r.x[1], ls[1], 1e-9);
+}
+
+TEST(Nnls, ClampsNegativeComponentToZero) {
+    // LS solution would have a negative coefficient; NNLS forces it to 0.
+    const Matrix a{{1.0, 1.0}, {1.0, -1.0}};
+    const Vector b{0.0, 2.0};  // LS solution: (1, -1)
+    const Nnls_result r = solve_nnls(a, b);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[1], 0.0, 1e-12);
+    EXPECT_GE(r.x[0], 0.0);
+}
+
+TEST(Nnls, ZeroRhsGivesZeroSolution) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Nnls_result r = solve_nnls(a, {0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+    EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+    EXPECT_DOUBLE_EQ(r.residual_norm, 0.0);
+}
+
+TEST(Nnls, RejectsShapeMismatch) {
+    EXPECT_THROW(solve_nnls(Matrix(2, 2), Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Nnls, ResidualNormIsReported) {
+    // Inconsistent system: residual must be positive and correct.
+    const Matrix a{{1.0}, {1.0}};
+    const Nnls_result r = solve_nnls(a, {0.0, 2.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-12);
+    EXPECT_NEAR(r.residual_norm, std::sqrt(2.0), 1e-12);
+}
+
+// Property: on random problems the NNLS solution satisfies the KKT
+// conditions: x >= 0, gradient w = A'(b - Ax) <= tol on zero coordinates,
+// |w| ~ 0 on positive coordinates.
+class NnlsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NnlsRandom, KktConditionsHold) {
+    Rng rng(GetParam());
+    const std::size_t m = 12, n = 6;
+    Matrix a(m, n);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    const Vector b = rng.normal_vector(m);
+
+    const Nnls_result r = solve_nnls(a, b);
+    EXPECT_TRUE(r.converged);
+    const Vector grad = transposed_times(a, b - a * r.x);
+    for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_GE(r.x[j], 0.0);
+        if (r.x[j] > 1e-9) {
+            EXPECT_NEAR(grad[j], 0.0, 1e-7) << "active coordinate " << j;
+        } else {
+            EXPECT_LE(grad[j], 1e-7) << "inactive coordinate " << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsRandom, ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,118 @@
+#include "core/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/statistics.h"
+
+namespace cellsync {
+namespace {
+
+Measurement_series clean_series() {
+    return Measurement_series::with_unit_sigma(
+        "clean", linspace(0.0, 150.0, 11), {10.0, 12.0, 15.0, 13.0, 9.0, 8.0, 7.5, 8.2, 9.1, 10.5, 11.0});
+}
+
+TEST(Noise, NoneTypePassesThroughValuesAndSigmas) {
+    Rng rng(1);
+    const Noise_model model{Noise_type::none, 0.5};
+    const Measurement_series noisy = add_noise(clean_series(), model, rng);
+    for (std::size_t m = 0; m < noisy.size(); ++m) {
+        EXPECT_DOUBLE_EQ(noisy.values[m], clean_series().values[m]);
+        EXPECT_DOUBLE_EQ(noisy.sigmas[m], 1.0);
+    }
+}
+
+TEST(Noise, RelativeGaussianSigmaTracksMagnitude) {
+    Rng rng(2);
+    const Noise_model model{Noise_type::relative_gaussian, 0.10};
+    const Measurement_series noisy = add_noise(clean_series(), model, rng);
+    for (std::size_t m = 0; m < noisy.size(); ++m) {
+        EXPECT_NEAR(noisy.sigmas[m], 0.10 * std::abs(clean_series().values[m]), 1e-12);
+    }
+}
+
+TEST(Noise, RelativeGaussianEmpiricalLevelMatches) {
+    // Average over many draws: sd of (noisy - clean)/clean ~ level.
+    Rng rng(3);
+    const Noise_model model{Noise_type::relative_gaussian, 0.10};
+    const Measurement_series clean = clean_series();
+    Vector rel_errors;
+    for (int rep = 0; rep < 400; ++rep) {
+        const Measurement_series noisy = add_noise(clean, model, rng);
+        for (std::size_t m = 0; m < clean.size(); ++m) {
+            rel_errors.push_back((noisy.values[m] - clean.values[m]) / clean.values[m]);
+        }
+    }
+    EXPECT_NEAR(mean(rel_errors), 0.0, 0.005);
+    EXPECT_NEAR(stddev(rel_errors), 0.10, 0.005);
+}
+
+TEST(Noise, AbsoluteGaussianUsesGlobalScale) {
+    Rng rng(4);
+    const Noise_model model{Noise_type::absolute_gaussian, 0.05};
+    const Measurement_series noisy = add_noise(clean_series(), model, rng);
+    const double expected_sigma = 0.05 * mean(clean_series().values);
+    for (double s : noisy.sigmas) EXPECT_NEAR(s, expected_sigma, 1e-12);
+}
+
+TEST(Noise, LognormalPreservesSign) {
+    Rng rng(5);
+    const Noise_model model{Noise_type::lognormal, 0.2};
+    const Measurement_series noisy = add_noise(clean_series(), model, rng);
+    for (double v : noisy.values) EXPECT_GT(v, 0.0);
+}
+
+TEST(Noise, ZeroLevelLeavesValuesEssentiallyUnchanged) {
+    // With level 0 the only perturbation left is the sigma floor, so the
+    // values change by at most a few floor-sized draws.
+    Rng rng(6);
+    for (Noise_type type : {Noise_type::relative_gaussian, Noise_type::absolute_gaussian,
+                            Noise_type::lognormal}) {
+        Noise_model model{type, 0.0};
+        model.sigma_floor = 1e-3;
+        const Measurement_series noisy = add_noise(clean_series(), model, rng);
+        for (std::size_t m = 0; m < noisy.size(); ++m) {
+            EXPECT_NEAR(noisy.values[m], clean_series().values[m], 1e-2);
+        }
+    }
+}
+
+TEST(Noise, SigmaFloorPreventsZeroWeights) {
+    Rng rng(7);
+    Measurement_series tiny = Measurement_series::with_unit_sigma(
+        "tiny", {0.0, 1.0}, {0.0, 0.0});  // zero magnitude
+    Noise_model model{Noise_type::relative_gaussian, 0.1};
+    model.sigma_floor = 1e-4;
+    const Measurement_series noisy = add_noise(tiny, model, rng);
+    for (double s : noisy.sigmas) EXPECT_GE(s, 1e-4);
+}
+
+TEST(Noise, ValidationErrors) {
+    Rng rng(8);
+    Noise_model bad{Noise_type::relative_gaussian, -0.1};
+    EXPECT_THROW(add_noise(clean_series(), bad, rng), std::invalid_argument);
+    bad = {Noise_type::relative_gaussian, 0.1};
+    bad.sigma_floor = -1.0;
+    EXPECT_THROW(add_noise(clean_series(), bad, rng), std::invalid_argument);
+}
+
+TEST(Noise, TypeNamesStable) {
+    EXPECT_EQ(to_string(Noise_type::none), "none");
+    EXPECT_EQ(to_string(Noise_type::relative_gaussian), "relative-gaussian");
+    EXPECT_EQ(to_string(Noise_type::absolute_gaussian), "absolute-gaussian");
+    EXPECT_EQ(to_string(Noise_type::lognormal), "lognormal");
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+    const Noise_model model{Noise_type::relative_gaussian, 0.1};
+    Rng rng_a(99), rng_b(99);
+    const Measurement_series a = add_noise(clean_series(), model, rng_a);
+    const Measurement_series b = add_noise(clean_series(), model, rng_b);
+    for (std::size_t m = 0; m < a.size(); ++m) EXPECT_DOUBLE_EQ(a.values[m], b.values[m]);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,116 @@
+#include "numerics/ode.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+// y' = -y, y(0) = 1 -> y(t) = exp(-t).
+const Ode_rhs decay = [](double, const Vector& y) { return Vector{-y[0]}; };
+
+// Harmonic oscillator: y'' = -y as a 2-state system; energy is conserved.
+const Ode_rhs harmonic = [](double, const Vector& y) { return Vector{y[1], -y[0]}; };
+
+TEST(Rk4, ExponentialDecayAccuracy) {
+    const Ode_solution sol = rk4_solve(decay, {1.0}, 0.0, 2.0, 200);
+    EXPECT_NEAR(sol.states.back()[0], std::exp(-2.0), 1e-9);
+    EXPECT_EQ(sol.times.size(), 201u);
+    EXPECT_DOUBLE_EQ(sol.times.back(), 2.0);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+    auto error_with = [](std::size_t steps) {
+        const Ode_solution sol = rk4_solve(decay, {1.0}, 0.0, 1.0, steps);
+        return std::abs(sol.states.back()[0] - std::exp(-1.0));
+    };
+    const double e1 = error_with(10);
+    const double e2 = error_with(20);
+    EXPECT_GT(e1 / e2, 12.0);  // ~16x for 4th order
+}
+
+TEST(Rk4, RejectsBadArguments) {
+    EXPECT_THROW(rk4_solve(decay, {1.0}, 0.0, 1.0, 0), std::invalid_argument);
+    EXPECT_THROW(rk4_solve(decay, {1.0}, 1.0, 1.0, 10), std::invalid_argument);
+}
+
+TEST(Rk45, ExponentialDecayToTolerance) {
+    const Ode_solution sol = rk45_solve(decay, {1.0}, 0.0, 5.0);
+    EXPECT_NEAR(sol.states.back()[0], std::exp(-5.0), 1e-7);
+}
+
+TEST(Rk45, HarmonicOscillatorPeriodAndEnergy) {
+    Ode_options options;
+    options.rel_tol = 1e-10;
+    options.abs_tol = 1e-12;
+    const double two_pi = 2.0 * std::numbers::pi;
+    const Ode_solution sol = rk45_solve(harmonic, {1.0, 0.0}, 0.0, two_pi, options);
+    EXPECT_NEAR(sol.states.back()[0], 1.0, 1e-7);
+    EXPECT_NEAR(sol.states.back()[1], 0.0, 1e-7);
+    for (const Vector& y : sol.states) {
+        EXPECT_NEAR(y[0] * y[0] + y[1] * y[1], 1.0, 1e-6);
+    }
+}
+
+TEST(Rk45, AdaptiveUsesFewerStepsThanFixedForSameAccuracy) {
+    Ode_options options;
+    options.rel_tol = 1e-6;
+    const Ode_solution sol = rk45_solve(decay, {1.0}, 0.0, 10.0, options);
+    EXPECT_LT(sol.times.size(), 200u);  // fixed-step RK4 would need far more
+}
+
+TEST(Rk45, TimeGridIsMonotone) {
+    const Ode_solution sol = rk45_solve(harmonic, {1.0, 0.0}, 0.0, 10.0);
+    for (std::size_t i = 0; i + 1 < sol.times.size(); ++i) {
+        EXPECT_LT(sol.times[i], sol.times[i + 1]);
+    }
+    EXPECT_DOUBLE_EQ(sol.times.back(), 10.0);
+}
+
+TEST(Rk45, RejectsReversedInterval) {
+    EXPECT_THROW(rk45_solve(decay, {1.0}, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(Rk45, StepBudgetExhaustionThrows) {
+    Ode_options options;
+    options.max_steps = 3;
+    EXPECT_THROW(rk45_solve(harmonic, {1.0, 0.0}, 0.0, 100.0, options), std::runtime_error);
+}
+
+TEST(OdeSolution, InterpolateBetweenSamplesAndClamp) {
+    const Ode_solution sol = rk4_solve(decay, {1.0}, 0.0, 1.0, 100);
+    EXPECT_NEAR(sol.interpolate(0.5, 0), std::exp(-0.5), 1e-4);
+    EXPECT_DOUBLE_EQ(sol.interpolate(-1.0, 0), 1.0);
+    EXPECT_NEAR(sol.interpolate(99.0, 0), std::exp(-1.0), 1e-8);
+    EXPECT_THROW(sol.interpolate(0.5, 3), std::out_of_range);
+}
+
+TEST(OdeSolution, ComponentExtraction) {
+    const Ode_solution sol = rk4_solve(harmonic, {1.0, 0.0}, 0.0, 1.0, 10);
+    const Vector x = sol.component(0);
+    EXPECT_EQ(x.size(), sol.times.size());
+    EXPECT_DOUBLE_EQ(x.front(), 1.0);
+    EXPECT_THROW(sol.component(2), std::out_of_range);
+}
+
+// Property sweep: RK45 local tolerance controls global error across several
+// tolerance decades for the decay problem.
+class Rk45Tolerance : public ::testing::TestWithParam<double> {};
+
+TEST_P(Rk45Tolerance, GlobalErrorTracksTolerance) {
+    Ode_options options;
+    options.rel_tol = GetParam();
+    options.abs_tol = GetParam() * 1e-2;
+    const Ode_solution sol = rk45_solve(decay, {1.0}, 0.0, 3.0, options);
+    const double err = std::abs(sol.states.back()[0] - std::exp(-3.0));
+    EXPECT_LT(err, 200.0 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(ToleranceSweep, Rk45Tolerance,
+                         ::testing::Values(1e-4, 1e-6, 1e-8, 1e-10));
+
+}  // namespace
+}  // namespace cellsync

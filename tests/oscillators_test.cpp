@@ -1,0 +1,94 @@
+#include "models/oscillators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(Goodwin, ParameterValidation) {
+    Goodwin_params p;
+    EXPECT_NO_THROW(p.validate());
+    p.k1 = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.hill = 0.5;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.initial = {1.0};
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Goodwin, OscillatesWithHighHillCoefficient) {
+    const Goodwin_params p;  // hill = 10 oscillates
+    const Ode_solution sol = rk45_solve(goodwin_rhs(p), p.initial, 0.0, 400.0);
+    // Count maxima of x over the window — a sustained oscillation has >= 3.
+    const Vector x = sol.component(0);
+    int maxima = 0;
+    for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+        if (x[i] > x[i - 1] && x[i] > x[i + 1]) ++maxima;
+    }
+    EXPECT_GE(maxima, 3);
+}
+
+TEST(Goodwin, StatesRemainPositive) {
+    const Goodwin_params p;
+    const Ode_solution sol = rk45_solve(goodwin_rhs(p), p.initial, 0.0, 200.0);
+    for (const Vector& y : sol.states) {
+        for (double v : y) EXPECT_GT(v, -1e-9);
+    }
+}
+
+TEST(Repressilator, ParameterValidation) {
+    Repressilator_params p;
+    EXPECT_NO_THROW(p.validate());
+    p.alpha = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.initial = {1.0, 2.0};
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Repressilator, SustainedOscillationInProteins) {
+    const Repressilator_params p;
+    const Ode_solution sol = rk45_solve(repressilator_rhs(p), p.initial, 0.0, 500.0);
+    const Vector protein = sol.component(3);
+    const auto [mn, mx] = std::minmax_element(
+        protein.begin() + static_cast<std::ptrdiff_t>(protein.size() / 2),
+                                              protein.end());
+    EXPECT_GT(*mx / std::max(*mn, 1e-9), 2.0);  // large swings persist
+}
+
+TEST(Repressilator, ThreeProteinsPhaseShifted) {
+    const Repressilator_params p;
+    const Ode_solution sol = rk45_solve(repressilator_rhs(p), p.initial, 0.0, 300.0);
+    // At the final time the three proteins should not all be equal
+    // (they cycle out of phase).
+    const Vector& last = sol.states.back();
+    const double spread = std::max({last[3], last[4], last[5]}) -
+                          std::min({last[3], last[4], last[5]});
+    EXPECT_GT(spread, 1.0);
+}
+
+TEST(OscillatorProfile, WrapsComponentAsPhaseFunction) {
+    const Goodwin_params p;
+    const Gene_profile profile =
+        oscillator_profile(goodwin_rhs(p), p.initial, 0, 100.0, 50.0, "goodwin-x");
+    EXPECT_EQ(profile.name, "goodwin-x");
+    for (double phi = 0.0; phi <= 1.0; phi += 0.1) {
+        EXPECT_GE(profile(phi), 0.0);
+    }
+}
+
+TEST(OscillatorProfile, Validation) {
+    const Goodwin_params p;
+    EXPECT_THROW(oscillator_profile(goodwin_rhs(p), p.initial, 9, 100.0, 0.0, "x"),
+                 std::invalid_argument);
+    EXPECT_THROW(oscillator_profile(goodwin_rhs(p), p.initial, 0, 0.0, 0.0, "x"),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

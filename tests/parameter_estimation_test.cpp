@@ -1,0 +1,79 @@
+#include "models/parameter_estimation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(LvFit, RelativeErrorMetric) {
+    Lv_fit_result fit;
+    fit.params = paper_lv_params(150.0);
+    EXPECT_NEAR(fit.relative_error(fit.params), 0.0, 1e-15);
+    Lotka_volterra_params truth = fit.params;
+    truth.a *= 2.0;  // 100% error in one of four params -> 0.5 in rms
+    EXPECT_NEAR(fit.relative_error(truth), 0.25, 1e-12);
+}
+
+TEST(LvFit, RecoversParametersFromCleanProfiles) {
+    // Fit against the model's own trajectories: the optimizer should walk
+    // back to (nearly) the true rates from a perturbed start.
+    const Lotka_volterra_params truth = paper_lv_params(150.0);
+    const Gene_profile x1 = lotka_volterra_profile(truth, 0, 150.0);
+    const Gene_profile x2 = lotka_volterra_profile(truth, 1, 150.0);
+
+    Lotka_volterra_params guess = truth;
+    guess.a *= 1.3;
+    guess.b *= 0.8;
+    guess.c *= 1.15;
+    guess.d *= 0.9;
+
+    Nelder_mead_options options;
+    options.max_evaluations = 4000;
+    const Lv_fit_result fit =
+        fit_lv_to_profiles(x1.f, x2.f, linspace(0.0, 1.0, 31), 150.0, guess, options);
+    EXPECT_LT(fit.relative_error(truth), 0.05);
+    EXPECT_LT(fit.objective, 1e-2);
+}
+
+TEST(LvFit, ProfilesValidation) {
+    const Lotka_volterra_params p = paper_lv_params(150.0);
+    const Gene_profile x1 = lotka_volterra_profile(p, 0, 150.0);
+    const Gene_profile x2 = lotka_volterra_profile(p, 1, 150.0);
+    EXPECT_THROW(fit_lv_to_profiles(x1.f, x2.f, {0.0, 0.5}, 150.0, p),
+                 std::invalid_argument);
+    EXPECT_THROW(fit_lv_to_profiles(x1.f, x2.f, linspace(0.0, 1.0, 11), 0.0, p),
+                 std::invalid_argument);
+}
+
+TEST(LvFit, PopulationFitValidation) {
+    const Measurement_series g1 =
+        Measurement_series::with_unit_sigma("x1", {0.0, 15.0}, {1.0, 1.1});
+    Measurement_series g2 =
+        Measurement_series::with_unit_sigma("x2", {0.0, 15.0, 30.0}, {1.0, 1.1, 1.2});
+    EXPECT_THROW(fit_lv_to_population(g1, g2, paper_lv_params(150.0)),
+                 std::invalid_argument);
+}
+
+TEST(LvFit, PopulationFitRunsAndReturnsFiniteObjective) {
+    // Minimal smoke test of the naive path: fit to (fake) population data.
+    const Lotka_volterra_params truth = paper_lv_params(150.0);
+    const Ode_solution sol = solve_lotka_volterra(truth, 150.0);
+    Vector times = linspace(0.0, 150.0, 11);
+    Vector v1(times.size()), v2(times.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        v1[i] = sol.interpolate(times[i], 0);
+        v2[i] = sol.interpolate(times[i], 1);
+    }
+    const Measurement_series g1 = Measurement_series::with_unit_sigma("x1", times, v1);
+    const Measurement_series g2 = Measurement_series::with_unit_sigma("x2", times, v2);
+    Nelder_mead_options options;
+    options.max_evaluations = 2000;
+    const Lv_fit_result fit = fit_lv_to_population(g1, g2, truth, options);
+    EXPECT_LT(fit.objective, 1e-6);  // fitting the model to itself
+    EXPECT_LT(fit.relative_error(truth), 0.02);
+}
+
+}  // namespace
+}  // namespace cellsync

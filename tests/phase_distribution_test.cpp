@@ -1,0 +1,92 @@
+#include "population/phase_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+std::vector<Snapshot_entry> uniform_snapshot(std::size_t n) {
+    std::vector<Snapshot_entry> snap(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        snap[i].phi = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+        snap[i].phi_sst = 0.15;
+        snap[i].relative_volume = 1.0;
+    }
+    return snap;
+}
+
+TEST(PhaseDistribution, DensityIntegratesToOne) {
+    const auto snap = uniform_snapshot(1000);
+    const Phase_density d = phase_number_density(snap, 50);
+    EXPECT_NEAR(d.mass(), 1.0, 1e-12);
+    const Phase_density dv = phase_volume_density(snap, 50);
+    EXPECT_NEAR(dv.mass(), 1.0, 1e-12);
+}
+
+TEST(PhaseDistribution, UniformSnapshotGivesFlatDensity) {
+    const auto snap = uniform_snapshot(10000);
+    const Phase_density d = phase_number_density(snap, 10);
+    for (double rho : d.density) EXPECT_NEAR(rho, 1.0, 1e-9);
+}
+
+TEST(PhaseDistribution, ConcentratedSnapshotPeaksInOneBin) {
+    std::vector<Snapshot_entry> snap(100);
+    for (auto& e : snap) {
+        e.phi = 0.55;
+        e.relative_volume = 1.0;
+        e.phi_sst = 0.15;
+    }
+    const Phase_density d = phase_number_density(snap, 10);
+    EXPECT_NEAR(d.density[5], 10.0, 1e-12);  // all mass in bin [0.5, 0.6)
+    for (std::size_t b = 0; b < 10; ++b) {
+        if (b != 5) {
+            EXPECT_DOUBLE_EQ(d.density[b], 0.0);
+        }
+    }
+}
+
+TEST(PhaseDistribution, VolumeWeightingShiftsMassToBigCells) {
+    // Two groups: small cells at phi=0.05, large cells at phi=0.95.
+    std::vector<Snapshot_entry> snap;
+    for (int i = 0; i < 100; ++i) {
+        snap.push_back({0.05, 0.15, 0.4});
+        snap.push_back({0.95, 0.15, 1.0});
+    }
+    const Phase_density number = phase_number_density(snap, 10);
+    const Phase_density volume = phase_volume_density(snap, 10);
+    EXPECT_NEAR(number.density[0], number.density[9], 1e-12);
+    EXPECT_GT(volume.density[9], volume.density[0]);  // 1.0 vs 0.4 weights
+    EXPECT_NEAR(volume.density[9] / volume.density[0], 2.5, 1e-9);
+}
+
+TEST(PhaseDistribution, PhiExactlyOneLandsInLastBin) {
+    std::vector<Snapshot_entry> snap{{1.0, 0.15, 1.0}};
+    const Phase_density d = phase_number_density(snap, 4);
+    EXPECT_GT(d.density[3], 0.0);
+}
+
+TEST(PhaseDistribution, MeanPhaseOfUniformIsHalf) {
+    const Phase_density d = phase_number_density(uniform_snapshot(100000), 100);
+    EXPECT_NEAR(d.mean_phase(), 0.5, 1e-3);
+}
+
+TEST(PhaseDistribution, ValidationErrors) {
+    EXPECT_THROW(phase_number_density({}, 10), std::invalid_argument);
+    EXPECT_THROW(phase_number_density(uniform_snapshot(5), 0), std::invalid_argument);
+    // Zero-volume snapshot cannot be volume-weighted.
+    std::vector<Snapshot_entry> zero{{0.5, 0.15, 0.0}};
+    EXPECT_THROW(phase_volume_density(zero, 10), std::invalid_argument);
+}
+
+TEST(PhaseDistribution, BinCentersAreMidpoints) {
+    const Phase_density d = phase_number_density(uniform_snapshot(10), 4);
+    ASSERT_EQ(d.bin_centers.size(), 4u);
+    EXPECT_DOUBLE_EQ(d.bin_centers[0], 0.125);
+    EXPECT_DOUBLE_EQ(d.bin_centers[3], 0.875);
+    EXPECT_DOUBLE_EQ(d.bin_width, 0.25);
+}
+
+}  // namespace
+}  // namespace cellsync

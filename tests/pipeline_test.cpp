@@ -1,0 +1,94 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "biology/gene_profiles.h"
+#include "core/forward_model.h"
+#include "numerics/statistics.h"
+
+namespace cellsync {
+namespace {
+
+Pipeline_config fast_config() {
+    Pipeline_config c;
+    c.kernel.n_cells = 15000;
+    c.kernel.n_bins = 100;
+    c.kernel.seed = 77;
+    c.basis_size = 12;
+    c.cv_folds = 4;
+    c.lambda_grid = default_lambda_grid(9, 1e-6, 1e0);
+    return c;
+}
+
+TEST(Pipeline, EndToEndRecoversProfileWithCv) {
+    const Pipeline_config config = fast_config();
+    const Smooth_volume_model volume;
+    const Kernel_grid kernel = build_kernel(config.cell_cycle, volume,
+                                            linspace(0.0, 180.0, 13), config.kernel);
+    const Gene_profile truth = sinusoid_profile(3.0, 2.0);
+    Rng rng(31);
+    const Noise_model noise{Noise_type::relative_gaussian, 0.05};
+    const Measurement_series data =
+        forward_measurements_noisy(kernel, truth.f, noise, rng);
+
+    const Pipeline_result result = deconvolve_series(data, config, volume);
+    ASSERT_TRUE(result.lambda_selection.has_value());
+    EXPECT_EQ(result.lambda_selection->method, "kfold");
+    EXPECT_DOUBLE_EQ(result.estimate.lambda, result.lambda_selection->best_lambda);
+
+    const Vector grid = linspace(0.05, 0.95, 37);
+    EXPECT_GT(pearson_correlation(result.estimate.sample(grid), truth.sample(grid)), 0.95);
+}
+
+TEST(Pipeline, FixedLambdaPathSkipsSelection) {
+    Pipeline_config config = fast_config();
+    config.select_lambda = false;
+    config.deconvolution.lambda = 1e-3;
+    const Smooth_volume_model volume;
+    const Kernel_grid kernel = build_kernel(config.cell_cycle, volume,
+                                            linspace(0.0, 150.0, 11), config.kernel);
+    const Measurement_series data =
+        forward_measurements(kernel, [](double phi) { return 2.0 + phi; });
+    const Pipeline_result result = deconvolve_series(data, config, volume);
+    EXPECT_FALSE(result.lambda_selection.has_value());
+    EXPECT_DOUBLE_EQ(result.estimate.lambda, 1e-3);
+}
+
+TEST(Pipeline, ComponentsAreExposedForReuse) {
+    Pipeline_config config = fast_config();
+    config.select_lambda = false;
+    const Smooth_volume_model volume;
+    const Kernel_grid kernel = build_kernel(config.cell_cycle, volume,
+                                            linspace(0.0, 150.0, 11), config.kernel);
+    const Measurement_series data =
+        forward_measurements(kernel, [](double) { return 3.0; });
+    const Pipeline_result result = deconvolve_series(data, config, volume);
+    ASSERT_NE(result.basis, nullptr);
+    ASSERT_NE(result.deconvolver, nullptr);
+    EXPECT_EQ(result.basis->size(), config.basis_size);
+    // The returned deconvolver can run further estimates.
+    Deconvolution_options options;
+    options.lambda = 1e-2;
+    EXPECT_NO_THROW(result.deconvolver->estimate(data, options));
+}
+
+TEST(Pipeline, InvalidInputsRejected) {
+    const Pipeline_config config = fast_config();
+    const Smooth_volume_model volume;
+    Measurement_series bad;
+    bad.times = {0.0};
+    bad.values = {1.0};
+    bad.sigmas = {1.0};
+    EXPECT_THROW(deconvolve_series(bad, config, volume), std::invalid_argument);
+
+    Pipeline_config bad_config = fast_config();
+    bad_config.cell_cycle.mu_sst = 0.0;
+    const Measurement_series data = Measurement_series::with_unit_sigma(
+        "x", {0.0, 15.0, 30.0}, {1.0, 1.0, 1.0});
+    EXPECT_THROW(deconvolve_series(data, bad_config, volume), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

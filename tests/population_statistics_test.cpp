@@ -1,0 +1,141 @@
+// Statistical validation of the population simulator against semi-analytic
+// expectations that hold before the first division wave.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/special.h"
+#include "numerics/statistics.h"
+#include "population/phase_distribution.h"
+#include "population/population_simulator.h"
+
+namespace cellsync {
+namespace {
+
+// Before any cell reaches phi = 1, the population size is constant and the
+// phase of cell k is phi0_k + t / T_k — everything is analytic in the
+// draw distributions.
+
+TEST(PopulationStatistics, SizeConstantBeforeFirstDivision) {
+    // Earliest division: T >= 0.2 * 150 = 30 min, phi0 <= phi_sst, so no
+    // divisions strictly before t = 30 * (1 - 0.95) ... conservatively use
+    // t = 20: a cell dividing by then needs T(1 - phi0) <= 20, i.e.
+    // T <= 20/(1-0.95) with extreme draws — possible but essentially never
+    // with truncation at 0.2*mean. Check exactness at t = 10.
+    Population_simulator sim(Cell_cycle_config{}, 30000, 71);
+    const std::size_t n0 = sim.size();
+    sim.advance_to(10.0);
+    EXPECT_EQ(sim.size(), n0);
+}
+
+TEST(PopulationStatistics, MeanPhaseAdvancesAtMeanInverseCycleRate) {
+    const Cell_cycle_config config;
+    Population_simulator sim(config, 60000, 72);
+    const Smooth_volume_model vm;
+
+    auto mean_phase = [&]() {
+        const auto snap = sim.snapshot(vm);
+        double s = 0.0;
+        for (const Snapshot_entry& e : snap) s += e.phi;
+        return s / static_cast<double>(snap.size());
+    };
+
+    const double phase0 = mean_phase();
+    // Initial phases are Uniform(0, phi_sst_k): mean ~ mu_sst / 2.
+    EXPECT_NEAR(phase0, config.mu_sst / 2.0, 0.003);
+
+    sim.advance_to(20.0);
+    const double phase20 = mean_phase();
+    // d<phi>/dt = E[1/T]; for Normal(150, 18) truncated, E[1/T] ~
+    // (1/mu)(1 + cv^2) to second order.
+    const double cv = config.cv_cycle;
+    const double expected_rate = (1.0 + cv * cv) / config.mean_cycle_minutes;
+    EXPECT_NEAR(phase20 - phase0, 20.0 * expected_rate, 0.002);
+}
+
+TEST(PopulationStatistics, PhaseSpreadGrowsLinearlambdaEarly) {
+    // Var(phi(t)) = Var(phi0) + t^2 Var(1/T): the early-time spread grows
+    // with t, dominated by cycle-time variability.
+    Population_simulator sim(Cell_cycle_config{}, 60000, 73);
+    const Smooth_volume_model vm;
+    auto phase_sd = [&]() {
+        const auto snap = sim.snapshot(vm);
+        Vector phis(snap.size());
+        for (std::size_t i = 0; i < snap.size(); ++i) phis[i] = snap[i].phi;
+        return stddev(phis);
+    };
+    const double sd0 = phase_sd();
+    sim.advance_to(25.0);
+    const double sd25 = phase_sd();
+    EXPECT_GT(sd25, sd0);
+    // Predicted: sqrt(Var(phi0) + (25 * sd(1/T))^2). sd(1/T) ~ cv/mu.
+    const Cell_cycle_config config;
+    const double sd_invT = config.cv_cycle / config.mean_cycle_minutes;
+    const double predicted = std::sqrt(sd0 * sd0 + 25.0 * 25.0 * sd_invT * sd_invT);
+    EXPECT_NEAR(sd25, predicted, 0.005);
+}
+
+TEST(PopulationStatistics, TransitionPhasesMatchConfiguredGaussian) {
+    const Cell_cycle_config config;
+    Population_simulator sim(config, 50000, 74);
+    const Smooth_volume_model vm;
+    const auto snap = sim.snapshot(vm);
+    Vector phi_sst(snap.size());
+    for (std::size_t i = 0; i < snap.size(); ++i) phi_sst[i] = snap[i].phi_sst;
+    EXPECT_NEAR(mean(phi_sst), config.mu_sst, 0.001);
+    EXPECT_NEAR(stddev(phi_sst), config.sigma_sst(), 0.001);
+    // Gaussian shape check at the quartiles.
+    EXPECT_NEAR(quantile(phi_sst, 0.25),
+                config.mu_sst + config.sigma_sst() * gaussian_quantile(0.25), 0.001);
+    EXPECT_NEAR(quantile(phi_sst, 0.75),
+                config.mu_sst + config.sigma_sst() * gaussian_quantile(0.75), 0.001);
+}
+
+TEST(PopulationStatistics, LongRunSizeGrowthApproachesDoublingPerCycle) {
+    // Over several cycles an asynchronous population doubles once per mean
+    // cycle time (within a tolerance covering the synchronized start's
+    // transient and cycle-time dispersion).
+    Population_simulator sim(Cell_cycle_config{}, 20000, 75);
+    const double horizon = 450.0;  // three mean cycles
+    sim.advance_to(horizon);
+    const double growth = static_cast<double>(sim.size()) / 20000.0;
+    const double doublings = std::log2(growth);
+    EXPECT_NEAR(doublings, horizon / 150.0, 0.35);
+}
+
+TEST(PopulationStatistics, VolumeDensityIsNumberDensityReweighted) {
+    // Q(phi) must equal n(phi) * v(phi) / integral(n v): check on a
+    // mid-experiment snapshot, bin by bin.
+    Population_simulator sim(Cell_cycle_config{}, 60000, 76);
+    sim.advance_to(100.0);
+    const Smooth_volume_model vm;
+    const auto snap = sim.snapshot(vm);
+    const std::size_t bins = 40;
+    const Phase_density number = phase_number_density(snap, bins);
+    const Phase_density volume = phase_volume_density(snap, bins);
+
+    // Per-bin mean volume from the snapshot.
+    Vector bin_volume(bins, 0.0), bin_count(bins, 0.0);
+    for (const Snapshot_entry& e : snap) {
+        auto b = static_cast<std::size_t>(std::min(e.phi, 0.999999) * bins);
+        bin_volume[b] += e.relative_volume;
+        bin_count[b] += 1.0;
+    }
+    double normalization = 0.0;
+    for (std::size_t b = 0; b < bins; ++b) {
+        if (bin_count[b] > 0.0) {
+            normalization += number.density[b] * (bin_volume[b] / bin_count[b]) *
+                             number.bin_width;
+        }
+    }
+    for (std::size_t b = 0; b < bins; ++b) {
+        if (bin_count[b] < 50.0) continue;  // skip statistically empty bins
+        const double expected =
+            number.density[b] * (bin_volume[b] / bin_count[b]) / normalization;
+        EXPECT_NEAR(volume.density[b], expected, 0.02 * std::max(1.0, expected))
+            << "bin " << b;
+    }
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,253 @@
+#include "numerics/qp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/rng.h"
+
+namespace cellsync {
+namespace {
+
+Qp_problem unconstrained_bowl() {
+    // min (x0-1)^2 + (x1-2)^2.
+    Qp_problem p;
+    p.hessian = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+    p.gradient = {-2.0, -4.0};
+    p.eq_matrix = Matrix(0, 2);
+    p.ineq_matrix = Matrix(0, 2);
+    return p;
+}
+
+TEST(QpSolver, UnconstrainedMinimum) {
+    const Qp_result r = solve_qp(unconstrained_bowl());
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+    EXPECT_NEAR(r.objective, -5.0, 1e-9);  // 0.5 x'Hx + g'x at (1,2)
+}
+
+TEST(QpSolver, ActiveInequalityBindsAtOptimum) {
+    // Same bowl, but require x1 <= 1, i.e. -x1 >= -1.
+    Qp_problem p = unconstrained_bowl();
+    p.ineq_matrix = Matrix{{0.0, -1.0}};
+    p.ineq_rhs = {-1.0};
+    const Qp_result r = solve_qp(p);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+    ASSERT_EQ(r.active_set.size(), 1u);
+    EXPECT_EQ(r.active_set[0], 0u);
+    EXPECT_LT(kkt_violation(p, r), 1e-7);
+}
+
+TEST(QpSolver, InactiveInequalityIgnored) {
+    Qp_problem p = unconstrained_bowl();
+    p.ineq_matrix = Matrix{{0.0, -1.0}};
+    p.ineq_rhs = {-100.0};  // x1 <= 100: never binds
+    const Qp_result r = solve_qp(p);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+    EXPECT_TRUE(r.active_set.empty());
+}
+
+TEST(QpSolver, EqualityConstraintRespected) {
+    // min (x0-1)^2 + (x1-2)^2 s.t. x0 + x1 = 1 -> x = (0, 1).
+    Qp_problem p = unconstrained_bowl();
+    p.eq_matrix = Matrix{{1.0, 1.0}};
+    p.eq_rhs = {1.0};
+    const Qp_result r = solve_qp(p, {}, Vector{0.5, 0.5});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+    EXPECT_LT(kkt_violation(p, r), 1e-8);
+}
+
+TEST(QpSolver, EqualityPlusInequality) {
+    // min x0^2 + x1^2 s.t. x0 + x1 = 1, x0 >= 0.7.
+    Qp_problem p;
+    p.hessian = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+    p.gradient = {0.0, 0.0};
+    p.eq_matrix = Matrix{{1.0, 1.0}};
+    p.eq_rhs = {1.0};
+    p.ineq_matrix = Matrix{{1.0, 0.0}};
+    p.ineq_rhs = {0.7};
+    const Qp_result r = solve_qp(p, {}, Vector{0.8, 0.2});
+    EXPECT_NEAR(r.x[0], 0.7, 1e-9);
+    EXPECT_NEAR(r.x[1], 0.3, 1e-9);
+    EXPECT_LT(kkt_violation(p, r), 1e-8);
+}
+
+TEST(QpSolver, NonNegativityBox) {
+    // min (x0+1)^2 + (x1-1)^2 s.t. x >= 0 -> x = (0, 1).
+    Qp_problem p;
+    p.hessian = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+    p.gradient = {2.0, -2.0};
+    p.eq_matrix = Matrix(0, 2);
+    p.ineq_matrix = Matrix::identity(2);
+    p.ineq_rhs = {0.0, 0.0};
+    const Qp_result r = solve_qp(p);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+}
+
+TEST(QpSolver, ProvidedInfeasibleStartRejected) {
+    Qp_problem p = unconstrained_bowl();
+    p.ineq_matrix = Matrix{{1.0, 0.0}};
+    p.ineq_rhs = {0.0};
+    EXPECT_THROW(solve_qp(p, {}, Vector{-1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(QpSolver, ShapeValidation) {
+    Qp_problem p = unconstrained_bowl();
+    p.gradient = {1.0};
+    EXPECT_THROW(solve_qp(p), std::invalid_argument);
+    p = unconstrained_bowl();
+    p.eq_matrix = Matrix{{1.0, 1.0}};
+    p.eq_rhs = {};
+    EXPECT_THROW(solve_qp(p), std::invalid_argument);
+    p = unconstrained_bowl();
+    p.hessian = Matrix(2, 3);
+    EXPECT_THROW(solve_qp(p), std::invalid_argument);
+}
+
+TEST(QpSolver, DegeneratePositivityGridHandled) {
+    // Many redundant copies of the same constraint x0 >= 0 must not break
+    // the working-set logic.
+    Qp_problem p;
+    p.hessian = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+    p.gradient = {2.0, -2.0};
+    p.eq_matrix = Matrix(0, 2);
+    p.ineq_matrix = Matrix(6, 2);
+    for (std::size_t r = 0; r < 6; ++r) p.ineq_matrix(r, 0) = 1.0;
+    p.ineq_rhs.assign(6, 0.0);
+    const Qp_result result = solve_qp(p);
+    EXPECT_NEAR(result.x[0], 0.0, 1e-9);
+    EXPECT_NEAR(result.x[1], 1.0, 1e-9);
+}
+
+TEST(QpDualSolver, MatchesPrimalOnBasicProblems) {
+    // Same optimum from both methods on a mix of constraint structures.
+    {
+        const Qp_result r = solve_qp_dual(unconstrained_bowl());
+        EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+        EXPECT_NEAR(r.x[1], 2.0, 1e-8);
+    }
+    {
+        Qp_problem p = unconstrained_bowl();
+        p.ineq_matrix = Matrix{{0.0, -1.0}};
+        p.ineq_rhs = {-1.0};
+        const Qp_result r = solve_qp_dual(p);
+        EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+        EXPECT_LT(kkt_violation(p, r), 1e-6);
+    }
+    {
+        Qp_problem p;
+        p.hessian = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+        p.gradient = {2.0, -2.0};
+        p.eq_matrix = Matrix(0, 2);
+        p.ineq_matrix = Matrix::identity(2);
+        p.ineq_rhs = {0.0, 0.0};
+        const Qp_result r = solve_qp_dual(p);
+        EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+        EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+    }
+}
+
+TEST(QpDualSolver, EqualityConstraintsViaNullSpace) {
+    // min (x0-1)^2 + (x1-2)^2 s.t. x0 + x1 = 1 -> (0, 1).
+    Qp_problem p = unconstrained_bowl();
+    p.eq_matrix = Matrix{{1.0, 1.0}};
+    p.eq_rhs = {1.0};
+    const Qp_result r = solve_qp_dual(p);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+    // With an inequality on top: x0 >= 0.7 -> (0.7, 0.3).
+    p.hessian = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+    p.gradient = {0.0, 0.0};
+    p.ineq_matrix = Matrix{{1.0, 0.0}};
+    p.ineq_rhs = {0.7};
+    const Qp_result rc = solve_qp_dual(p);
+    EXPECT_NEAR(rc.x[0], 0.7, 1e-8);
+    EXPECT_NEAR(rc.x[1], 0.3, 1e-8);
+}
+
+TEST(QpDualSolver, FullyDeterminedByEqualities) {
+    Qp_problem p = unconstrained_bowl();
+    p.eq_matrix = Matrix{{1.0, 0.0}, {0.0, 1.0}};
+    p.eq_rhs = {5.0, 6.0};
+    const Qp_result r = solve_qp_dual(p);
+    EXPECT_NEAR(r.x[0], 5.0, 1e-8);
+    EXPECT_NEAR(r.x[1], 6.0, 1e-8);
+}
+
+TEST(QpDualSolver, InconsistentEqualitiesThrow) {
+    Qp_problem p = unconstrained_bowl();
+    p.eq_matrix = Matrix{{1.0, 1.0}, {1.0, 1.0}};
+    p.eq_rhs = {1.0, 2.0};
+    EXPECT_THROW(solve_qp_dual(p), std::runtime_error);
+}
+
+TEST(QpDualSolver, InfeasibleInequalitiesThrow) {
+    Qp_problem p = unconstrained_bowl();
+    p.ineq_matrix = Matrix{{1.0, 0.0}, {-1.0, 0.0}};
+    p.ineq_rhs = {1.0, 0.0};  // x0 >= 1 and x0 <= 0
+    EXPECT_THROW(solve_qp_dual(p), std::runtime_error);
+}
+
+TEST(QpDualSolver, RedundantConstraintGridHandled) {
+    // Many duplicated/near-parallel rows — the degenerate case that
+    // motivates using the dual method in the deconvolver.
+    Qp_problem p;
+    p.hessian = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+    p.gradient = {2.0, -2.0};
+    p.eq_matrix = Matrix(0, 2);
+    p.ineq_matrix = Matrix(40, 2);
+    for (std::size_t r = 0; r < 40; ++r) {
+        p.ineq_matrix(r, 0) = 1.0;
+        p.ineq_matrix(r, 1) = 1e-6 * static_cast<double>(r);  // nearly parallel
+    }
+    p.ineq_rhs.assign(40, 0.0);
+    const Qp_result r = solve_qp_dual(p);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-6);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-6);
+}
+
+// Property suite: random strictly convex problems with random box
+// constraints must satisfy the KKT conditions at the reported optimum.
+class QpRandomProblems : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QpRandomProblems, KktHoldsAtReportedOptimum) {
+    Rng rng(GetParam());
+    const std::size_t n = 3 + rng.index(6);
+
+    // SPD Hessian H = A'A + n I.
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    Matrix h = gram(a);
+    for (std::size_t i = 0; i < n; ++i) h(i, i) += static_cast<double>(n);
+
+    Qp_problem p;
+    p.hessian = h;
+    p.gradient = rng.normal_vector(n);
+    p.eq_matrix = Matrix(0, n);
+    p.ineq_matrix = Matrix::identity(n);  // x >= 0
+    p.ineq_rhs.assign(n, 0.0);
+
+    const Qp_result r = solve_qp(p);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(kkt_violation(p, r), 1e-6);
+    for (double xi : r.x) EXPECT_GE(xi, -1e-9);
+
+    // The dual method must land on the same optimum.
+    const Qp_result rd = solve_qp_dual(p);
+    EXPECT_LT(kkt_violation(p, rd), 1e-6);
+    EXPECT_NEAR(rd.objective, r.objective, 1e-6 * std::max(1.0, std::abs(r.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QpRandomProblems,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,123 @@
+#include "numerics/quadrature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(Trapezoid, ExactForLinear) {
+    // f(x) = 2x on [0, 1] sampled at 0, 0.5, 1.
+    EXPECT_DOUBLE_EQ(trapezoid({0.0, 1.0, 2.0}, 0.5), 1.0);
+}
+
+TEST(Trapezoid, RejectsBadInput) {
+    EXPECT_THROW(trapezoid({1.0}, 0.5), std::invalid_argument);
+    EXPECT_THROW(trapezoid({1.0, 2.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Simpson, ExactForCubic) {
+    // f(x) = x^3 on [0, 2]: integral = 4.
+    Vector y;
+    const double h = 0.5;
+    for (int i = 0; i <= 4; ++i) {
+        const double x = h * i;
+        y.push_back(x * x * x);
+    }
+    EXPECT_NEAR(simpson(y, h), 4.0, 1e-14);
+}
+
+TEST(Simpson, RejectsEvenSampleCount) {
+    EXPECT_THROW(simpson({1.0, 2.0, 3.0, 4.0}, 0.1), std::invalid_argument);
+    EXPECT_THROW(simpson({1.0, 2.0, 3.0}, -1.0), std::invalid_argument);
+}
+
+TEST(TrapezoidNonuniform, MatchesUniformCase) {
+    const Vector x{0.0, 0.5, 1.0};
+    const Vector y{0.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(trapezoid_nonuniform(x, y), trapezoid(y, 0.5));
+}
+
+TEST(TrapezoidNonuniform, HandlesIrregularGrid) {
+    // f = 1 integrates to the span regardless of grid.
+    EXPECT_DOUBLE_EQ(trapezoid_nonuniform({0.0, 0.1, 0.7, 1.0}, {1.0, 1.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(TrapezoidNonuniform, RejectsDescendingGrid) {
+    EXPECT_THROW(trapezoid_nonuniform({0.0, -0.1}, {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(GaussLegendre, WeightsSumToInterval) {
+    for (std::size_t n : {1u, 2u, 5u, 16u, 64u}) {
+        const Quadrature_rule r = gauss_legendre(n, -2.0, 3.0);
+        EXPECT_NEAR(sum(r.weights), 5.0, 1e-12) << "n=" << n;
+    }
+}
+
+TEST(GaussLegendre, NodesInsideIntervalAndAscending) {
+    const Quadrature_rule r = gauss_legendre(12, 0.0, 1.0);
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        EXPECT_GT(r.nodes[i], 0.0);
+        EXPECT_LT(r.nodes[i], 1.0);
+        if (i > 0) {
+            EXPECT_GT(r.nodes[i], r.nodes[i - 1]);
+        }
+    }
+}
+
+TEST(GaussLegendre, ExactForHighDegreePolynomials) {
+    // n-point rule is exact up to degree 2n-1: check x^9 with n = 5 on [0,1].
+    const Quadrature_rule r = gauss_legendre(5, 0.0, 1.0);
+    double s = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) s += r.weights[i] * std::pow(r.nodes[i], 9);
+    EXPECT_NEAR(s, 0.1, 1e-14);
+}
+
+TEST(GaussLegendre, RejectsBadArguments) {
+    EXPECT_THROW(gauss_legendre(0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(gauss_legendre(4, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(IntegrateGauss, SinOverHalfPeriod) {
+    const double v = integrate_gauss([](double x) { return std::sin(x); }, 0.0,
+                                     std::numbers::pi, 24);
+    EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
+TEST(IntegrateSimpson, GaussianMassCloseToOne) {
+    const double v = integrate_simpson(
+        [](double x) {
+            return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+        },
+        -8.0, 8.0, 512);
+    EXPECT_NEAR(v, 1.0, 1e-10);
+}
+
+TEST(IntegrateSimpson, RejectsZeroPanels) {
+    EXPECT_THROW(integrate_simpson([](double) { return 1.0; }, 0.0, 1.0, 0),
+                 std::invalid_argument);
+}
+
+// Property sweep: composite Simpson converges at 4th order on smooth
+// integrands — doubling panels must cut the error by ~16x.
+class SimpsonConvergence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimpsonConvergence, FourthOrderOnExp) {
+    const std::size_t panels = GetParam();
+    const double exact = std::exp(1.0) - 1.0;
+    const auto f = [](double x) { return std::exp(x); };
+    const double e1 = std::abs(integrate_simpson(f, 0.0, 1.0, panels) - exact);
+    const double e2 = std::abs(integrate_simpson(f, 0.0, 1.0, 2 * panels) - exact);
+    if (e1 > 1e-14) {
+        EXPECT_LT(e2, e1 / 10.0);  // a loose 4th-order check
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PanelSweep, SimpsonConvergence,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,69 @@
+#include "io/reference_data.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(ReferenceData, FractionsSumToOne) {
+    const Reference_census ref = judd_reference_census(linspace(75.0, 150.0, 6));
+    for (std::size_t m = 0; m < ref.times.size(); ++m) {
+        double total = 0.0;
+        for (std::size_t k = 0; k < cell_type_count; ++k) total += ref.fractions(m, k);
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(ReferenceData, EarlyTimesAreSwarmerFree) {
+    // By 75 minutes (phase ~0.5) the synchronized isolate has fully
+    // transitioned: SW fraction near zero until division repopulates it.
+    const Reference_census ref = judd_reference_census({75.0, 90.0});
+    EXPECT_LT(ref.fractions(0, 0), 0.05);
+}
+
+TEST(ReferenceData, LatePredivisionalRisesTowardDivision) {
+    const Reference_census ref = judd_reference_census({90.0, 120.0, 140.0}, {}, thresholds_mid(), 0.0);
+    const std::size_t stlpd = static_cast<std::size_t>(Cell_type::late_predivisional);
+    EXPECT_LT(ref.fractions(0, stlpd), ref.fractions(2, stlpd));
+}
+
+TEST(ReferenceData, ScatterPerturbsButPreservesNormalization) {
+    const Vector times = linspace(75.0, 150.0, 6);
+    const Reference_census clean = judd_reference_census(times, {}, thresholds_mid(), 0.0);
+    const Reference_census noisy = judd_reference_census(times, {}, thresholds_mid(), 0.03);
+    double max_diff = 0.0;
+    for (std::size_t m = 0; m < times.size(); ++m) {
+        double total = 0.0;
+        for (std::size_t k = 0; k < cell_type_count; ++k) {
+            total += noisy.fractions(m, k);
+            max_diff = std::max(max_diff,
+                                std::abs(noisy.fractions(m, k) - clean.fractions(m, k)));
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+    EXPECT_GT(max_diff, 1e-4);  // scatter did something
+    EXPECT_LT(max_diff, 0.2);   // but stayed bounded
+}
+
+TEST(ReferenceData, DeterministicOutput) {
+    const Vector times{80.0, 100.0};
+    const Reference_census a = judd_reference_census(times);
+    const Reference_census b = judd_reference_census(times);
+    for (std::size_t m = 0; m < times.size(); ++m) {
+        for (std::size_t k = 0; k < cell_type_count; ++k) {
+            EXPECT_DOUBLE_EQ(a.fractions(m, k), b.fractions(m, k));
+        }
+    }
+}
+
+TEST(ReferenceData, Validation) {
+    EXPECT_THROW(judd_reference_census({}), std::invalid_argument);
+    EXPECT_THROW(judd_reference_census({100.0, 50.0}), std::invalid_argument);
+    EXPECT_THROW(judd_reference_census({50.0}, {}, thresholds_mid(), -1.0),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,134 @@
+#include "models/regulatory_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(RegulatoryNetwork, ConstructionAndValidation) {
+    EXPECT_THROW(Regulatory_network(0), std::invalid_argument);
+    Regulatory_network net(2);
+    EXPECT_EQ(net.gene_count(), 2u);
+    EXPECT_THROW(net.set_production(5, 1.0), std::out_of_range);
+    EXPECT_THROW(net.set_production(0, 0.0), std::invalid_argument);
+    EXPECT_THROW(net.set_basal(0, -1.0), std::invalid_argument);
+    EXPECT_THROW(net.set_decay(0, 0.0), std::invalid_argument);
+    EXPECT_THROW(net.add_edge({0, 9, true, 1.0, 2.0}), std::out_of_range);
+    EXPECT_THROW(net.add_edge({0, 1, true, 0.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(net.add_edge({0, 1, true, 1.0, 0.5}), std::invalid_argument);
+    EXPECT_NO_THROW(net.add_edge({0, 1, true, 1.0, 2.0}));
+    EXPECT_EQ(net.edges().size(), 1u);
+}
+
+TEST(RegulatoryNetwork, UnregulatedGeneReachesProductionOverDecay) {
+    Regulatory_network net(1);
+    net.set_basal(0, 2.0);
+    net.set_production(0, 1e-9);  // effectively basal-only
+    net.set_decay(0, 0.5);
+    const Ode_solution sol = net.simulate({0.0}, 40.0);
+    EXPECT_NEAR(sol.states.back()[0], 4.0, 1e-3);  // basal / decay
+}
+
+TEST(RegulatoryNetwork, ActivationRaisesRepressionLowersSteadyState) {
+    // Gene 1 regulated by a constitutively high gene 0.
+    auto build = [](bool activating) {
+        Regulatory_network net(2);
+        net.set_basal(0, 5.0);
+        net.set_production(0, 1e-9);
+        net.set_decay(0, 1.0);  // gene 0 -> steady 5 (far above threshold 1)
+        net.set_basal(1, 0.1);
+        net.set_production(1, 4.0);
+        net.set_decay(1, 1.0);
+        net.add_edge({0, 1, activating, 1.0, 2.0});
+        return net;
+    };
+    const Ode_solution activated = build(true).simulate({5.0, 0.5}, 40.0);
+    const Ode_solution repressed = build(false).simulate({5.0, 0.5}, 40.0);
+    // Activated: ~0.1 + 4*H(5) ~ 3.95; repressed: ~0.1 + 4*(1-H) ~ 0.25.
+    EXPECT_GT(activated.states.back()[1], 3.0);
+    EXPECT_LT(repressed.states.back()[1], 0.6);
+}
+
+TEST(RegulatoryNetwork, StatesStayNonNegative) {
+    const Ring_oscillator ring = ring_oscillator_network(150.0);
+    const Ode_solution sol = ring.network.simulate(ring.initial, 600.0);
+    for (const Vector& state : sol.states) {
+        for (double x : state) EXPECT_GT(x, -1e-9);
+    }
+}
+
+TEST(RegulatoryNetwork, RingOscillatorSustainsOscillation) {
+    const Ring_oscillator ring = ring_oscillator_network(150.0);
+    const Ode_solution sol = ring.network.simulate(ring.initial, 900.0);
+    // Count genuine maxima of gene 0 in the second half.
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = sol.times.size() / 2; i < sol.times.size(); ++i) {
+        lo = std::min(lo, sol.states[i][0]);
+        hi = std::max(hi, sol.states[i][0]);
+    }
+    EXPECT_GT(hi / std::max(lo, 1e-9), 2.0);  // sustained amplitude
+}
+
+TEST(RegulatoryNetwork, RingOscillatorPeriodMatchesRequest) {
+    const Ring_oscillator ring = ring_oscillator_network(150.0);
+    const Ode_solution sol = ring.network.simulate(ring.initial, 1200.0);
+    // Peak-to-peak period of gene 0 after the transient.
+    Vector peaks;
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = sol.times.size() / 4; i < sol.times.size(); ++i) {
+        lo = std::min(lo, sol.states[i][0]);
+        hi = std::max(hi, sol.states[i][0]);
+    }
+    const double floor_level = lo + 0.5 * (hi - lo);
+    for (std::size_t i = 1; i + 1 < sol.times.size(); ++i) {
+        if (sol.times[i] < 300.0) continue;
+        if (sol.states[i][0] > floor_level && sol.states[i][0] > sol.states[i - 1][0] &&
+            sol.states[i][0] > sol.states[i + 1][0]) {
+            peaks.push_back(sol.times[i]);
+        }
+    }
+    ASSERT_GE(peaks.size(), 3u);
+    const double period =
+        (peaks.back() - peaks.front()) / static_cast<double>(peaks.size() - 1);
+    EXPECT_NEAR(period, 150.0, 7.5);  // within 5%
+}
+
+TEST(RegulatoryNetwork, ThreeGenesPhaseShiftedAroundRing) {
+    const Ring_oscillator ring = ring_oscillator_network(150.0);
+    const Ode_solution sol = ring.network.simulate(ring.initial, 600.0);
+    const Vector& last = sol.states.back();
+    const double spread = *std::max_element(last.begin(), last.end()) -
+                          *std::min_element(last.begin(), last.end());
+    EXPECT_GT(spread, 0.5);  // genes cycle out of phase, never collapse together
+}
+
+TEST(RegulatoryNetwork, ProfileExtractionNonNegativeAndPeriodSized) {
+    const Ring_oscillator ring = ring_oscillator_network(150.0);
+    const Gene_profile p =
+        ring.network.profile(ring.initial, 0, ring.period, 450.0, "ring-gene0");
+    EXPECT_EQ(p.name, "ring-gene0");
+    double lo = 1e300, hi = -1e300;
+    for (double phi = 0.0; phi <= 1.0; phi += 0.01) {
+        EXPECT_GE(p(phi), 0.0);
+        lo = std::min(lo, p(phi));
+        hi = std::max(hi, p(phi));
+    }
+    EXPECT_GT(hi - lo, 1.0);  // a full cycle captured
+}
+
+TEST(RegulatoryNetwork, SimulateValidatesInitialState) {
+    Regulatory_network net(2);
+    EXPECT_THROW(net.simulate({1.0}, 10.0), std::invalid_argument);
+    EXPECT_THROW(net.profile({1.0}, 0, 10.0, 0.0, "x"), std::invalid_argument);
+}
+
+TEST(RegulatoryNetwork, BadPeriodRejected) {
+    EXPECT_THROW(ring_oscillator_network(0.0), std::invalid_argument);
+    EXPECT_THROW(ring_oscillator_network(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,98 @@
+#include "numerics/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numerics/statistics.h"
+
+namespace cellsync {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (a.uniform() == b.uniform()) ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRangeRespected) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformDegenerateAndInvalid) {
+    Rng rng(7);
+    EXPECT_DOUBLE_EQ(rng.uniform(1.5, 1.5), 1.5);
+    EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+    Rng rng(11);
+    Vector draws(20000);
+    for (double& d : draws) d = rng.normal(5.0, 2.0);
+    EXPECT_NEAR(mean(draws), 5.0, 0.05);
+    EXPECT_NEAR(stddev(draws), 2.0, 0.05);
+}
+
+TEST(Rng, NormalZeroSigmaIsDeterministic) {
+    Rng rng(3);
+    EXPECT_DOUBLE_EQ(rng.normal(4.0, 0.0), 4.0);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+    Rng rng(3);
+    EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, TruncatedNormalStaysInWindow) {
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.truncated_normal(0.15, 0.02, 0.1, 0.2);
+        EXPECT_GE(x, 0.1);
+        EXPECT_LE(x, 0.2);
+    }
+}
+
+TEST(Rng, TruncatedNormalPathologicalWindowClamps) {
+    Rng rng(13);
+    // Window 50 sigma away: rejection fails, clamp to nearest edge.
+    const double x = rng.truncated_normal(0.0, 0.01, 5.0, 6.0);
+    EXPECT_DOUBLE_EQ(x, 5.0);
+}
+
+TEST(Rng, TruncatedNormalRejectsEmptyWindow) {
+    Rng rng(13);
+    EXPECT_THROW(rng.truncated_normal(0.0, 1.0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, LognormalIsPositive) {
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, IndexWithinBounds) {
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+    EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalVectorHasRequestedLength) {
+    Rng rng(23);
+    EXPECT_EQ(rng.normal_vector(5).size(), 5u);
+    EXPECT_TRUE(rng.normal_vector(0).empty());
+}
+
+}  // namespace
+}  // namespace cellsync

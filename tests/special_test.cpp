@@ -1,0 +1,78 @@
+#include "numerics/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(GaussianPdf, StandardPeakValue) {
+    EXPECT_NEAR(gaussian_pdf(0.0), 1.0 / std::sqrt(2.0 * std::numbers::pi), 1e-15);
+}
+
+TEST(GaussianPdf, SymmetricAboutMean) {
+    EXPECT_DOUBLE_EQ(gaussian_pdf(1.3), gaussian_pdf(-1.3));
+    EXPECT_DOUBLE_EQ(gaussian_pdf(2.0, 1.0, 0.5), gaussian_pdf(0.0, 1.0, 0.5));
+}
+
+TEST(GaussianPdf, ScalesWithSigma) {
+    EXPECT_NEAR(gaussian_pdf(0.0, 0.0, 2.0), gaussian_pdf(0.0) / 2.0, 1e-15);
+}
+
+TEST(GaussianPdf, RejectsBadSigma) {
+    EXPECT_THROW(gaussian_pdf(0.0, 0.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(gaussian_pdf(0.0, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(GaussianCdf, KnownValues) {
+    EXPECT_NEAR(gaussian_cdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(gaussian_cdf(1.959963984540054), 0.975, 1e-9);
+    EXPECT_NEAR(gaussian_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(GaussianCdf, MonotoneIncreasing) {
+    double prev = 0.0;
+    for (double x = -5.0; x <= 5.0; x += 0.25) {
+        const double c = gaussian_cdf(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(GaussianQuantile, InvertsCdf) {
+    for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+        EXPECT_NEAR(gaussian_cdf(gaussian_quantile(p)), p, 1e-12) << "p=" << p;
+    }
+}
+
+TEST(GaussianQuantile, RejectsBoundaryProbabilities) {
+    EXPECT_THROW(gaussian_quantile(0.0), std::invalid_argument);
+    EXPECT_THROW(gaussian_quantile(1.0), std::invalid_argument);
+    EXPECT_THROW(gaussian_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(TruncatedNormalMean, SymmetricWindowKeepsMean) {
+    EXPECT_NEAR(truncated_normal_mean(2.0, 0.5, 1.0, 3.0), 2.0, 1e-12);
+}
+
+TEST(TruncatedNormalMean, RightTruncationPullsDown) {
+    EXPECT_LT(truncated_normal_mean(0.0, 1.0, -5.0, 0.0), 0.0);
+}
+
+TEST(TruncatedNormalMean, EmptyMassFallsToNearestBoundary) {
+    // Window far in the upper tail: mean collapses toward the window.
+    const double m = truncated_normal_mean(0.0, 0.1, 5.0, 6.0);
+    EXPECT_GE(m, 5.0);
+    EXPECT_LE(m, 6.0);
+}
+
+TEST(TruncatedNormalMean, RejectsBadArguments) {
+    EXPECT_THROW(truncated_normal_mean(0.0, 0.0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(truncated_normal_mean(0.0, 1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,140 @@
+#include "spline/spline_basis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/quadrature.h"
+
+namespace cellsync {
+namespace {
+
+TEST(NaturalSplineBasis, CardinalPropertyAtKnots) {
+    const Natural_spline_basis basis(8);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        for (std::size_t j = 0; j < basis.size(); ++j) {
+            EXPECT_NEAR(basis.value(i, basis.knots()[j]), i == j ? 1.0 : 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(NaturalSplineBasis, PartitionOfUnityEverywhere) {
+    // Cardinal interpolation of the constant function 1 reproduces 1.
+    const Natural_spline_basis basis(10);
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < basis.size(); ++i) s += basis.value(i, x);
+        EXPECT_NEAR(s, 1.0, 1e-10) << "x=" << x;
+    }
+}
+
+TEST(NaturalSplineBasis, ReproducesLinearFunctions) {
+    // alpha_i = knot_i makes the expansion the identity function.
+    const Natural_spline_basis basis(9);
+    const Vector alpha = basis.knots();
+    for (double x = 0.0; x <= 1.0; x += 0.05) {
+        EXPECT_NEAR(basis.expand(alpha, x), x, 1e-10);
+        EXPECT_NEAR(basis.expand_derivative(alpha, x), 1.0, 1e-8);
+    }
+}
+
+TEST(NaturalSplineBasis, MinimumKnotCountEnforced) {
+    EXPECT_THROW(Natural_spline_basis(3), std::invalid_argument);
+    EXPECT_NO_THROW(Natural_spline_basis(4));
+}
+
+TEST(NaturalSplineBasis, CustomKnotsValidated) {
+    EXPECT_NO_THROW(Natural_spline_basis(Vector{0.0, 0.2, 0.3, 0.9, 1.0}));
+    EXPECT_THROW(Natural_spline_basis(Vector{0.1, 0.5, 0.8, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Natural_spline_basis(Vector{0.0, 0.5, 0.4, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Natural_spline_basis(Vector{0.0, 0.5, 0.9, 0.95}), std::invalid_argument);
+}
+
+TEST(NaturalSplineBasis, IndexOutOfRangeThrows) {
+    const Natural_spline_basis basis(5);
+    EXPECT_THROW(basis.value(5, 0.5), std::out_of_range);
+    EXPECT_THROW(basis.derivative(5, 0.5), std::out_of_range);
+    EXPECT_THROW(basis.second_derivative(9, 0.5), std::out_of_range);
+}
+
+TEST(NaturalSplineBasis, PenaltyMatrixMatchesQuadrature) {
+    const Natural_spline_basis basis(6);
+    const Matrix exact = basis.penalty_matrix();
+    // Compare the closed-form penalty with brute-force quadrature.
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        for (std::size_t j = i; j < basis.size(); ++j) {
+            // Integrate knot interval by knot interval: the integrand is a
+            // pure quadratic on each, so Simpson is exact there and the
+            // comparison is tight.
+            double numeric = 0.0;
+            for (std::size_t k = 0; k + 1 < basis.knots().size(); ++k) {
+                numeric += integrate_simpson(
+                    [&](double x) {
+                        return basis.second_derivative(i, x) * basis.second_derivative(j, x);
+                    },
+                    basis.knots()[k], basis.knots()[k + 1], 4);
+            }
+            const double tol = 1e-9 * std::max(1.0, std::abs(exact(i, j)));
+            EXPECT_NEAR(exact(i, j), numeric, tol) << "i=" << i << " j=" << j;
+        }
+    }
+}
+
+TEST(NaturalSplineBasis, PenaltyIsSymmetricPsd) {
+    const Natural_spline_basis basis(12);
+    const Matrix omega = basis.penalty_matrix();
+    for (std::size_t i = 0; i < omega.rows(); ++i) {
+        for (std::size_t j = 0; j < omega.cols(); ++j) {
+            EXPECT_NEAR(omega(i, j), omega(j, i), 1e-12);
+        }
+    }
+    // PSD check: x' Omega x >= 0 for a few vectors; zero for linear alpha
+    // (natural splines penalize only curvature).
+    const Vector linear = basis.knots();
+    EXPECT_NEAR(dot(linear, omega * linear), 0.0, 1e-10);
+    Vector bump(basis.size(), 0.0);
+    bump[basis.size() / 2] = 1.0;
+    EXPECT_GT(dot(bump, omega * bump), 0.0);
+}
+
+TEST(NaturalSplineBasis, DesignMatrixShapesAndValues) {
+    const Natural_spline_basis basis(5);
+    const Vector pts = linspace(0.0, 1.0, 11);
+    const Matrix b = basis.design_matrix(pts);
+    EXPECT_EQ(b.rows(), 11u);
+    EXPECT_EQ(b.cols(), 5u);
+    EXPECT_NEAR(b(0, 0), 1.0, 1e-12);  // first knot, first cardinal
+    const Matrix d = basis.derivative_matrix(pts);
+    EXPECT_EQ(d.rows(), 11u);
+}
+
+TEST(NaturalSplineBasis, ExpandValidatesCoefficientCount) {
+    const Natural_spline_basis basis(5);
+    EXPECT_THROW(basis.expand({1.0, 2.0}, 0.5), std::invalid_argument);
+    EXPECT_THROW(basis.expand_derivative({1.0}, 0.5), std::invalid_argument);
+}
+
+// Property sweep: interpolation error of smooth functions decays fast with
+// knot count.
+class BasisResolution : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BasisResolution, SineInterpolationError) {
+    const std::size_t nc = GetParam();
+    const Natural_spline_basis basis(nc);
+    Vector alpha(nc);
+    for (std::size_t i = 0; i < nc; ++i) alpha[i] = std::sin(2.0 * 3.14159265 * basis.knots()[i]);
+    double worst = 0.0;
+    for (double x = 0.0; x <= 1.0; x += 0.005) {
+        worst = std::max(worst, std::abs(basis.expand(alpha, x) -
+                                         std::sin(2.0 * 3.14159265 * x)));
+    }
+    // Interior error shrinks like h^4; boundary (natural BC) like h^2.
+    const double h = 1.0 / static_cast<double>(nc - 1);
+    EXPECT_LT(worst, 10.0 * h * h);
+}
+
+INSTANTIATE_TEST_SUITE_P(KnotSweep, BasisResolution, ::testing::Values(6, 10, 16, 24, 32));
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,62 @@
+#include "population/synchrony.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+std::vector<Snapshot_entry> snapshot_at_phases(const Vector& phases) {
+    std::vector<Snapshot_entry> snap;
+    for (double phi : phases) snap.push_back({phi, 0.15, 1.0});
+    return snap;
+}
+
+TEST(Synchrony, PerfectSynchronyGivesOrderOne) {
+    const auto snap = snapshot_at_phases(Vector(100, 0.3));
+    EXPECT_NEAR(phase_order_parameter(snap), 1.0, 1e-12);
+}
+
+TEST(Synchrony, UniformPhasesGiveOrderNearZero) {
+    Vector phases;
+    for (int i = 0; i < 1000; ++i) phases.push_back((i + 0.5) / 1000.0);
+    EXPECT_NEAR(phase_order_parameter(snapshot_at_phases(phases)), 0.0, 1e-10);
+}
+
+TEST(Synchrony, OppositePhasesCancel) {
+    EXPECT_NEAR(phase_order_parameter(snapshot_at_phases({0.0, 0.5})), 0.0, 1e-12);
+}
+
+TEST(Synchrony, EntropyZeroWhenConcentrated) {
+    const auto snap = snapshot_at_phases(Vector(50, 0.42));
+    EXPECT_NEAR(phase_entropy(snap, 50), 0.0, 1e-12);
+}
+
+TEST(Synchrony, EntropyOneWhenUniform) {
+    Vector phases;
+    for (int i = 0; i < 5000; ++i) phases.push_back((i + 0.5) / 5000.0);
+    EXPECT_NEAR(phase_entropy(snapshot_at_phases(phases), 50), 1.0, 1e-6);
+}
+
+TEST(Synchrony, PopulationDesynchronizesOverTime) {
+    Population_simulator sim(Cell_cycle_config{}, 20000, 17);
+    const Smooth_volume_model vm;
+    const double r0 = phase_order_parameter(sim.snapshot(vm));
+    const double h0 = phase_entropy(sim.snapshot(vm));
+    sim.advance_to(300.0);  // two mean cycles
+    const double r1 = phase_order_parameter(sim.snapshot(vm));
+    const double h1 = phase_entropy(sim.snapshot(vm));
+    EXPECT_GT(r0, 0.9);   // synchronized isolate
+    EXPECT_LT(r1, r0);    // decays toward asynchrony
+    EXPECT_GT(h1, h0);    // spread increases
+}
+
+TEST(Synchrony, ValidationErrors) {
+    EXPECT_THROW(phase_order_parameter({}), std::invalid_argument);
+    EXPECT_THROW(phase_entropy({}, 50), std::invalid_argument);
+    EXPECT_THROW(phase_entropy(snapshot_at_phases({0.5}), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,49 @@
+#include "io/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(Table, EmptyTable) {
+    const Table t;
+    EXPECT_EQ(t.column_count(), 0u);
+    EXPECT_EQ(t.row_count(), 0u);
+    EXPECT_FALSE(t.has_column("x"));
+}
+
+TEST(Table, AddAndRetrieveColumns) {
+    Table t;
+    t.add_column("time", {0.0, 1.0, 2.0});
+    t.add_column("value", {5.0, 6.0, 7.0});
+    EXPECT_EQ(t.column_count(), 2u);
+    EXPECT_EQ(t.row_count(), 3u);
+    EXPECT_TRUE(t.has_column("time"));
+    EXPECT_DOUBLE_EQ(t.column("value")[1], 6.0);
+    EXPECT_DOUBLE_EQ(t.column(0)[2], 2.0);
+    EXPECT_EQ(t.names()[1], "value");
+}
+
+TEST(Table, DuplicateNameRejected) {
+    Table t;
+    t.add_column("x", {1.0});
+    EXPECT_THROW(t.add_column("x", {2.0}), std::invalid_argument);
+}
+
+TEST(Table, LengthMismatchRejected) {
+    Table t;
+    t.add_column("x", {1.0, 2.0});
+    EXPECT_THROW(t.add_column("y", {1.0}), std::invalid_argument);
+}
+
+TEST(Table, MissingColumnThrows) {
+    Table t;
+    t.add_column("x", {1.0});
+    EXPECT_THROW(t.column("nope"), std::invalid_argument);
+    EXPECT_THROW(t.column(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -1,0 +1,99 @@
+#include "numerics/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+TEST(VectorOps, DotComputesInnerProduct) {
+    EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(VectorOps, DotOfEmptyVectorsIsZero) {
+    EXPECT_DOUBLE_EQ(dot({}, {}), 0.0);
+}
+
+TEST(VectorOps, DotRejectsSizeMismatch) {
+    EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, Norm2OfUnitAxes) {
+    EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(norm2({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(VectorOps, NormInfPicksLargestMagnitude) {
+    EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0, 5.0}), 7.0);
+    EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+}
+
+TEST(VectorOps, SumAddsEntries) {
+    EXPECT_DOUBLE_EQ(sum({1.5, 2.5, -1.0}), 3.0);
+}
+
+TEST(VectorOps, AxpyAccumulatesInPlace) {
+    Vector y{1.0, 1.0};
+    axpy(2.0, {3.0, -1.0}, y);
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorOps, AxpyRejectsSizeMismatch) {
+    Vector y{1.0};
+    EXPECT_THROW(axpy(1.0, {1.0, 2.0}, y), std::invalid_argument);
+}
+
+TEST(VectorOps, ScaledMultipliesEachEntry) {
+    const Vector r = scaled({1.0, -2.0}, -3.0);
+    EXPECT_DOUBLE_EQ(r[0], -3.0);
+    EXPECT_DOUBLE_EQ(r[1], 6.0);
+}
+
+TEST(VectorOps, ArithmeticOperators) {
+    const Vector a{1.0, 2.0};
+    const Vector b{10.0, 20.0};
+    const Vector s = a + b;
+    const Vector d = b - a;
+    const Vector m = 2.0 * a;
+    EXPECT_DOUBLE_EQ(s[1], 22.0);
+    EXPECT_DOUBLE_EQ(d[0], 9.0);
+    EXPECT_DOUBLE_EQ(m[1], 4.0);
+}
+
+TEST(VectorOps, HadamardMultipliesElementwise) {
+    const Vector h = hadamard({2.0, 3.0}, {5.0, 7.0});
+    EXPECT_DOUBLE_EQ(h[0], 10.0);
+    EXPECT_DOUBLE_EQ(h[1], 21.0);
+}
+
+TEST(VectorOps, LinspaceEndpointsExact) {
+    const Vector g = linspace(0.0, 1.0, 11);
+    ASSERT_EQ(g.size(), 11u);
+    EXPECT_DOUBLE_EQ(g.front(), 0.0);
+    EXPECT_DOUBLE_EQ(g.back(), 1.0);
+    EXPECT_NEAR(g[5], 0.5, 1e-15);
+}
+
+TEST(VectorOps, LinspaceDescendingAllowed) {
+    const Vector g = linspace(1.0, 0.0, 3);
+    EXPECT_DOUBLE_EQ(g[1], 0.5);
+    EXPECT_DOUBLE_EQ(g.back(), 0.0);
+}
+
+TEST(VectorOps, LinspaceRejectsTooFewPoints) {
+    EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(VectorOps, AllFiniteDetectsNanAndInf) {
+    EXPECT_TRUE(all_finite({1.0, -2.0, 0.0}));
+    EXPECT_FALSE(all_finite({1.0, std::numeric_limits<double>::quiet_NaN()}));
+    EXPECT_FALSE(all_finite({std::numeric_limits<double>::infinity()}));
+    EXPECT_TRUE(all_finite({}));
+}
+
+}  // namespace
+}  // namespace cellsync

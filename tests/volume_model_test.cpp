@@ -1,0 +1,120 @@
+#include "biology/volume_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cellsync {
+namespace {
+
+// Property suite over the paper's constraint identities (Eqs 6-10), swept
+// across the plausible range of transition phases.
+class VolumeModelConstraints : public ::testing::TestWithParam<double> {};
+
+TEST_P(VolumeModelConstraints, SmoothModelSatisfiesAnchorsEq6to8) {
+    const double phi_sst = GetParam();
+    const Smooth_volume_model m;
+    EXPECT_NEAR(m.relative_volume(0.0, phi_sst), 0.4, 1e-12);   // Eq 7
+    EXPECT_NEAR(m.relative_volume(phi_sst, phi_sst), 0.6, 1e-9);// Eq 8
+    EXPECT_NEAR(m.relative_volume(1.0, phi_sst), 1.0, 1e-12);   // Eq 6
+}
+
+TEST_P(VolumeModelConstraints, SmoothModelSatisfiesRateContinuityEq9to10) {
+    const double phi_sst = GetParam();
+    const Smooth_volume_model m;
+    const double v1 = m.derivative(1.0, phi_sst);
+    EXPECT_NEAR(m.derivative(0.0, phi_sst), v1, 1e-9);       // Eq 9
+    EXPECT_NEAR(m.derivative(phi_sst, phi_sst), v1, 1e-7);   // Eq 10
+    EXPECT_NEAR(v1, growth_rate_beta(phi_sst), 1e-12);
+}
+
+TEST_P(VolumeModelConstraints, LinearModelSharesAnchorsButNotRates) {
+    const double phi_sst = GetParam();
+    const Linear_volume_model m;
+    EXPECT_NEAR(m.relative_volume(0.0, phi_sst), 0.4, 1e-12);
+    EXPECT_NEAR(m.relative_volume(phi_sst, phi_sst), 0.6, 1e-12);
+    EXPECT_NEAR(m.relative_volume(1.0, phi_sst), 1.0, 1e-12);
+    // The 2009 baseline violates rate continuity except at one special
+    // phi_sst (1/3 for the SW piece).
+    if (std::abs(phi_sst - 1.0 / 3.0) > 0.02) {
+        EXPECT_GT(std::abs(m.derivative(0.0, phi_sst) - m.derivative(1.0, phi_sst)), 1e-3);
+    }
+}
+
+TEST_P(VolumeModelConstraints, VolumeIsConservedAcrossDivision) {
+    // SW daughter (0.4 V0) + ST daughter (0.6 V0) = mother (V0).
+    const double phi_sst = GetParam();
+    const Smooth_volume_model m;
+    const double mother = m.relative_volume(1.0, phi_sst);
+    const double daughters =
+        m.relative_volume(0.0, phi_sst) + m.relative_volume(phi_sst, phi_sst);
+    EXPECT_NEAR(daughters, mother, 1e-9);
+}
+
+TEST_P(VolumeModelConstraints, SmoothModelIsMonotoneIncreasing) {
+    const double phi_sst = GetParam();
+    const Smooth_volume_model m;
+    double prev = m.relative_volume(0.0, phi_sst);
+    for (double phi = 0.01; phi <= 1.0; phi += 0.01) {
+        const double v = m.relative_volume(phi, phi_sst);
+        EXPECT_GE(v, prev - 1e-12) << "phi=" << phi << " phi_sst=" << phi_sst;
+        prev = v;
+    }
+}
+
+TEST_P(VolumeModelConstraints, DerivativeMatchesFiniteDifference) {
+    const double phi_sst = GetParam();
+    const Smooth_volume_model m;
+    const double h = 1e-7;
+    for (double phi : {0.05, 0.5 * phi_sst, phi_sst + 0.05, 0.9}) {
+        if (phi + h > 1.0 || phi - h < 0.0) continue;
+        // Skip the junction where the piecewise definition switches.
+        if (std::abs(phi - phi_sst) < 10.0 * h) continue;
+        const double fd =
+            (m.relative_volume(phi + h, phi_sst) - m.relative_volume(phi - h, phi_sst)) /
+            (2.0 * h);
+        EXPECT_NEAR(m.derivative(phi, phi_sst), fd, 1e-5) << "phi=" << phi;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PhiSstSweep, VolumeModelConstraints,
+                         ::testing::Values(0.10, 0.15, 0.20, 0.25, 0.30, 0.40));
+
+TEST(VolumeModel, InvalidPhiSstThrows) {
+    const Smooth_volume_model sm;
+    const Linear_volume_model lm;
+    EXPECT_THROW(sm.relative_volume(0.5, 0.0), std::invalid_argument);
+    EXPECT_THROW(sm.relative_volume(0.5, 1.0), std::invalid_argument);
+    EXPECT_THROW(lm.derivative(0.5, -0.1), std::invalid_argument);
+    EXPECT_THROW(growth_rate_beta(1.0), std::invalid_argument);
+}
+
+TEST(VolumeModel, PhiClampedToUnitInterval) {
+    const Smooth_volume_model m;
+    EXPECT_DOUBLE_EQ(m.relative_volume(-0.5, 0.15), m.relative_volume(0.0, 0.15));
+    EXPECT_DOUBLE_EQ(m.relative_volume(1.5, 0.15), m.relative_volume(1.0, 0.15));
+}
+
+TEST(VolumeModel, GrowthRateBetaFormula) {
+    EXPECT_NEAR(growth_rate_beta(0.15), 0.4 / 0.85, 1e-15);
+    EXPECT_NEAR(growth_rate_beta(0.5), 0.8, 1e-15);
+}
+
+TEST(VolumeModel, NamesAreStable) {
+    EXPECT_EQ(Smooth_volume_model().name(), "smooth-2011");
+    EXPECT_EQ(Linear_volume_model().name(), "linear-2009");
+}
+
+TEST(VolumeModel, SmoothAndLinearAgreeOnStalkedSegment) {
+    // On [phi_sst, 1] both models are the same line through (phi_sst, 0.6)
+    // and (1, 1).
+    const Smooth_volume_model sm;
+    const Linear_volume_model lm;
+    for (double phi : {0.2, 0.5, 0.8, 1.0}) {
+        EXPECT_NEAR(sm.relative_volume(phi, 0.15), lm.relative_volume(phi, 0.15), 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace cellsync
