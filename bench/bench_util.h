@@ -7,7 +7,10 @@
 #define CELLSYNC_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cross_validation.h"
 #include "core/forward_model.h"
@@ -15,6 +18,61 @@
 #include "spline/spline_basis.h"
 
 namespace cellsync::bench {
+
+/// Machine-readable bench output: each harness collects named metrics and
+/// writes one BENCH_<name>.json per run, so the performance trajectory can
+/// be tracked across PRs (the human-readable stdout report is unchanged).
+class Bench_json {
+  public:
+    explicit Bench_json(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    void add(const std::string& key, double value) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+        fields_.emplace_back(key, buffer);
+    }
+
+    void add_string(const std::string& key, const std::string& value) {
+        fields_.emplace_back(key, "\"" + escape(value) + "\"");
+    }
+
+    /// Write BENCH_<name>.json into `directory`; returns false (and keeps
+    /// going) on I/O failure so a read-only CWD never sinks a bench run.
+    bool write(const std::string& directory = ".") const {
+        const std::string path = directory + "/BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "bench: could not write %s\n", path.c_str());
+            return false;
+        }
+        out << "{\n  \"bench\": \"" << escape(name_) << "\"";
+        for (const auto& [key, value] : fields_) {
+            out << ",\n  \"" << escape(key) << "\": " << value;
+        }
+        out << "\n}\n";
+        return static_cast<bool>(out);
+    }
+
+  private:
+    static std::string escape(const std::string& s) {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\') out.push_back('\\');
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += ' ';
+                continue;
+            }
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Experiment defaults shared by the figure benches.
 struct Experiment_defaults {

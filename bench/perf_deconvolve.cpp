@@ -1,10 +1,18 @@
 // Performance: the end-to-end deconvolution pipeline — kernel reuse,
-// single constrained solve, and the full CV loop.
-#include <benchmark/benchmark.h>
+// single constrained solve, the full CV loop, and the headline comparison:
+// a 50-gene panel through the shared-factorization Batch_engine versus the
+// serial per-gene path that re-derives the constraint blocks and their QP
+// reduction for every solve (the pre-engine behavior). Per-gene results of
+// the two paths are compared bit-for-bit.
+#include <chrono>
+#include <cmath>
+#include <limits>
 
 #include "biology/gene_profiles.h"
+#include "core/batch_engine.h"
 #include "core/cross_validation.h"
 #include "core/forward_model.h"
+#include "perf_util.h"
 #include "spline/spline_basis.h"
 
 namespace {
@@ -73,11 +81,223 @@ void bm_gcv_lambda_selection(benchmark::State& state) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// 50-gene panel: serial per-gene baseline vs the Batch_engine.
+// ---------------------------------------------------------------------------
+
+std::vector<Measurement_series> make_panel(const Kernel_grid& kernel, std::size_t genes) {
+    Rng rng(91);
+    std::vector<Measurement_series> panel;
+    panel.reserve(genes);
+    for (std::size_t g = 0; g < genes; ++g) {
+        const double phase = static_cast<double>(g) / static_cast<double>(genes);
+        const Gene_profile truth =
+            sinusoid_profile(3.0 + 0.02 * static_cast<double>(g), 2.0, 1.0, phase);
+        panel.push_back(forward_measurements_noisy(
+            kernel, truth.f, {Noise_type::relative_gaussian, 0.08}, rng,
+            "gene" + std::to_string(g)));
+    }
+    return panel;
+}
+
+// The pre-engine estimator: every solve re-derives the constraint blocks
+// (quadrature rows + positivity grid) and the QP constraint reduction from
+// scratch, exactly as the seed implementation did.
+Vector cold_estimate(const Deconvolver& deconvolver, const Measurement_series& series,
+                     const std::vector<std::size_t>& rows,
+                     const Deconvolution_options& options) {
+    const std::size_t n = deconvolver.basis().size();
+    const Matrix& kernel_matrix = deconvolver.kernel_matrix();
+    const Vector w_full = series.weights();
+
+    Matrix k_sub(rows.size(), n);
+    Vector g_sub(rows.size());
+    Vector w_sub(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        k_sub.set_row(r, kernel_matrix.row(rows[r]));
+        g_sub[r] = series.values[rows[r]];
+        w_sub[r] = w_full[rows[r]];
+    }
+
+    Qp_problem qp;
+    qp.hessian = 2.0 * (weighted_gram(k_sub, w_sub) + options.lambda * deconvolver.penalty());
+    for (std::size_t i = 0; i < n; ++i) qp.hessian(i, i) += 2.0 * options.ridge;
+    qp.gradient.assign(n, 0.0);
+    const Vector ktwg = transposed_times(k_sub, hadamard(w_sub, g_sub));
+    for (std::size_t i = 0; i < n; ++i) qp.gradient[i] = -2.0 * ktwg[i];
+
+    const Constraint_set constraints =
+        build_constraints(deconvolver.basis(), deconvolver.config(), options.constraints);
+    qp.eq_matrix = constraints.equality;
+    qp.eq_rhs = constraints.equality_rhs;
+    qp.ineq_matrix = constraints.inequality;
+    qp.ineq_rhs = constraints.inequality_rhs;
+    return solve_qp_dual(qp, options.qp).x;
+}
+
+// Serial per-gene CV + estimate mirroring deconvolve_one, on the cold path.
+std::vector<Vector> run_panel_serial_cold(const Deconvolver& deconvolver,
+                                          const std::vector<Measurement_series>& panel,
+                                          const Vector& lambda_grid, std::size_t folds,
+                                          std::uint64_t cv_seed) {
+    std::vector<Vector> coefficients;
+    coefficients.reserve(panel.size());
+    for (const Measurement_series& series : panel) {
+        const std::size_t m = series.size();
+        const std::vector<std::size_t> perm = kfold_permutation(m, cv_seed);
+        const Vector weights = series.weights();
+        const Matrix& kernel = deconvolver.kernel_matrix();
+
+        double best_lambda = lambda_grid.front();
+        double best_score = std::numeric_limits<double>::infinity();
+        for (double lambda : lambda_grid) {
+            Deconvolution_options options;
+            options.lambda = lambda;
+            double score = 0.0;
+            bool failed = false;
+            for (std::size_t fold = 0; fold < folds && !failed; ++fold) {
+                std::vector<std::size_t> train, test;
+                for (std::size_t p = 0; p < m; ++p) {
+                    (p % folds == fold ? test : train).push_back(perm[p]);
+                }
+                if (train.size() < 2) continue;
+                try {
+                    const Vector alpha = cold_estimate(deconvolver, series, train, options);
+                    for (std::size_t idx : test) {
+                        const double r = series.values[idx] - dot(kernel.row(idx), alpha);
+                        score += weights[idx] * r * r;
+                    }
+                } catch (const std::runtime_error&) {
+                    failed = true;
+                }
+            }
+            score = failed ? std::numeric_limits<double>::infinity()
+                           : score / static_cast<double>(m);
+            if (score < best_score) {
+                best_score = score;
+                best_lambda = lambda;
+            }
+        }
+
+        Deconvolution_options options;
+        options.lambda = best_lambda;
+        std::vector<std::size_t> all(m);
+        for (std::size_t i = 0; i < m; ++i) all[i] = i;
+        coefficients.push_back(cold_estimate(deconvolver, series, all, options));
+    }
+    return coefficients;
+}
+
+void run_panel_comparison(cellsync::bench::Bench_json& json) {
+    using clock = std::chrono::steady_clock;
+    constexpr std::size_t genes = 50;
+    constexpr std::size_t folds = 5;
+    constexpr std::size_t engine_threads = 4;
+
+    Kernel_build_options kernel_options;
+    kernel_options.n_cells = 20000;
+    kernel_options.n_bins = 200;
+    const Kernel_grid kernel = build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                            linspace(0.0, 180.0, 13), kernel_options);
+    const std::vector<Measurement_series> panel = make_panel(kernel, genes);
+    const Vector lambda_grid = default_lambda_grid(9, 1e-6, 1e0);
+    Batch_options batch_options;
+    batch_options.lambda_grid = lambda_grid;
+    batch_options.cv_folds = folds;
+
+    // Serial per-gene baseline: fresh constraints + reduction per solve.
+    const Deconvolver baseline(std::make_shared<Natural_spline_basis>(18), kernel,
+                               Cell_cycle_config{});
+    const auto serial_start = clock::now();
+    const std::vector<Vector> serial =
+        run_panel_serial_cold(baseline, panel, lambda_grid, folds, batch_options.cv_seed);
+    const double serial_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - serial_start).count();
+
+    // Shared-factorization engine (artifact construction included).
+    Batch_engine_options engine_options;
+    engine_options.threads = engine_threads;
+    const auto engine_start = clock::now();
+    const Batch_engine engine(std::make_shared<Natural_spline_basis>(18), kernel,
+                              Cell_cycle_config{}, engine_options);
+    const std::vector<Batch_entry> batch = engine.run(panel, batch_options);
+    const double engine_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - engine_start).count();
+
+    std::size_t identical = 0;
+    double max_diff = 0.0;
+    for (std::size_t g = 0; g < genes; ++g) {
+        if (!batch[g].estimate.has_value()) continue;
+        const Vector& a = batch[g].estimate->coefficients();
+        const Vector& b = serial[g];
+        bool same = a.size() == b.size();
+        if (!same) {
+            max_diff = std::numeric_limits<double>::infinity();
+            continue;
+        }
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+            if (a[i] != b[i]) same = false;
+        }
+        if (same) ++identical;
+    }
+    const double speedup = engine_ms > 0.0 ? serial_ms / engine_ms : 0.0;
+
+    std::printf("panel: %zu genes x (%zu lambdas x %zu folds + 1) constrained solves\n",
+                genes, lambda_grid.size(), folds);
+    std::printf("  serial per-gene baseline : %9.1f ms\n", serial_ms);
+    std::printf("  batch engine (%zu threads): %9.1f ms\n", engine_threads, engine_ms);
+    std::printf("  speedup                  : %9.2fx\n", speedup);
+    std::printf("  identical genes          : %zu/%zu (max |diff| %.3e)\n\n", identical,
+                genes, max_diff);
+
+    json.add("panel_genes", static_cast<double>(genes));
+    json.add("panel_serial_ms", serial_ms);
+    json.add("panel_engine_ms", engine_ms);
+    json.add("panel_engine_threads", static_cast<double>(engine_threads));
+    json.add("panel_speedup", speedup);
+    json.add("panel_identical_genes", static_cast<double>(identical));
+    json.add("panel_max_coefficient_diff", max_diff);
+}
+
+void bm_batch_engine_panel(benchmark::State& state) {
+    const Pipeline_fixture fixture = Pipeline_fixture::make(18);
+    const std::vector<Measurement_series> panel =
+        make_panel(fixture.kernel, static_cast<std::size_t>(state.range(0)));
+    Batch_options options;
+    options.lambda_grid = default_lambda_grid(9, 1e-6, 1e0);
+    Batch_engine_options engine_options;
+    engine_options.threads = static_cast<std::size_t>(state.range(1));
+    const Batch_engine engine(fixture.deconvolver.artifacts(), engine_options);
+    for (auto _ : state) {
+        const std::vector<Batch_entry> batch = engine.run(panel, options);
+        benchmark::DoNotOptimize(batch.data());
+    }
+}
+
 }  // namespace
 
 BENCHMARK(bm_single_estimate)->Arg(12)->Arg(18)->Arg(28)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_unconstrained_estimate)->Arg(18)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_cv_lambda_selection)->Arg(9)->Arg(13)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_gcv_lambda_selection)->Arg(13)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_batch_engine_panel)
+    ->Args({10, 1})
+    ->Args({10, 4})
+    ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    cellsync::bench::Bench_json json("perf_deconvolve");
+    // The panel comparison is minutes of serial work; skip it when the
+    // caller narrowed the run to micro-benchmarks that do not involve it.
+    bool want_panel = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--benchmark_filter", 0) == 0 &&
+            arg.find("panel") == std::string::npos) {
+            want_panel = false;
+        }
+    }
+    if (want_panel) run_panel_comparison(json);
+    return cellsync::bench::run_perf_harness(argc, argv, std::move(json));
+}

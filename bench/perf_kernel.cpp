@@ -1,6 +1,6 @@
 // Performance: Monte-Carlo kernel construction Q(phi, t) — the dominant
 // cost of the pipeline — vs cell count, bin resolution, and time count.
-#include <benchmark/benchmark.h>
+#include "perf_util.h"
 
 #include "population/kernel_builder.h"
 #include "spline/spline_basis.h"
@@ -48,4 +48,6 @@ BENCHMARK(bm_build_kernel)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_kernel_basis_matrix)->Arg(12)->Arg(18)->Arg(36)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return cellsync::bench::run_perf_harness(argc, argv, "perf_kernel");
+}

@@ -1,5 +1,5 @@
 // Performance: ODE integrators on the oscillator models.
-#include <benchmark/benchmark.h>
+#include "perf_util.h"
 
 #include <cmath>
 
@@ -48,4 +48,6 @@ BENCHMARK(bm_lv_rk45)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_lv_rk4)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_repressilator_rk45)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return cellsync::bench::run_perf_harness(argc, argv, "perf_ode");
+}

@@ -1,6 +1,6 @@
 // Performance: agent-based population simulation scaling in cell count
 // and simulated horizon.
-#include <benchmark/benchmark.h>
+#include "perf_util.h"
 
 #include "population/population_simulator.h"
 
@@ -43,4 +43,6 @@ BENCHMARK(bm_population_advance)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_population_snapshot)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return cellsync::bench::run_perf_harness(argc, argv, "perf_population");
+}

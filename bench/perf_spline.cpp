@@ -1,5 +1,5 @@
 // Performance: spline basis evaluation and penalty assembly.
-#include <benchmark/benchmark.h>
+#include "perf_util.h"
 
 #include <cmath>
 
@@ -56,4 +56,6 @@ BENCHMARK(bm_bspline_design_matrix)->Arg(12)->Arg(18)->Arg(36)->Unit(benchmark::
 BENCHMARK(bm_natural_penalty)->Arg(12)->Arg(18)->Arg(36)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_spline_construction)->Arg(16)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return cellsync::bench::run_perf_harness(argc, argv, "perf_spline");
+}

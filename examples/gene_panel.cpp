@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "biology/gene_profiles.h"
-#include "core/batch.h"
-#include "core/bootstrap.h"
+#include "core/batch_engine.h"
 #include "core/forward_model.h"
 #include "io/kernel_io.h"
 #include "models/regulatory_network.h"
@@ -47,12 +46,15 @@ int main() {
         panel.push_back(forward_measurements_noisy(kernel, truth.f, noise, rng, truth.name));
     }
 
-    // --- Batch deconvolution. ---
-    const Deconvolver deconvolver(std::make_shared<Natural_spline_basis>(16), kernel,
-                                  caulobacter);
+    // --- Batch deconvolution through the shared-factorization engine:
+    // one design precomputation for the whole panel, genes distributed
+    // over the worker pool (results identical to a serial run). ---
+    const Batch_engine engine(std::make_shared<Natural_spline_basis>(16), kernel,
+                              caulobacter);
+    std::printf("engine: %zu worker threads\n", engine.thread_count());
     Batch_options batch_options;
     batch_options.lambda_grid = default_lambda_grid(11, 1e-6, 1e0);
-    const std::vector<Batch_entry> batch = deconvolve_batch(deconvolver, panel, batch_options);
+    const std::vector<Batch_entry> batch = engine.run(panel, batch_options);
 
     std::printf("%-12s %-10s %-8s %-22s\n", "gene", "lambda", "chi^2", "90% band width (boot)");
     for (const Batch_entry& entry : batch) {
@@ -64,9 +66,9 @@ int main() {
         options.lambda = entry.lambda;
         Bootstrap_options boot;
         boot.replicates = 120;
-        const Confidence_band band = bootstrap_confidence_band(
-            deconvolver, panel[static_cast<std::size_t>(&entry - batch.data())], options,
-            linspace(0.05, 0.95, 19), boot);
+        const Confidence_band band =
+            engine.bootstrap(panel[static_cast<std::size_t>(&entry - batch.data())], options,
+                             linspace(0.05, 0.95, 19), boot);
         std::printf("%-12s %-10.2e %-8.2f %-22.3f\n", entry.label.c_str(), entry.lambda,
                     entry.estimate->chi_squared, band.mean_width());
     }

@@ -1,9 +1,54 @@
 #include "core/batch.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <typeinfo>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
 
 namespace cellsync {
+
+namespace {
+
+std::string exception_type_name(const std::exception& e) {
+    const char* raw = typeid(e).name();
+#if defined(__GNUG__)
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(raw, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+        std::string out(demangled);
+        std::free(demangled);
+        return out;
+    }
+#endif
+    return raw;
+}
+
+}  // namespace
+
+Batch_entry deconvolve_one(const Deconvolver& deconvolver, const Measurement_series& series,
+                           const Vector& lambda_grid, const Batch_options& options) {
+    Batch_entry entry;
+    entry.label = series.label;
+    try {
+        Deconvolution_options deconv = options.deconvolution;
+        if (options.select_lambda) {
+            const Lambda_selection sel = select_lambda_kfold(
+                deconvolver, series, deconv, lambda_grid, options.cv_folds, options.cv_seed);
+            deconv.lambda = sel.best_lambda;
+        }
+        entry.estimate = deconvolver.estimate(series, deconv);
+        entry.lambda = deconv.lambda;
+    } catch (const std::exception& e) {
+        const std::string label = entry.label.empty() ? "<unlabeled>" : entry.label;
+        entry.error =
+            "gene '" + label + "' [" + exception_type_name(e) + "]: " + e.what();
+    }
+    return entry;
+}
 
 std::vector<Batch_entry> deconvolve_batch(const Deconvolver& deconvolver,
                                           const std::vector<Measurement_series>& panel,
@@ -16,21 +61,7 @@ std::vector<Batch_entry> deconvolve_batch(const Deconvolver& deconvolver,
     std::vector<Batch_entry> out;
     out.reserve(panel.size());
     for (const Measurement_series& series : panel) {
-        Batch_entry entry;
-        entry.label = series.label;
-        try {
-            Deconvolution_options deconv = options.deconvolution;
-            if (options.select_lambda) {
-                const Lambda_selection sel = select_lambda_kfold(deconvolver, series, deconv,
-                                                                 grid, options.cv_folds);
-                deconv.lambda = sel.best_lambda;
-            }
-            entry.estimate = deconvolver.estimate(series, deconv);
-            entry.lambda = deconv.lambda;
-        } catch (const std::exception& e) {
-            entry.error = e.what();
-        }
-        out.push_back(std::move(entry));
+        out.push_back(deconvolve_one(deconvolver, series, grid, options));
     }
     return out;
 }

@@ -3,8 +3,9 @@
 // The paper applies the method to "a set of Caulobacter genes involved in
 // regulating the cell cycle": the kernel Q(phi, t) is a property of the
 // population, not the gene, so one simulation serves every series sampled
-// at the same times. This module runs per-gene lambda selection and
-// estimation over such a panel and reports a comparable summary.
+// at the same times. This module defines the per-gene unit of work and the
+// serial batch runner; Batch_engine (core/batch_engine.h) distributes the
+// same unit over a worker pool.
 #ifndef CELLSYNC_CORE_BATCH_H
 #define CELLSYNC_CORE_BATCH_H
 
@@ -22,7 +23,10 @@ struct Batch_entry {
     std::string label;
     std::optional<Single_cell_estimate> estimate;  ///< empty if the gene failed
     double lambda = 0.0;
-    std::string error;  ///< failure reason when estimate is empty
+    /// Failure reason when estimate is empty, in the form
+    /// "gene '<label>' [<exception type>]: <message>" so a panel report
+    /// pinpoints both the series and the failure class.
+    std::string error;
 };
 
 /// Batch controls.
@@ -31,12 +35,21 @@ struct Batch_options {
     Vector lambda_grid;         ///< empty -> default_lambda_grid()
     std::size_t cv_folds = 5;
     bool select_lambda = true;  ///< per-gene CV; else deconvolution.lambda
+    std::uint64_t cv_seed = 77; ///< fold-shuffle seed (per gene, thread-invariant)
 };
 
-/// Deconvolve each series against the shared deconvolver. Series that fail
-/// validation or estimation are reported in their entry's `error` instead
-/// of aborting the batch. Throws std::invalid_argument only if the panel
-/// is empty.
+/// Deconvolve one series: per-gene lambda CV (when enabled) plus the
+/// constrained estimate. Failures land in the entry's `error` instead of
+/// throwing — this is the task the serial runner and the parallel engine
+/// share, so their per-gene results are identical by construction.
+/// `lambda_grid` must already be resolved (non-empty).
+Batch_entry deconvolve_one(const Deconvolver& deconvolver, const Measurement_series& series,
+                           const Vector& lambda_grid, const Batch_options& options);
+
+/// Deconvolve each series against the shared deconvolver, serially. Series
+/// that fail validation or estimation are reported in their entry's
+/// `error` instead of aborting the batch. Throws std::invalid_argument
+/// only if the panel is empty.
 std::vector<Batch_entry> deconvolve_batch(const Deconvolver& deconvolver,
                                           const std::vector<Measurement_series>& panel,
                                           const Batch_options& options = {});

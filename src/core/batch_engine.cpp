@@ -1,0 +1,77 @@
+#include "core/batch_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cellsync {
+
+Batch_engine::Batch_engine(std::shared_ptr<const Basis> basis, const Kernel_grid& kernel,
+                           const Cell_cycle_config& config,
+                           const Batch_engine_options& options)
+    : Batch_engine(make_design_artifacts(std::move(basis), kernel, config,
+                                         options.constraints),
+                   options) {}
+
+Batch_engine::Batch_engine(std::shared_ptr<const Design_artifacts> artifacts,
+                           const Batch_engine_options& options)
+    : deconvolver_(std::move(artifacts)), pool_(options.threads) {}
+
+Deconvolution_options Batch_engine::aligned(const Deconvolution_options& options) const {
+    Deconvolution_options out = options;
+    out.constraints = deconvolver_.artifacts()->constraint_options;
+    return out;
+}
+
+std::vector<Batch_entry> Batch_engine::run(const std::vector<Measurement_series>& panel,
+                                           const Batch_options& options) const {
+    if (panel.empty()) throw std::invalid_argument("Batch_engine: empty panel");
+    Batch_options effective = options;
+    effective.deconvolution = aligned(options.deconvolution);
+    const Vector grid =
+        effective.lambda_grid.empty() ? default_lambda_grid() : effective.lambda_grid;
+
+    std::vector<Batch_entry> out(panel.size());
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    pool_.parallel_for(panel.size(), [&](std::size_t g) {
+        out[g] = deconvolve_one(deconvolver_, panel[g], grid, effective);
+    });
+    return out;
+}
+
+Lambda_selection Batch_engine::cross_validate(const Measurement_series& series,
+                                              const Deconvolution_options& base_options,
+                                              const Vector& lambda_grid, std::size_t folds,
+                                              std::uint64_t seed) const {
+    series.validate();
+    if (lambda_grid.empty()) throw std::invalid_argument("Batch_engine: empty lambda grid");
+    if (folds < 2) throw std::invalid_argument("Batch_engine: need at least 2 folds");
+    const std::size_t m = series.size();
+    folds = std::min(folds, m);
+    const std::vector<std::size_t> perm = kfold_permutation(m, seed);
+
+    const Deconvolution_options effective = aligned(base_options);
+    Lambda_selection sel;
+    sel.method = "kfold";
+    sel.lambdas = lambda_grid;
+    sel.scores.assign(lambda_grid.size(), 0.0);
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    pool_.parallel_for(lambda_grid.size(), [&](std::size_t li) {
+        sel.scores[li] = kfold_lambda_score(deconvolver_, series, effective, perm, folds,
+                                            lambda_grid[li]);
+    });
+
+    const auto best = std::min_element(sel.scores.begin(), sel.scores.end());
+    sel.best_lambda = sel.lambdas[static_cast<std::size_t>(best - sel.scores.begin())];
+    return sel;
+}
+
+Confidence_band Batch_engine::bootstrap(const Measurement_series& series,
+                                        const Deconvolution_options& options,
+                                        const Vector& phi_grid,
+                                        const Bootstrap_options& bootstrap_options) const {
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    return bootstrap_confidence_band(deconvolver_, series, aligned(options), phi_grid,
+                                     bootstrap_options, pool_);
+}
+
+}  // namespace cellsync

@@ -1,0 +1,90 @@
+// Shared-factorization parallel batch deconvolution engine.
+//
+// The engine owns one immutable Design_artifacts — kernel matrix,
+// roughness penalty, constraint blocks, and the QP constraint reduction,
+// computed exactly once per (basis, kernel, constraint) triple — and a
+// std::thread worker pool. Genes, lambda grid points, and bootstrap
+// replicates are independent tasks with deterministic per-task seeding,
+// so every result is bit-for-bit identical to a serial run regardless of
+// thread count.
+#ifndef CELLSYNC_CORE_BATCH_ENGINE_H
+#define CELLSYNC_CORE_BATCH_ENGINE_H
+
+#include <memory>
+#include <mutex>
+
+#include "core/batch.h"
+#include "core/bootstrap.h"
+#include "core/cross_validation.h"
+#include "core/design.h"
+#include "core/worker_pool.h"
+
+namespace cellsync {
+
+/// Engine construction controls.
+struct Batch_engine_options {
+    /// Total worker parallelism (calling thread included); 0 = hardware
+    /// concurrency, 1 = serial.
+    std::size_t threads = 0;
+    /// Constraint geometry baked into the shared design. Every engine
+    /// entry point (run, cross_validate, bootstrap) estimates under this
+    /// geometry — per-call constraint options are overridden so the
+    /// cached blocks are always reused. For ad-hoc geometries, use a
+    /// Deconvolver directly (per-call rebuild) or build another engine.
+    Constraint_options constraints;
+};
+
+class Batch_engine {
+  public:
+    /// Build the design artifacts from scratch.
+    Batch_engine(std::shared_ptr<const Basis> basis, const Kernel_grid& kernel,
+                 const Cell_cycle_config& config, const Batch_engine_options& options = {});
+
+    /// Adopt artifacts precomputed elsewhere.
+    explicit Batch_engine(std::shared_ptr<const Design_artifacts> artifacts,
+                          const Batch_engine_options& options = {});
+
+    /// The deconvolver bound to the engine's shared artifacts. Estimating
+    /// through it (even outside the engine) reuses the same cached design.
+    const Deconvolver& deconvolver() const { return deconvolver_; }
+    const Design_artifacts& artifacts() const { return *deconvolver_.artifacts(); }
+    std::size_t thread_count() const { return pool_.thread_count(); }
+
+    /// Batch deconvolution with per-gene lambda CV, distributed over the
+    /// pool. Per-gene results are identical to deconvolve_batch() on the
+    /// engine's deconvolver: both run the same deconvolve_one task with
+    /// the same per-gene seeds. Throws std::invalid_argument on an empty
+    /// panel; per-gene failures land in each entry's `error`.
+    std::vector<Batch_entry> run(const std::vector<Measurement_series>& panel,
+                                 const Batch_options& options = {}) const;
+
+    /// Lambda CV for one series with the grid points swept in parallel.
+    /// Identical to select_lambda_kfold (same fold assignment, same
+    /// per-lambda scoring).
+    Lambda_selection cross_validate(const Measurement_series& series,
+                                    const Deconvolution_options& base_options,
+                                    const Vector& lambda_grid, std::size_t folds = 5,
+                                    std::uint64_t seed = 77) const;
+
+    /// Residual bootstrap with replicates distributed over the pool;
+    /// identical to the serial bootstrap_confidence_band for any thread
+    /// count (per-replicate seeding).
+    Confidence_band bootstrap(const Measurement_series& series,
+                              const Deconvolution_options& options, const Vector& phi_grid,
+                              const Bootstrap_options& bootstrap_options = {}) const;
+
+  private:
+    /// Pin per-call options to the design's constraint geometry.
+    Deconvolution_options aligned(const Deconvolution_options& options) const;
+
+    Deconvolver deconvolver_;
+    // The engine parallelizes internally; concurrent calls into one
+    // engine are serialized on run_mutex_ so the single worker pool is
+    // never shared between two batches.
+    mutable Worker_pool pool_;
+    mutable std::mutex run_mutex_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_BATCH_ENGINE_H

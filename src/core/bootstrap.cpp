@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "numerics/rng.h"
 #include "numerics/statistics.h"
 
 namespace cellsync {
@@ -46,6 +48,17 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
                                           const Deconvolution_options& options,
                                           const Vector& phi_grid,
                                           const Bootstrap_options& bootstrap) {
+    Worker_pool serial(1);
+    return bootstrap_confidence_band(deconvolver, series, options, phi_grid, bootstrap,
+                                     serial);
+}
+
+Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
+                                          const Measurement_series& series,
+                                          const Deconvolution_options& options,
+                                          const Vector& phi_grid,
+                                          const Bootstrap_options& bootstrap,
+                                          Worker_pool& pool) {
     bootstrap.validate();
     if (phi_grid.empty()) {
         throw std::invalid_argument("bootstrap_confidence_band: empty phase grid");
@@ -62,12 +75,12 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
     const double residual_mean = mean(std_residuals);
     for (double& r : std_residuals) r -= residual_mean;
 
-    Rng rng(bootstrap.seed);
-    std::vector<Vector> samples;  // per replicate: f*(phi_grid)
-    samples.reserve(bootstrap.replicates);
-    std::size_t failures = 0;
-
-    for (std::size_t rep = 0; rep < bootstrap.replicates; ++rep) {
+    // Replicates are independent tasks writing into their own slot, each
+    // seeded from (seed, replicate index): the result cannot depend on
+    // thread count or scheduling.
+    std::vector<std::optional<Vector>> slots(bootstrap.replicates);
+    pool.parallel_for(bootstrap.replicates, [&](std::size_t rep) {
+        Rng rng(mix_seed(bootstrap.seed, rep));
         Measurement_series resampled = series;
         for (std::size_t i = 0; i < m; ++i) {
             resampled.values[i] =
@@ -75,11 +88,18 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
         }
         try {
             const Single_cell_estimate refit = deconvolver.estimate(resampled, options);
-            samples.push_back(refit.sample(phi_grid));
+            slots[rep] = refit.sample(phi_grid);
         } catch (const std::runtime_error&) {
-            ++failures;
+            // Failed refit: slot stays empty and is counted below.
         }
+    });
+
+    std::vector<Vector> samples;  // per successful replicate: f*(phi_grid)
+    samples.reserve(bootstrap.replicates);
+    for (std::optional<Vector>& slot : slots) {
+        if (slot.has_value()) samples.push_back(std::move(*slot));
     }
+    const std::size_t failures = bootstrap.replicates - samples.size();
     if (static_cast<double>(failures) >
         bootstrap.max_failure_fraction * static_cast<double>(bootstrap.replicates)) {
         throw std::runtime_error("bootstrap_confidence_band: too many refit failures (" +

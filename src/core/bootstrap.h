@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/deconvolver.h"
+#include "core/worker_pool.h"
 
 namespace cellsync {
 
@@ -54,13 +55,26 @@ struct Confidence_band {
 /// Fits once, forms standardized residuals (G - Ghat)/sigma, then for each
 /// replicate draws residuals with replacement, synthesizes
 /// G* = Ghat + sigma * r*, refits with the same options, and records
-/// f*(phi) on the grid. Throws std::invalid_argument on bad options/grid
-/// and std::runtime_error if too many refits fail.
+/// f*(phi) on the grid. Replicate r draws from its own
+/// Rng(mix_seed(seed, r)), so the band is a pure function of the options —
+/// independent of thread count and scheduling. Throws
+/// std::invalid_argument on bad options/grid and std::runtime_error if too
+/// many refits fail.
 Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
                                           const Measurement_series& series,
                                           const Deconvolution_options& options,
                                           const Vector& phi_grid,
                                           const Bootstrap_options& bootstrap = {});
+
+/// Same bootstrap with the replicate refits distributed over a worker
+/// pool (the Batch_engine entry point). Bit-for-bit identical to the
+/// serial overload for any pool size.
+Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
+                                          const Measurement_series& series,
+                                          const Deconvolution_options& options,
+                                          const Vector& phi_grid,
+                                          const Bootstrap_options& bootstrap,
+                                          Worker_pool& pool);
 
 }  // namespace cellsync
 

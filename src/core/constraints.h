@@ -28,6 +28,16 @@ struct Constraint_options {
     bool conservation = true;      ///< RNA conservation across division
     bool rate_continuity = true;   ///< 2011 transcription-rate smoothness update
     std::size_t positivity_points = 101;  ///< uniform grid resolution for f >= 0
+
+    /// Same geometry? Lets cached constraint blocks be reused per design.
+    friend bool operator==(const Constraint_options& a, const Constraint_options& b) {
+        return a.positivity == b.positivity && a.conservation == b.conservation &&
+               a.rate_continuity == b.rate_continuity &&
+               (!a.positivity || a.positivity_points == b.positivity_points);
+    }
+    friend bool operator!=(const Constraint_options& a, const Constraint_options& b) {
+        return !(a == b);
+    }
 };
 
 /// Linear constraint blocks for the QP: equality rows (A alpha = 0) and

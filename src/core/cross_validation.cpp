@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "numerics/kkt_factorization.h"
+
 namespace cellsync {
 
 Vector default_lambda_grid(std::size_t count, double lo, double hi) {
@@ -21,6 +23,50 @@ Vector default_lambda_grid(std::size_t count, double lo, double hi) {
     return grid;
 }
 
+std::vector<std::size_t> kfold_permutation(std::size_t count, std::uint64_t seed) {
+    std::vector<std::size_t> perm(count);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    Rng rng(seed);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    return perm;
+}
+
+double kfold_lambda_score(const Deconvolver& deconvolver, const Measurement_series& series,
+                          const Deconvolution_options& base_options,
+                          const std::vector<std::size_t>& permutation, std::size_t folds,
+                          double lambda) {
+    const std::size_t m = series.size();
+    if (permutation.size() != m) {
+        throw std::invalid_argument("kfold_lambda_score: permutation length mismatch");
+    }
+    const Vector weights = series.weights();
+    const Matrix& kernel = deconvolver.kernel_matrix();
+
+    Deconvolution_options options = base_options;
+    options.lambda = lambda;
+    double score = 0.0;
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+        std::vector<std::size_t> train, test;
+        for (std::size_t p = 0; p < m; ++p) {
+            (p % folds == fold ? test : train).push_back(permutation[p]);
+        }
+        if (train.size() < 2) continue;
+        try {
+            const Single_cell_estimate fit =
+                deconvolver.estimate_on_rows(series, train, options);
+            for (std::size_t idx : test) {
+                const double pred = dot(kernel.row(idx), fit.coefficients());
+                const double r = series.values[idx] - pred;
+                score += weights[idx] * r * r;
+            }
+        } catch (const std::runtime_error&) {
+            // A lambda that breaks the QP is disqualified.
+            return std::numeric_limits<double>::infinity();
+        }
+    }
+    return score / static_cast<double>(m);
+}
+
 Lambda_selection select_lambda_kfold(const Deconvolver& deconvolver,
                                      const Measurement_series& series,
                                      const Deconvolution_options& base_options,
@@ -33,44 +79,15 @@ Lambda_selection select_lambda_kfold(const Deconvolver& deconvolver,
     folds = std::min(folds, m);
 
     // Random fold assignment, fixed across the lambda grid for a fair sweep.
-    std::vector<std::size_t> perm(m);
-    std::iota(perm.begin(), perm.end(), std::size_t{0});
-    Rng rng(seed);
-    std::shuffle(perm.begin(), perm.end(), rng.engine());
-
-    const Vector weights = series.weights();
-    const Matrix& kernel = deconvolver.kernel_matrix();
+    const std::vector<std::size_t> perm = kfold_permutation(m, seed);
 
     Lambda_selection sel;
     sel.method = "kfold";
     sel.lambdas = lambda_grid;
     sel.scores.assign(lambda_grid.size(), 0.0);
-
     for (std::size_t li = 0; li < lambda_grid.size(); ++li) {
-        Deconvolution_options options = base_options;
-        options.lambda = lambda_grid[li];
-        double score = 0.0;
-        bool failed = false;
-        for (std::size_t fold = 0; fold < folds && !failed; ++fold) {
-            std::vector<std::size_t> train, test;
-            for (std::size_t p = 0; p < m; ++p) {
-                (p % folds == fold ? test : train).push_back(perm[p]);
-            }
-            if (train.size() < 2) continue;
-            try {
-                const Single_cell_estimate fit =
-                    deconvolver.estimate_on_rows(series, train, options);
-                for (std::size_t idx : test) {
-                    const double pred = dot(kernel.row(idx), fit.coefficients());
-                    const double r = series.values[idx] - pred;
-                    score += weights[idx] * r * r;
-                }
-            } catch (const std::runtime_error&) {
-                failed = true;  // a lambda that breaks the QP is disqualified
-            }
-        }
         sel.scores[li] =
-            failed ? std::numeric_limits<double>::infinity() : score / static_cast<double>(m);
+            kfold_lambda_score(deconvolver, series, base_options, perm, folds, lambda_grid[li]);
     }
 
     const auto best = std::min_element(sel.scores.begin(), sel.scores.end());
@@ -84,11 +101,21 @@ Lambda_selection select_lambda_gcv(const Deconvolver& deconvolver,
     series.validate();
     if (lambda_grid.empty()) throw std::invalid_argument("select_lambda_gcv: empty grid");
     const std::size_t m = series.size();
+    const std::size_t n = deconvolver.basis().size();
     const Vector w = series.weights();
 
-    // Whitened data z = W^{1/2} G.
+    // Whitened design Kw = W^{1/2} K and data z = W^{1/2} G.
+    Matrix kw(m, n);
     Vector z(m);
-    for (std::size_t i = 0; i < m; ++i) z[i] = std::sqrt(w[i]) * series.values[i];
+    for (std::size_t i = 0; i < m; ++i) {
+        const double sw = std::sqrt(w[i]);
+        for (std::size_t j = 0; j < n; ++j) kw(i, j) = sw * deconvolver.kernel_matrix()(i, j);
+        z[i] = sw * series.values[i];
+    }
+
+    // One cached KKT object sweeps the grid: the Gram and penalty blocks
+    // are assembled once, each lambda refactors in place.
+    Kkt_factorization kkt(gram(kw), deconvolver.penalty(), Matrix(0, n));
 
     Lambda_selection sel;
     sel.method = "gcv";
@@ -96,10 +123,15 @@ Lambda_selection select_lambda_gcv(const Deconvolver& deconvolver,
     sel.scores.assign(lambda_grid.size(), 0.0);
 
     for (std::size_t li = 0; li < lambda_grid.size(); ++li) {
-        const Matrix a = deconvolver.hat_matrix(series, lambda_grid[li]);
+        kkt.factorize(lambda_grid[li], 1e-9);
+        // tr(A) = sum_i kw_i' (Kw'Kw + lambda Omega)^-1 kw_i and
+        // fitted = Kw (normal)^-1 Kw' z without forming the hat matrix.
         double trace = 0.0;
-        for (std::size_t i = 0; i < m; ++i) trace += a(i, i);
-        const Vector fitted = a * z;
+        for (std::size_t i = 0; i < m; ++i) {
+            const Vector row = kw.row(i);
+            trace += dot(row, kkt.solve(scaled(row, -1.0), Vector{}));
+        }
+        const Vector fitted = kw * kkt.solve(scaled(transposed_times(kw, z), -1.0), Vector{});
         double rss = 0.0;
         for (std::size_t i = 0; i < m; ++i) {
             const double r = z[i] - fitted[i];

@@ -42,11 +42,26 @@ Lambda_selection select_lambda_kfold(const Deconvolver& deconvolver,
                                      std::uint64_t seed = 77);
 
 /// GCV: V(lambda) = m * ||(I - A) z||^2 / tr(I - A)^2 in whitened space,
-/// with A the unconstrained hat matrix.
+/// with A the unconstrained hat matrix. The normal-equation blocks are
+/// assembled once and swept across the grid through a cached
+/// Kkt_factorization.
 /// Throws std::invalid_argument for an empty grid.
 Lambda_selection select_lambda_gcv(const Deconvolver& deconvolver,
                                    const Measurement_series& series,
                                    const Vector& lambda_grid);
+
+/// The fold assignment used by select_lambda_kfold: a seeded shuffle of
+/// the measurement indices (fold of perm[p] is p % folds).
+std::vector<std::size_t> kfold_permutation(std::size_t count, std::uint64_t seed);
+
+/// Mean weighted held-out squared error of one lambda under a fixed fold
+/// assignment — the unit of work shared by the serial selector and
+/// Batch_engine's parallel sweep. Returns +inf when a fold's constrained
+/// fit fails (that lambda is disqualified).
+double kfold_lambda_score(const Deconvolver& deconvolver, const Measurement_series& series,
+                          const Deconvolution_options& base_options,
+                          const std::vector<std::size_t>& permutation, std::size_t folds,
+                          double lambda);
 
 }  // namespace cellsync
 

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "numerics/kkt_factorization.h"
 #include "numerics/linear_solve.h"
 
 namespace cellsync {
@@ -42,20 +43,21 @@ Vector Single_cell_estimate::sample_time(const Vector& t_minutes, double cycle_m
 
 Deconvolver::Deconvolver(std::shared_ptr<const Basis> basis, const Kernel_grid& kernel,
                          const Cell_cycle_config& config)
-    : basis_(std::move(basis)), config_(config), times_(kernel.times()) {
-    if (!basis_) throw std::invalid_argument("Deconvolver: null basis");
-    config_.validate();
-    kernel_matrix_ = kernel.basis_matrix(*basis_);
-    penalty_ = basis_->penalty_matrix();
+    : artifacts_(make_design_artifacts(std::move(basis), kernel, config)) {}
+
+Deconvolver::Deconvolver(std::shared_ptr<const Design_artifacts> artifacts)
+    : artifacts_(std::move(artifacts)) {
+    if (!artifacts_) throw std::invalid_argument("Deconvolver: null artifacts");
 }
 
 void Deconvolver::check_series(const Measurement_series& series) const {
     series.validate();
-    if (series.size() != times_.size()) {
+    const Vector& times = artifacts_->times;
+    if (series.size() != times.size()) {
         throw std::invalid_argument("Deconvolver: series length differs from kernel time grid");
     }
-    for (std::size_t m = 0; m < times_.size(); ++m) {
-        if (std::abs(series.times[m] - times_[m]) > 1e-9 * std::max(1.0, std::abs(times_[m]))) {
+    for (std::size_t m = 0; m < times.size(); ++m) {
+        if (std::abs(series.times[m] - times[m]) > 1e-9 * std::max(1.0, std::abs(times[m]))) {
             throw std::invalid_argument(
                 "Deconvolver: measurement times must match the kernel time grid");
         }
@@ -64,9 +66,9 @@ void Deconvolver::check_series(const Measurement_series& series) const {
 
 Single_cell_estimate Deconvolver::package(Vector alpha, const Measurement_series& series,
                                           double lambda) const {
-    Single_cell_estimate est(basis_, std::move(alpha));
+    Single_cell_estimate est(artifacts_->basis, std::move(alpha));
     est.lambda = lambda;
-    est.fitted = kernel_matrix_ * est.coefficients();
+    est.fitted = artifacts_->kernel_matrix * est.coefficients();
     const Vector w = series.weights();
     double chi2 = 0.0;
     for (std::size_t m = 0; m < series.size(); ++m) {
@@ -74,7 +76,7 @@ Single_cell_estimate Deconvolver::package(Vector alpha, const Measurement_series
         chi2 += w[m] * r * r;
     }
     est.chi_squared = chi2;
-    est.roughness = dot(est.coefficients(), penalty_ * est.coefficients());
+    est.roughness = dot(est.coefficients(), artifacts_->penalty * est.coefficients());
     est.objective = chi2 + lambda * est.roughness;
     return est;
 }
@@ -99,11 +101,12 @@ Single_cell_estimate Deconvolver::estimate_on_rows(const Measurement_series& ser
             throw std::invalid_argument("Deconvolver: bad row subset");
         }
     }
-    if (series.size() != times_.size()) {
+    if (series.size() != artifacts_->times.size()) {
         throw std::invalid_argument("Deconvolver: series length differs from kernel time grid");
     }
 
-    const std::size_t n = basis_->size();
+    const std::size_t n = artifacts_->basis->size();
+    const Matrix& kernel_matrix = artifacts_->kernel_matrix;
     const Vector w_full = series.weights();
 
     // H = 2 (K'WK + lambda Omega + ridge I), g = -2 K'W G over selected rows.
@@ -111,29 +114,53 @@ Single_cell_estimate Deconvolver::estimate_on_rows(const Measurement_series& ser
     Vector g_sub(rows.size());
     Vector w_sub(rows.size());
     for (std::size_t r = 0; r < rows.size(); ++r) {
-        k_sub.set_row(r, kernel_matrix_.row(rows[r]));
+        k_sub.set_row(r, kernel_matrix.row(rows[r]));
         g_sub[r] = series.values[rows[r]];
         w_sub[r] = w_full[rows[r]];
     }
 
-    Qp_problem qp;
-    qp.hessian = 2.0 * (weighted_gram(k_sub, w_sub) + options.lambda * penalty_);
-    for (std::size_t i = 0; i < n; ++i) qp.hessian(i, i) += 2.0 * options.ridge;
-    qp.gradient.assign(n, 0.0);
+    Matrix hessian = 2.0 * (weighted_gram(k_sub, w_sub) + options.lambda * artifacts_->penalty);
+    for (std::size_t i = 0; i < n; ++i) hessian(i, i) += 2.0 * options.ridge;
+    Vector gradient(n, 0.0);
     const Vector wg = hadamard(w_sub, g_sub);
     const Vector ktwg = transposed_times(k_sub, wg);
-    for (std::size_t i = 0; i < n; ++i) qp.gradient[i] = -2.0 * ktwg[i];
+    for (std::size_t i = 0; i < n; ++i) gradient[i] = -2.0 * ktwg[i];
 
-    const Constraint_set constraints =
-        build_constraints(*basis_, config_, options.constraints);
-    qp.eq_matrix = constraints.equality;
-    qp.eq_rhs = constraints.equality_rhs;
-    qp.ineq_matrix = constraints.inequality;
-    qp.ineq_rhs = constraints.inequality_rhs;
+    // Constraint blocks: the design caches the blocks and their QP
+    // reduction for its own constraint geometry; any other geometry is
+    // rebuilt per call (the pre-engine slow path).
+    std::shared_ptr<const Qp_constraint_prep> prep;
+    const Constraint_set* constraints = nullptr;
+    Constraint_set local_constraints;
+    if (options.constraints == artifacts_->constraint_options) {
+        constraints = &artifacts_->constraints;
+        prep = artifacts_->constraint_prep;
+    } else {
+        local_constraints =
+            build_constraints(*artifacts_->basis, artifacts_->config, options.constraints);
+        constraints = &local_constraints;
+        prep = std::make_shared<const Qp_constraint_prep>(
+            n, local_constraints.equality, local_constraints.equality_rhs,
+            local_constraints.inequality, local_constraints.inequality_rhs);
+    }
 
-    // The dual (Goldfarb-Idnani) solver: no feasible start needed and
-    // robust on the dense, near-degenerate positivity grid.
-    const Qp_result result = solve_qp_dual(qp, options.qp);
+    Qp_result result;
+    if (options.backend == Qp_backend::automatic ||
+        options.backend == Qp_backend::active_set) {
+        // The dual (Goldfarb-Idnani) solver through the shared constraint
+        // preparation: no feasible start needed and robust on the dense,
+        // near-degenerate positivity grid.
+        result = solve_qp_dual_prepared(hessian, gradient, *prep, options.qp);
+    } else {
+        Qp_problem qp;
+        qp.hessian = std::move(hessian);
+        qp.gradient = std::move(gradient);
+        qp.eq_matrix = constraints->equality;
+        qp.eq_rhs = constraints->equality_rhs;
+        qp.ineq_matrix = constraints->inequality;
+        qp.ineq_rhs = constraints->inequality_rhs;
+        result = make_qp_solver(options.backend)->solve(qp, options.qp);
+    }
     Single_cell_estimate est = package(result.x, series, options.lambda);
     est.qp_iterations = result.iterations;
     est.active_constraints = result.active_set.size();
@@ -144,18 +171,18 @@ Single_cell_estimate Deconvolver::estimate_unconstrained(const Measurement_serie
                                                          double lambda, double ridge) const {
     check_series(series);
     if (lambda < 0.0) throw std::invalid_argument("Deconvolver: lambda must be >= 0");
-    const std::size_t n = basis_->size();
+    const std::size_t n = artifacts_->basis->size();
     const Vector w = series.weights();
 
-    Matrix normal = weighted_gram(kernel_matrix_, w) + lambda * penalty_;
-    for (std::size_t i = 0; i < n; ++i) normal(i, i) += ridge;
-    const Vector rhs = transposed_times(kernel_matrix_, hadamard(w, series.values));
-    Vector alpha;
-    try {
-        alpha = cholesky_solve(normal, rhs);
-    } catch (const std::runtime_error&) {
-        alpha = lu_solve(normal, rhs);  // semi-definite corner: fall back to LU
-    }
+    // Normal equations (K'WK + lambda Omega + ridge I) alpha = K'W G through
+    // the cached-block KKT object (Cholesky, LDLT on the semi-definite
+    // corner).
+    Kkt_factorization kkt(weighted_gram(artifacts_->kernel_matrix, w), artifacts_->penalty,
+                          Matrix(0, n));
+    kkt.factorize(lambda, ridge);
+    const Vector rhs =
+        transposed_times(artifacts_->kernel_matrix, hadamard(w, series.values));
+    Vector alpha = kkt.solve(scaled(rhs, -1.0), Vector{});
     return package(std::move(alpha), series, lambda);
 }
 
@@ -163,7 +190,7 @@ Matrix Deconvolver::hat_matrix(const Measurement_series& series, double lambda,
                                double ridge) const {
     check_series(series);
     if (lambda < 0.0) throw std::invalid_argument("Deconvolver: lambda must be >= 0");
-    const std::size_t n = basis_->size();
+    const std::size_t n = artifacts_->basis->size();
     const std::size_t m = series.size();
     const Vector w = series.weights();
 
@@ -171,9 +198,9 @@ Matrix Deconvolver::hat_matrix(const Measurement_series& series, double lambda,
     Matrix kw(m, n);
     for (std::size_t r = 0; r < m; ++r) {
         const double sw = std::sqrt(w[r]);
-        for (std::size_t i = 0; i < n; ++i) kw(r, i) = sw * kernel_matrix_(r, i);
+        for (std::size_t i = 0; i < n; ++i) kw(r, i) = sw * artifacts_->kernel_matrix(r, i);
     }
-    Matrix normal = gram(kw) + lambda * penalty_;
+    Matrix normal = gram(kw) + lambda * artifacts_->penalty;
     for (std::size_t i = 0; i < n; ++i) normal(i, i) += ridge;
     const Matrix inv_t_kwt = lu_solve(normal, kw.transposed());  // n x m
     return kw * inv_t_kwt;

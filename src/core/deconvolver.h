@@ -8,15 +8,17 @@
 //
 // over basis coefficients alpha, subject to positivity, RNA conservation
 // across division, and transcription-rate continuity (paper Secs 2.3, 3.2).
-// The problem is a convex QP solved by the active-set method.
+// The problem is a convex QP solved through the pluggable solver layer
+// (numerics/qp_backend.h); all gene-independent precomputation lives in a
+// shared Design_artifacts (core/design.h).
 #ifndef CELLSYNC_CORE_DECONVOLVER_H
 #define CELLSYNC_CORE_DECONVOLVER_H
 
 #include <memory>
 
-#include "core/constraints.h"
+#include "core/design.h"
 #include "core/measurement.h"
-#include "numerics/qp_solver.h"
+#include "numerics/qp_backend.h"
 #include "population/kernel_builder.h"
 #include "spline/basis.h"
 
@@ -28,6 +30,12 @@ struct Deconvolution_options {
     Constraint_options constraints;  ///< which physical constraints to enforce
     double ridge = 1e-9;             ///< tiny Tikhonov term stabilizing the QP Hessian
     Qp_options qp;                   ///< active-set solver controls
+    /// Solver backend for the constrained QP. `automatic` uses the
+    /// prepared active-set path (the NNLS fast path only applies to
+    /// coefficient-positivity problems, which the spline constraints are
+    /// not); `nnls` forces the projected solver and throws when the
+    /// problem structure does not qualify.
+    Qp_backend backend = Qp_backend::automatic;
 };
 
 /// The recovered single-cell expression profile f(phi) with fit
@@ -71,24 +79,37 @@ class Single_cell_estimate {
 /// The measurement series passed to estimate() must sample exactly the
 /// kernel's time grid (that is how the paper's pipeline operates: the
 /// kernel is built at the experiment's sampling times).
+///
+/// All gene-independent state lives in an immutable Design_artifacts that
+/// can be shared across Deconvolver instances, the Batch_engine, and
+/// threads. Estimation with constraint options matching the artifacts
+/// reuses the cached constraint blocks and their QP reduction; differing
+/// options fall back to a per-call rebuild (the pre-engine behavior).
 class Deconvolver {
   public:
+    /// Build fresh artifacts for the default constraint geometry.
     /// Throws std::invalid_argument on a null basis.
     Deconvolver(std::shared_ptr<const Basis> basis, const Kernel_grid& kernel,
                 const Cell_cycle_config& config);
 
+    /// Bind to artifacts precomputed elsewhere (Batch_engine, tests).
+    explicit Deconvolver(std::shared_ptr<const Design_artifacts> artifacts);
+
     /// Kernel matrix K(m, i) = integral Q(phi, t_m) psi_i(phi) dphi.
-    const Matrix& kernel_matrix() const { return kernel_matrix_; }
+    const Matrix& kernel_matrix() const { return artifacts_->kernel_matrix; }
 
     /// Penalty Gram matrix Omega.
-    const Matrix& penalty() const { return penalty_; }
+    const Matrix& penalty() const { return artifacts_->penalty; }
 
     /// Kernel time grid (the required measurement times).
-    const Vector& times() const { return times_; }
+    const Vector& times() const { return artifacts_->times; }
 
-    const Basis& basis() const { return *basis_; }
-    std::shared_ptr<const Basis> basis_ptr() const { return basis_; }
-    const Cell_cycle_config& config() const { return config_; }
+    const Basis& basis() const { return *artifacts_->basis; }
+    std::shared_ptr<const Basis> basis_ptr() const { return artifacts_->basis; }
+    const Cell_cycle_config& config() const { return artifacts_->config; }
+
+    /// The shared design-level precomputation.
+    const std::shared_ptr<const Design_artifacts>& artifacts() const { return artifacts_; }
 
     /// Full constrained estimate (the paper's method).
     /// Throws std::invalid_argument if the series does not match the kernel
@@ -119,11 +140,7 @@ class Deconvolver {
     Single_cell_estimate package(Vector alpha, const Measurement_series& series,
                                  double lambda) const;
 
-    std::shared_ptr<const Basis> basis_;
-    Cell_cycle_config config_;
-    Vector times_;
-    Matrix kernel_matrix_;
-    Matrix penalty_;
+    std::shared_ptr<const Design_artifacts> artifacts_;
 };
 
 }  // namespace cellsync

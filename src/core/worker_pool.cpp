@@ -1,0 +1,99 @@
+#include "core/worker_pool.h"
+
+#include <algorithm>
+
+namespace cellsync {
+
+Worker_pool::Worker_pool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads - 1);
+    for (std::size_t t = 0; t + 1 < threads; ++t) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+Worker_pool::~Worker_pool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void Worker_pool::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)>* task = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+            if (stopping_) return;
+            seen = generation_;
+            task = task_;
+            count = count_;
+        }
+        // task_ is cleared once its batch fully drained; a worker waking
+        // that late just goes back to sleep until the next batch.
+        if (task == nullptr) continue;
+        drain(*task, count, seen);
+    }
+}
+
+void Worker_pool::drain(const std::function<void(std::size_t)>& task, std::size_t count,
+                        std::uint64_t generation) {
+    for (;;) {
+        std::size_t index = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // The generation check guards against a worker that observed
+            // this batch but was descheduled until after the batch drained
+            // and a new one started: its task reference is dangling and
+            // next_/completed_ belong to the new batch.
+            if (generation_ != generation || next_ >= count) return;
+            index = next_++;
+        }
+        try {
+            task(index);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (++completed_ == count) done_cv_.notify_all();
+        }
+    }
+}
+
+void Worker_pool::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& task) {
+    if (count == 0) return;
+    std::uint64_t generation = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        count_ = count;
+        next_ = 0;
+        completed_ = 0;
+        first_error_ = nullptr;
+        generation = ++generation_;
+    }
+    start_cv_.notify_all();
+    drain(task, count, generation);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return completed_ == count_; });
+        error = first_error_;
+        first_error_ = nullptr;
+        task_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace cellsync

@@ -1,0 +1,67 @@
+// A small std::thread worker pool for the batch deconvolution engine.
+//
+// The engine's units of work (genes, lambda grid points, bootstrap
+// replicates) are independent and deterministic given their index, so the
+// pool only needs one primitive: parallel_for over an index range, with
+// results written into pre-sized slots by index. That makes every run
+// reproducible bit-for-bit regardless of thread count or scheduling.
+#ifndef CELLSYNC_CORE_WORKER_POOL_H
+#define CELLSYNC_CORE_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cellsync {
+
+class Worker_pool {
+  public:
+    /// `threads` is the total parallelism (the calling thread participates
+    /// in every parallel_for, so `threads - 1` workers are spawned).
+    /// 0 means std::thread::hardware_concurrency().
+    explicit Worker_pool(std::size_t threads = 0);
+    ~Worker_pool();
+
+    Worker_pool(const Worker_pool&) = delete;
+    Worker_pool& operator=(const Worker_pool&) = delete;
+
+    /// Total parallelism (workers + calling thread).
+    std::size_t thread_count() const { return workers_.size() + 1; }
+
+    /// Run task(i) for every i in [0, count), distributing indices across
+    /// the pool; blocks until all tasks finished. If any task throws, the
+    /// first exception is rethrown after the batch drains (remaining tasks
+    /// still run). Not reentrant: one parallel_for at a time.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  private:
+    void worker_loop();
+    /// Claim-and-run loop shared by workers and the calling thread. Claims
+    /// are tagged with the batch generation: a worker descheduled between
+    /// waking and claiming must not touch a later batch's counters (or the
+    /// by-then-destroyed task of its own batch).
+    void drain(const std::function<void(std::size_t)>& task, std::size_t count,
+               std::uint64_t generation);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    bool stopping_ = false;
+    const std::function<void(std::size_t)>* task_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t next_ = 0;
+    std::size_t completed_ = 0;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_WORKER_POOL_H

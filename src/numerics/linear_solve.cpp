@@ -50,24 +50,26 @@ Lu_factors lu_factor(const Matrix& a) {
     return f;
 }
 
-Vector lu_apply(const Lu_factors& f, const Vector& b) {
-    const std::size_t n = f.lu.rows();
+Vector lu_apply(const Matrix& lu, const std::vector<std::size_t>& piv, const Vector& b) {
+    const std::size_t n = lu.rows();
     Vector x(n);
-    for (std::size_t i = 0; i < n; ++i) x[i] = b[f.piv[i]];
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[piv[i]];
     // Forward substitution with unit-lower L.
     for (std::size_t i = 1; i < n; ++i) {
         double s = x[i];
-        for (std::size_t j = 0; j < i; ++j) s -= f.lu(i, j) * x[j];
+        for (std::size_t j = 0; j < i; ++j) s -= lu(i, j) * x[j];
         x[i] = s;
     }
     // Back substitution with U.
     for (std::size_t ii = n; ii-- > 0;) {
         double s = x[ii];
-        for (std::size_t j = ii + 1; j < n; ++j) s -= f.lu(ii, j) * x[j];
-        x[ii] = s / f.lu(ii, ii);
+        for (std::size_t j = ii + 1; j < n; ++j) s -= lu(ii, j) * x[j];
+        x[ii] = s / lu(ii, ii);
     }
     return x;
 }
+
+Vector lu_apply(const Lu_factors& f, const Vector& b) { return lu_apply(f.lu, f.piv, b); }
 
 }  // namespace
 
@@ -120,53 +122,85 @@ Matrix cholesky(const Matrix& a) {
     return l;
 }
 
-Vector cholesky_solve(const Matrix& a, const Vector& b) {
-    if (a.rows() != b.size()) throw std::invalid_argument("cholesky_solve: rhs length mismatch");
-    const Matrix l = cholesky(a);
-    const std::size_t n = l.rows();
+Cholesky_factorization::Cholesky_factorization(const Matrix& a) : lower_(cholesky(a)) {}
+
+Vector Cholesky_factorization::forward(const Vector& b) const {
+    if (b.size() != lower_.rows()) {
+        throw std::invalid_argument("Cholesky_factorization: rhs length mismatch");
+    }
+    const std::size_t n = lower_.rows();
     Vector y(n);
     for (std::size_t i = 0; i < n; ++i) {
         double s = b[i];
-        for (std::size_t j = 0; j < i; ++j) s -= l(i, j) * y[j];
-        y[i] = s / l(i, i);
+        for (std::size_t j = 0; j < i; ++j) s -= lower_(i, j) * y[j];
+        y[i] = s / lower_(i, i);
     }
+    return y;
+}
+
+Vector Cholesky_factorization::backward(const Vector& y) const {
+    if (y.size() != lower_.rows()) {
+        throw std::invalid_argument("Cholesky_factorization: rhs length mismatch");
+    }
+    const std::size_t n = lower_.rows();
     Vector x(n);
     for (std::size_t ii = n; ii-- > 0;) {
         double s = y[ii];
-        for (std::size_t j = ii + 1; j < n; ++j) s -= l(j, ii) * x[j];
-        x[ii] = s / l(ii, ii);
+        for (std::size_t j = ii + 1; j < n; ++j) s -= lower_(j, ii) * x[j];
+        x[ii] = s / lower_(ii, ii);
     }
     return x;
 }
 
-Vector ldlt_solve(const Matrix& a, const Vector& b) {
+Vector Cholesky_factorization::solve(const Vector& b) const { return backward(forward(b)); }
+
+Vector cholesky_solve(const Matrix& a, const Vector& b) {
+    if (a.rows() != b.size()) throw std::invalid_argument("cholesky_solve: rhs length mismatch");
+    return Cholesky_factorization(a).solve(b);
+}
+
+Ldlt_factorization::Ldlt_factorization(const Matrix& a) {
     // Symmetric indefinite systems (KKT matrices) are solved by LU with
     // partial pivoting after symmetric equilibration. KKT blocks routinely
     // mix scales (Hessian entries ~1e7 from inverse-variance weights next
     // to O(1) constraint rows), and without equilibration the LU pivot
     // threshold — relative to the matrix norm — falsely rejects the small
     // but perfectly regular constraint pivots.
-    if (a.rows() != a.cols()) throw std::invalid_argument("ldlt_solve: matrix must be square");
-    if (a.rows() != b.size()) throw std::invalid_argument("ldlt_solve: rhs length mismatch");
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument("Ldlt_factorization: matrix must be square");
+    }
     const std::size_t n = a.rows();
-
-    Vector scale(n, 1.0);
+    scale_.assign(n, 1.0);
     for (std::size_t i = 0; i < n; ++i) {
         double row_norm = 0.0;
         for (std::size_t j = 0; j < n; ++j) row_norm = std::max(row_norm, std::abs(a(i, j)));
-        scale[i] = row_norm > 0.0 ? 1.0 / std::sqrt(row_norm) : 1.0;
+        scale_[i] = row_norm > 0.0 ? 1.0 / std::sqrt(row_norm) : 1.0;
     }
-
     Matrix scaled(n, n);
-    Vector rhs(n);
     for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < n; ++j) scaled(i, j) = a(i, j) * scale[i] * scale[j];
-        rhs[i] = b[i] * scale[i];
+        for (std::size_t j = 0; j < n; ++j) scaled(i, j) = a(i, j) * scale_[i] * scale_[j];
     }
+    Lu_factors f = lu_factor(scaled);
+    lu_ = std::move(f.lu);
+    piv_ = std::move(f.piv);
+}
+
+Vector Ldlt_factorization::solve(const Vector& b) const {
+    if (b.size() != lu_.rows()) {
+        throw std::invalid_argument("Ldlt_factorization: rhs length mismatch");
+    }
+    const std::size_t n = lu_.rows();
     // A x = b  <=>  (S A S)(S^{-1} x) = S b.
-    Vector z = lu_solve(scaled, rhs);
-    for (std::size_t i = 0; i < n; ++i) z[i] *= scale[i];
+    Vector rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = b[i] * scale_[i];
+    Vector z = lu_apply(lu_, piv_, rhs);
+    for (std::size_t i = 0; i < n; ++i) z[i] *= scale_[i];
     return z;
+}
+
+Vector ldlt_solve(const Matrix& a, const Vector& b) {
+    if (a.rows() != b.size()) throw std::invalid_argument("ldlt_solve: rhs length mismatch");
+    return Ldlt_factorization(a).solve(b);
 }
 
 Vector qr_least_squares(const Matrix& a, const Vector& b) {

@@ -32,6 +32,49 @@ Matrix inverse(const Matrix& a);
 /// positive definite (non-positive pivot encountered).
 Matrix cholesky(const Matrix& a);
 
+/// Reusable Cholesky factorization A = L L^T: factor once, solve many
+/// right-hand sides. The factor-once/solve-many split is what the QP
+/// backends and the KKT cache build on. Throws std::runtime_error if A is
+/// not positive definite.
+class Cholesky_factorization {
+  public:
+    explicit Cholesky_factorization(const Matrix& a);
+
+    std::size_t size() const { return lower_.rows(); }
+    const Matrix& lower() const { return lower_; }
+
+    /// Solve A x = b.
+    Vector solve(const Vector& b) const;
+
+    /// Solve L y = b (forward substitution half).
+    Vector forward(const Vector& b) const;
+
+    /// Solve L^T x = y (back substitution half).
+    Vector backward(const Vector& y) const;
+
+  private:
+    Matrix lower_;
+};
+
+/// Reusable factorization for symmetric (possibly indefinite) systems —
+/// equilibrated LU with partial pivoting under the hood (see ldlt_solve for
+/// why equilibration matters on mixed-scale KKT blocks). Factor once, solve
+/// many right-hand sides. Throws std::runtime_error on singular input.
+class Ldlt_factorization {
+  public:
+    explicit Ldlt_factorization(const Matrix& a);
+
+    std::size_t size() const { return lu_.rows(); }
+
+    /// Solve A x = b.
+    Vector solve(const Vector& b) const;
+
+  private:
+    Matrix lu_;                      // packed L (unit lower) and U
+    std::vector<std::size_t> piv_;   // row permutation
+    Vector scale_;                   // symmetric equilibration diag
+};
+
 /// Solve A x = b for symmetric positive-definite A using Cholesky.
 Vector cholesky_solve(const Matrix& a, const Vector& b);
 

@@ -1,0 +1,105 @@
+#include "numerics/qp_backend.h"
+
+#include <stdexcept>
+
+#include "numerics/linear_solve.h"
+#include "numerics/nnls.h"
+
+namespace cellsync {
+
+const char* to_string(Qp_backend backend) {
+    switch (backend) {
+        case Qp_backend::automatic: return "automatic";
+        case Qp_backend::active_set: return "active_set";
+        case Qp_backend::nnls: return "nnls";
+    }
+    return "unknown";
+}
+
+Qp_backend qp_backend_from_string(const std::string& name) {
+    if (name == "automatic" || name == "auto") return Qp_backend::automatic;
+    if (name == "active_set" || name == "active-set") return Qp_backend::active_set;
+    if (name == "nnls") return Qp_backend::nnls;
+    throw std::invalid_argument("qp_backend_from_string: unknown backend '" + name + "'");
+}
+
+bool Active_set_qp_solver::supports(const Qp_problem&) const { return true; }
+
+Qp_result Active_set_qp_solver::solve(const Qp_problem& problem,
+                                      const Qp_options& options) const {
+    return solve_qp_dual(problem, options);
+}
+
+bool Nnls_qp_solver::supports(const Qp_problem& problem) const {
+    const std::size_t n = problem.hessian.rows();
+    if (problem.hessian.cols() != n || problem.gradient.size() != n) return false;
+    if (problem.eq_matrix.rows() != 0) return false;
+    if (problem.ineq_matrix.rows() != n || problem.ineq_matrix.cols() != n) return false;
+    if (problem.ineq_rhs.size() != n) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (problem.ineq_rhs[i] != 0.0) return false;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (problem.ineq_matrix(i, j) != (i == j ? 1.0 : 0.0)) return false;
+        }
+    }
+    return true;
+}
+
+Qp_result Nnls_qp_solver::solve(const Qp_problem& problem, const Qp_options& options) const {
+    if (!supports(problem)) {
+        throw std::invalid_argument(
+            "Nnls_qp_solver: problem is not positivity-only (needs no equalities and an "
+            "identity inequality block with zero rhs)");
+    }
+    const std::size_t n = problem.hessian.rows();
+
+    // H = L L^T turns 0.5 x'Hx + g'x into 0.5||L^T x - b||^2 + const with
+    // L b = -g, so the QP is exactly NNLS in the variable x. The NNLS
+    // termination test is dual feasibility, so it honors multiplier_tol.
+    const Cholesky_factorization chol(problem.hessian);
+    const Vector b = chol.forward(scaled(problem.gradient, -1.0));
+    const Nnls_result nnls =
+        solve_nnls(chol.lower().transposed(), b, options.multiplier_tol);
+
+    Qp_result result;
+    result.x = nnls.x;
+    result.objective =
+        0.5 * dot(result.x, problem.hessian * result.x) + dot(problem.gradient, result.x);
+    result.iterations = nnls.iterations;
+    result.converged = nnls.converged;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Binding positivity rows: Lawson-Hanson keeps coordinates outside
+        // the passive set at an exact zero.
+        if (result.x[i] <= options.constraint_tol) result.active_set.push_back(i);
+    }
+    return result;
+}
+
+namespace {
+
+class Dispatching_qp_solver final : public Qp_solver {
+  public:
+    std::string name() const override { return "automatic"; }
+    bool supports(const Qp_problem&) const override { return true; }
+    Qp_result solve(const Qp_problem& problem, const Qp_options& options) const override {
+        if (nnls_.supports(problem)) return nnls_.solve(problem, options);
+        return active_set_.solve(problem, options);
+    }
+
+  private:
+    Active_set_qp_solver active_set_;
+    Nnls_qp_solver nnls_;
+};
+
+}  // namespace
+
+std::unique_ptr<Qp_solver> make_qp_solver(Qp_backend backend) {
+    switch (backend) {
+        case Qp_backend::automatic: return std::make_unique<Dispatching_qp_solver>();
+        case Qp_backend::active_set: return std::make_unique<Active_set_qp_solver>();
+        case Qp_backend::nnls: return std::make_unique<Nnls_qp_solver>();
+    }
+    throw std::invalid_argument("make_qp_solver: unknown backend");
+}
+
+}  // namespace cellsync

@@ -1,0 +1,77 @@
+// Pluggable QP solver backends (in the spirit of Uno's QPSolver /
+// LinearSolver hierarchy): one interface, multiple concrete methods, so
+// the estimation layer can swap solvers per problem structure and the
+// benches can race them on identical inputs.
+//
+// Backends:
+//  * active_set — the Goldfarb-Idnani dual active-set method (the general
+//    work-horse; handles equality + inequality blocks);
+//  * nnls       — Lawson-Hanson non-negative least squares, a fast path
+//    for the positivity-only structure (no equalities, x >= 0): the QP is
+//    rewritten as min ||L^T x + L^{-1} g|| over x >= 0 with H = L L^T;
+//  * automatic  — per-problem dispatch: nnls when the structure allows,
+//    active_set otherwise.
+#ifndef CELLSYNC_NUMERICS_QP_BACKEND_H
+#define CELLSYNC_NUMERICS_QP_BACKEND_H
+
+#include <memory>
+#include <string>
+
+#include "numerics/qp_solver.h"
+
+namespace cellsync {
+
+/// Backend selector carried by solver options and CLI flags.
+enum class Qp_backend {
+    automatic,   ///< nnls when supported, active_set otherwise
+    active_set,  ///< Goldfarb-Idnani dual active-set
+    nnls,        ///< Lawson-Hanson projected solver (positivity-only)
+};
+
+const char* to_string(Qp_backend backend);
+
+/// Parse "automatic" / "active_set" / "nnls"; throws std::invalid_argument
+/// on anything else.
+Qp_backend qp_backend_from_string(const std::string& name);
+
+/// Abstract QP solver: one convex QP in, one result out. Implementations
+/// are stateless and safe to share across threads.
+class Qp_solver {
+  public:
+    virtual ~Qp_solver() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Can this backend handle the problem's structure? solve() on an
+    /// unsupported problem throws std::invalid_argument.
+    virtual bool supports(const Qp_problem& problem) const = 0;
+
+    virtual Qp_result solve(const Qp_problem& problem, const Qp_options& options = {}) const = 0;
+};
+
+/// Goldfarb-Idnani dual active-set backend (wraps solve_qp_dual). Handles
+/// every problem shape the library produces.
+class Active_set_qp_solver final : public Qp_solver {
+  public:
+    std::string name() const override { return "active_set"; }
+    bool supports(const Qp_problem& problem) const override;
+    Qp_result solve(const Qp_problem& problem, const Qp_options& options = {}) const override;
+};
+
+/// NNLS-based projected backend for the positivity-only fast path:
+/// no equality rows, inequality block exactly x >= 0 (identity matrix,
+/// zero rhs), strictly positive-definite Hessian.
+class Nnls_qp_solver final : public Qp_solver {
+  public:
+    std::string name() const override { return "nnls"; }
+    bool supports(const Qp_problem& problem) const override;
+    Qp_result solve(const Qp_problem& problem, const Qp_options& options = {}) const override;
+};
+
+/// Factory: automatic returns a dispatching solver that picks nnls when
+/// supported and active_set otherwise.
+std::unique_ptr<Qp_solver> make_qp_solver(Qp_backend backend);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_QP_BACKEND_H

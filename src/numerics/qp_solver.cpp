@@ -283,90 +283,74 @@ std::vector<Vector> null_space_basis(const Matrix& a) {
 
 }  // namespace
 
-Qp_result solve_qp_dual(const Qp_problem& problem, const Qp_options& options) {
-    validate(problem);
-    const std::size_t n = problem.hessian.rows();
-    const std::size_t me = problem.eq_matrix.rows();
-    const std::size_t mi = problem.ineq_matrix.rows();
-
-    // --- Null-space reduction of the equality constraints: x = x0 + Z y. ---
-    Matrix z_basis;       // n x nz, orthonormal columns spanning null(A_eq)
-    Vector x_particular(n, 0.0);
-    std::size_t nz = n;
-    if (me > 0) {
-        x_particular = qr_least_squares(problem.eq_matrix, problem.eq_rhs);
-        if (norm_inf(problem.eq_matrix * x_particular - problem.eq_rhs) >
-            1e-8 * std::max(1.0, norm_inf(problem.eq_rhs))) {
-            throw std::runtime_error("solve_qp_dual: equality constraints are inconsistent");
-        }
-        const std::vector<Vector> basis = null_space_basis(problem.eq_matrix);
-        nz = basis.size();
-        if (nz == 0) {
-            // Fully determined by the equalities; just report that point.
-            Qp_result only;
-            only.x = x_particular;
-            only.objective = 0.5 * dot(only.x, problem.hessian * only.x) +
-                             dot(problem.gradient, only.x);
-            only.converged = true;
-            only.iterations = 1;
-            return only;
-        }
-        z_basis = Matrix(n, nz);
-        for (std::size_t c = 0; c < nz; ++c) z_basis.set_col(c, basis[c]);
-    } else {
-        z_basis = Matrix::identity(n);
+Qp_constraint_prep::Qp_constraint_prep(std::size_t n, const Matrix& eq_matrix,
+                                       const Vector& eq_rhs, const Matrix& ineq_matrix,
+                                       const Vector& ineq_rhs)
+    : n_(n) {
+    const std::size_t me = eq_matrix.rows();
+    const std::size_t mi = ineq_matrix.rows();
+    if (me != eq_rhs.size() || (me > 0 && eq_matrix.cols() != n)) {
+        throw std::invalid_argument("Qp_constraint_prep: equality block shape mismatch");
+    }
+    if (mi != ineq_rhs.size() || (mi > 0 && ineq_matrix.cols() != n)) {
+        throw std::invalid_argument("Qp_constraint_prep: inequality block shape mismatch");
     }
 
-    // Reduced problem: min 0.5 y'Hr y + gr'y  s.t.  Cr y >= dr.
-    auto reduce = [&](const Vector& full) { return transposed_times(z_basis, full); };
-    Matrix hr(nz, nz);
-    {
-        // Hr = Z' H Z with a scaled ridge guaranteeing strict convexity.
-        const Matrix hz = problem.hessian * z_basis;
-        for (std::size_t i = 0; i < nz; ++i) {
-            for (std::size_t j = 0; j < nz; ++j) {
-                double s = 0.0;
-                for (std::size_t k = 0; k < n; ++k) s += z_basis(k, i) * hz(k, j);
-                hr(i, j) = s;
-            }
+    // Null-space reduction of the equality constraints: x = x0 + Z y.
+    x_particular_.assign(n, 0.0);
+    if (me > 0) {
+        x_particular_ = qr_least_squares(eq_matrix, eq_rhs);
+        if (norm_inf(eq_matrix * x_particular_ - eq_rhs) >
+            1e-8 * std::max(1.0, norm_inf(eq_rhs))) {
+            throw std::runtime_error("Qp_constraint_prep: equality constraints are inconsistent");
         }
+        const std::vector<Vector> basis = null_space_basis(eq_matrix);
+        z_basis_ = Matrix(n, basis.size());
+        for (std::size_t c = 0; c < basis.size(); ++c) z_basis_.set_col(c, basis[c]);
+    } else {
+        z_basis_ = Matrix::identity(n);
+    }
+
+    // Reduced inequality block: Cr = C Z, dr = d - C x0.
+    const std::size_t nz = z_basis_.cols();
+    reduced_ineq_ = Matrix(mi, nz);
+    reduced_rhs_.assign(mi, 0.0);
+    for (std::size_t r = 0; r < mi; ++r) {
+        const Vector row = ineq_matrix.row(r);
+        reduced_ineq_.set_row(r, transposed_times(z_basis_, row));
+        reduced_rhs_[r] = ineq_rhs[r] - dot(row, x_particular_);
+    }
+}
+
+Qp_result solve_qp_dual_reduced(const Matrix& hessian, const Vector& gradient,
+                                const Matrix& ineq_matrix, const Vector& ineq_rhs,
+                                const Qp_options& options) {
+    const std::size_t nz = hessian.rows();
+    const std::size_t mi = ineq_matrix.rows();
+    if (hessian.cols() != nz || gradient.size() != nz) {
+        throw std::invalid_argument("solve_qp_dual_reduced: Hessian/gradient shape mismatch");
+    }
+    if (ineq_rhs.size() != mi || (mi > 0 && ineq_matrix.cols() != nz)) {
+        throw std::invalid_argument("solve_qp_dual_reduced: inequality block shape mismatch");
+    }
+    const Matrix& cr = ineq_matrix;
+    const Vector& dr = ineq_rhs;
+
+    // Scaled ridge guaranteeing strict convexity.
+    Matrix hr = hessian;
+    {
         double trace = 0.0;
         for (std::size_t i = 0; i < nz; ++i) trace += hr(i, i);
         const double ridge =
             std::max(options.fallback_ridge, 1e-12) * std::max(1.0, trace / static_cast<double>(nz));
         for (std::size_t i = 0; i < nz; ++i) hr(i, i) += ridge;
     }
-    const Vector gr = reduce(problem.hessian * x_particular + problem.gradient);
-    Matrix cr(mi, nz);
-    Vector dr(mi, 0.0);
-    for (std::size_t r = 0; r < mi; ++r) {
-        const Vector row = problem.ineq_matrix.row(r);
-        const Vector rr = reduce(row);
-        cr.set_row(r, rr);
-        dr[r] = problem.ineq_rhs[r] - dot(row, x_particular);
-    }
 
     // --- Goldfarb-Idnani on the reduced problem. ---
-    const Matrix hl = cholesky(hr);  // throws if H is not PD even with ridge
-    auto h_solve = [&](const Vector& rhs) {
-        // Forward/back substitution with the cached factor.
-        const std::size_t m = hl.rows();
-        Vector t(m);
-        for (std::size_t i = 0; i < m; ++i) {
-            double s = rhs[i];
-            for (std::size_t j = 0; j < i; ++j) s -= hl(i, j) * t[j];
-            t[i] = s / hl(i, i);
-        }
-        Vector out(m);
-        for (std::size_t ii = m; ii-- > 0;) {
-            double s = t[ii];
-            for (std::size_t j = ii + 1; j < m; ++j) s -= hl(j, ii) * out[j];
-            out[ii] = s / hl(ii, ii);
-        }
-        return out;
-    };
+    const Cholesky_factorization hl(hr);  // throws if H is not PD even with ridge
+    auto h_solve = [&](const Vector& rhs) { return hl.solve(rhs); };
 
-    Vector y = scaled(h_solve(gr), -1.0);  // unconstrained optimum
+    Vector y = scaled(h_solve(gradient), -1.0);  // unconstrained optimum
     std::vector<std::size_t> active;
     Vector u;  // multipliers of active constraints
     std::size_t iterations = 0;
@@ -462,19 +446,75 @@ Qp_result solve_qp_dual(const Qp_problem& problem, const Qp_options& options) {
     }
 
     Qp_result result;
-    result.x = z_basis * y + x_particular;
-    result.objective =
-        0.5 * dot(result.x, problem.hessian * result.x) + dot(problem.gradient, result.x);
+    result.x = std::move(y);
     result.iterations = iterations == 0 ? 1 : iterations;
-    result.active_set = active;
+    result.active_set = std::move(active);
     std::sort(result.active_set.begin(), result.active_set.end());
     // The dual method terminates at primal feasibility; verify it rather
     // than trusting the loop bound.
-    if (ineq_violation(problem, result.x) > 100.0 * options.constraint_tol) {
+    double violation = 0.0;
+    for (std::size_t r = 0; r < mi; ++r) {
+        violation = std::max(violation, dr[r] - dot(cr.row(r), result.x));
+    }
+    if (violation > 100.0 * options.constraint_tol) {
         throw std::runtime_error("solve_qp_dual: failed to reach primal feasibility");
     }
     result.converged = true;
+    result.objective = 0.5 * dot(result.x, hessian * result.x) + dot(gradient, result.x);
     return result;
+}
+
+Qp_result solve_qp_dual_prepared(const Matrix& hessian, const Vector& gradient,
+                                 const Qp_constraint_prep& prep, const Qp_options& options) {
+    const std::size_t n = prep.unknowns();
+    if (hessian.rows() != n || hessian.cols() != n || gradient.size() != n) {
+        throw std::invalid_argument("solve_qp_dual_prepared: Hessian/gradient shape mismatch");
+    }
+    const Matrix& z_basis = prep.z_basis();
+    const Vector& x_particular = prep.x_particular();
+
+    if (prep.fully_determined()) {
+        // Fully determined by the equalities; just report that point.
+        Qp_result only;
+        only.x = x_particular;
+        only.objective =
+            0.5 * dot(only.x, hessian * only.x) + dot(gradient, only.x);
+        only.converged = true;
+        only.iterations = 1;
+        return only;
+    }
+
+    // Reduced problem: min 0.5 y'Hr y + gr'y  s.t.  Cr y >= dr.
+    const std::size_t nz = z_basis.cols();
+    Matrix hr(nz, nz);
+    {
+        const Matrix hz = hessian * z_basis;
+        for (std::size_t i = 0; i < nz; ++i) {
+            for (std::size_t j = 0; j < nz; ++j) {
+                double s = 0.0;
+                for (std::size_t k = 0; k < n; ++k) s += z_basis(k, i) * hz(k, j);
+                hr(i, j) = s;
+            }
+        }
+    }
+    const Vector gr = transposed_times(z_basis, hessian * x_particular + gradient);
+
+    Qp_result reduced = solve_qp_dual_reduced(hr, gr, prep.reduced_inequality(),
+                                              prep.reduced_ineq_rhs(), options);
+    Qp_result result;
+    result.x = z_basis * reduced.x + x_particular;
+    result.objective = 0.5 * dot(result.x, hessian * result.x) + dot(gradient, result.x);
+    result.iterations = reduced.iterations;
+    result.active_set = std::move(reduced.active_set);
+    result.converged = reduced.converged;
+    return result;
+}
+
+Qp_result solve_qp_dual(const Qp_problem& problem, const Qp_options& options) {
+    validate(problem);
+    const Qp_constraint_prep prep(problem.hessian.rows(), problem.eq_matrix, problem.eq_rhs,
+                                  problem.ineq_matrix, problem.ineq_rhs);
+    return solve_qp_dual_prepared(problem.hessian, problem.gradient, prep, options);
 }
 
 double kkt_violation(const Qp_problem& problem, const Qp_result& result) {

@@ -66,6 +66,57 @@ struct Qp_options {
 Qp_result solve_qp(const Qp_problem& problem, const Qp_options& options = {},
                    const std::optional<Vector>& start = std::nullopt);
 
+/// Precomputed constraint geometry of a QP family.
+///
+/// Deconvolution solves thousands of QPs that share one constraint set
+/// (A_eq, b_eq, C_in, d_in) while the Hessian and gradient vary — across
+/// genes, CV folds, bootstrap replicates, and lambda grid points. The
+/// equality null-space reduction (particular solution + orthonormal basis
+/// Z of null(A_eq)) and the reduction C Z of every inequality row depend
+/// only on the constraints, so this object computes them exactly once and
+/// is shared immutably across all those solves (and across threads).
+class Qp_constraint_prep {
+  public:
+    /// `n` is the unknown count (blocks may have zero rows). Throws
+    /// std::invalid_argument on shape mismatch and std::runtime_error if
+    /// the equality system is inconsistent.
+    Qp_constraint_prep(std::size_t n, const Matrix& eq_matrix, const Vector& eq_rhs,
+                       const Matrix& ineq_matrix, const Vector& ineq_rhs);
+
+    std::size_t unknowns() const { return n_; }
+    std::size_t reduced_dim() const { return z_basis_.cols(); }
+    /// True when the equalities pin x completely (empty null space).
+    bool fully_determined() const { return z_basis_.cols() == 0; }
+
+    const Matrix& z_basis() const { return z_basis_; }              ///< n x nz
+    const Vector& x_particular() const { return x_particular_; }    ///< length n
+    const Matrix& reduced_inequality() const { return reduced_ineq_; }  ///< C Z
+    const Vector& reduced_ineq_rhs() const { return reduced_rhs_; }     ///< d - C x0
+
+  private:
+    std::size_t n_ = 0;
+    Matrix z_basis_;
+    Vector x_particular_;
+    Matrix reduced_ineq_;
+    Vector reduced_rhs_;
+};
+
+/// Goldfarb-Idnani dual iteration on a reduced, inequality-only QP:
+/// min 0.5 y'H y + g'y  s.t.  C y >= d, with H made strictly convex by a
+/// scaled internal ridge. This is the core shared by solve_qp_dual and the
+/// prepared solve path. Throws std::runtime_error on infeasibility or a
+/// non-PD Hessian.
+Qp_result solve_qp_dual_reduced(const Matrix& hessian, const Vector& gradient,
+                                const Matrix& ineq_matrix, const Vector& ineq_rhs,
+                                const Qp_options& options = {});
+
+/// Goldfarb-Idnani solve of the full QP reusing a shared constraint
+/// preparation; numerically identical to solve_qp_dual on the same
+/// problem, minus the per-solve constraint reduction work.
+Qp_result solve_qp_dual_prepared(const Matrix& hessian, const Vector& gradient,
+                                 const Qp_constraint_prep& prep,
+                                 const Qp_options& options = {});
+
 /// Solve the QP by the Goldfarb-Idnani dual active-set method.
 ///
 /// Requires a strictly convex Hessian (positive definite after the

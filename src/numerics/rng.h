@@ -53,6 +53,12 @@ class Rng {
     std::mt19937_64 engine_;
 };
 
+/// Deterministically derive an independent stream seed from a base seed
+/// and a stream index (splitmix64 over the combined words). Parallel code
+/// seeds each task with mix_seed(base, task_index) so results never depend
+/// on thread count or scheduling order.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace cellsync
 
 #endif  // CELLSYNC_NUMERICS_RNG_H

@@ -1,0 +1,218 @@
+#include "core/batch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "biology/gene_profiles.h"
+#include "core/forward_model.h"
+#include "spline/spline_basis.h"
+
+namespace cellsync {
+namespace {
+
+class BatchEngineTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        Kernel_build_options options;
+        options.n_cells = 20000;
+        options.n_bins = 120;
+        options.seed = 99;
+        kernel_ = new Kernel_grid(build_kernel(Cell_cycle_config{}, Smooth_volume_model{},
+                                               linspace(0.0, 180.0, 13), options));
+        artifacts_ = new std::shared_ptr<const Design_artifacts>(make_design_artifacts(
+            std::make_shared<Natural_spline_basis>(12), *kernel_, Cell_cycle_config{}));
+    }
+    static void TearDownTestSuite() {
+        delete artifacts_;
+        delete kernel_;
+        artifacts_ = nullptr;
+        kernel_ = nullptr;
+    }
+
+    static std::vector<Measurement_series> make_panel(std::size_t genes) {
+        Rng rng(2025);
+        std::vector<Measurement_series> panel;
+        for (std::size_t g = 0; g < genes; ++g) {
+            const Gene_profile truth = sinusoid_profile(
+                3.0, 2.0, 1.0, static_cast<double>(g) / static_cast<double>(genes));
+            panel.push_back(forward_measurements_noisy(
+                *kernel_, truth.f, {Noise_type::relative_gaussian, 0.05}, rng,
+                "gene" + std::to_string(g)));
+        }
+        return panel;
+    }
+
+    static Batch_options fast_options() {
+        Batch_options options;
+        options.lambda_grid = default_lambda_grid(5, 1e-5, 1e-1);
+        options.cv_folds = 4;
+        return options;
+    }
+
+    static Kernel_grid* kernel_;
+    static std::shared_ptr<const Design_artifacts>* artifacts_;
+};
+
+Kernel_grid* BatchEngineTest::kernel_ = nullptr;
+std::shared_ptr<const Design_artifacts>* BatchEngineTest::artifacts_ = nullptr;
+
+TEST_F(BatchEngineTest, ParallelRunReproducesSerialRunBitForBit) {
+    const std::vector<Measurement_series> panel = make_panel(6);
+    const Batch_options options = fast_options();
+
+    Batch_engine_options serial_opts;
+    serial_opts.threads = 1;
+    const Batch_engine serial(*artifacts_, serial_opts);
+    Batch_engine_options parallel_opts;
+    parallel_opts.threads = 4;
+    const Batch_engine parallel(*artifacts_, parallel_opts);
+    EXPECT_EQ(parallel.thread_count(), 4u);
+
+    const std::vector<Batch_entry> a = serial.run(panel, options);
+    const std::vector<Batch_entry> b = parallel.run(panel, options);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t g = 0; g < a.size(); ++g) {
+        EXPECT_EQ(a[g].label, b[g].label);
+        ASSERT_TRUE(a[g].estimate.has_value()) << a[g].error;
+        ASSERT_TRUE(b[g].estimate.has_value()) << b[g].error;
+        EXPECT_EQ(a[g].lambda, b[g].lambda);
+        // Bit-for-bit: coefficient vectors compare equal as doubles.
+        EXPECT_EQ(a[g].estimate->coefficients(), b[g].estimate->coefficients())
+            << "gene " << g;
+    }
+}
+
+TEST_F(BatchEngineTest, EngineMatchesSerialDeconvolveBatch) {
+    const std::vector<Measurement_series> panel = make_panel(4);
+    const Batch_options options = fast_options();
+
+    const Deconvolver deconvolver(*artifacts_);
+    const std::vector<Batch_entry> reference = deconvolve_batch(deconvolver, panel, options);
+
+    Batch_engine_options engine_opts;
+    engine_opts.threads = 3;
+    const Batch_engine engine(*artifacts_, engine_opts);
+    const std::vector<Batch_entry> parallel = engine.run(panel, options);
+
+    ASSERT_EQ(reference.size(), parallel.size());
+    for (std::size_t g = 0; g < reference.size(); ++g) {
+        ASSERT_TRUE(reference[g].estimate.has_value());
+        ASSERT_TRUE(parallel[g].estimate.has_value());
+        EXPECT_EQ(reference[g].estimate->coefficients(),
+                  parallel[g].estimate->coefficients());
+    }
+}
+
+TEST_F(BatchEngineTest, MalformedSeriesFailsAloneWithLabeledError) {
+    std::vector<Measurement_series> panel = make_panel(5);
+    // Corrupt one series: wrong sampling grid (times do not match the
+    // kernel), which throws std::invalid_argument inside the estimate.
+    panel[2].times[3] += 7.5;
+    panel[2].label = "broken-gene";
+
+    Batch_engine_options engine_opts;
+    engine_opts.threads = 4;
+    const Batch_engine engine(*artifacts_, engine_opts);
+    const std::vector<Batch_entry> batch = engine.run(panel, fast_options());
+
+    ASSERT_EQ(batch.size(), 5u);
+    for (std::size_t g = 0; g < batch.size(); ++g) {
+        if (g == 2) continue;
+        EXPECT_TRUE(batch[g].estimate.has_value()) << batch[g].error;
+        EXPECT_TRUE(batch[g].error.empty());
+    }
+    const Batch_entry& failed = batch[2];
+    EXPECT_FALSE(failed.estimate.has_value());
+    // The error channel names the gene and the exception type.
+    EXPECT_NE(failed.error.find("broken-gene"), std::string::npos) << failed.error;
+    EXPECT_NE(failed.error.find("invalid_argument"), std::string::npos) << failed.error;
+}
+
+TEST_F(BatchEngineTest, CrossValidateMatchesSerialSelector) {
+    const std::vector<Measurement_series> panel = make_panel(1);
+    const Vector grid = default_lambda_grid(7, 1e-6, 1e0);
+
+    const Deconvolver deconvolver(*artifacts_);
+    const Lambda_selection serial =
+        select_lambda_kfold(deconvolver, panel[0], Deconvolution_options{}, grid, 5);
+
+    Batch_engine_options engine_opts;
+    engine_opts.threads = 4;
+    const Batch_engine engine(*artifacts_, engine_opts);
+    const Lambda_selection parallel =
+        engine.cross_validate(panel[0], Deconvolution_options{}, grid, 5);
+
+    EXPECT_EQ(serial.best_lambda, parallel.best_lambda);
+    ASSERT_EQ(serial.scores.size(), parallel.scores.size());
+    for (std::size_t i = 0; i < serial.scores.size(); ++i) {
+        EXPECT_EQ(serial.scores[i], parallel.scores[i]);
+    }
+}
+
+TEST_F(BatchEngineTest, BootstrapIsThreadCountInvariant) {
+    const std::vector<Measurement_series> panel = make_panel(1);
+    Deconvolution_options options;
+    options.lambda = 1e-3;
+    Bootstrap_options boot;
+    boot.replicates = 24;
+    const Vector grid = linspace(0.1, 0.9, 9);
+
+    Batch_engine_options serial_opts;
+    serial_opts.threads = 1;
+    Batch_engine_options parallel_opts;
+    parallel_opts.threads = 4;
+    const Confidence_band a =
+        Batch_engine(*artifacts_, serial_opts).bootstrap(panel[0], options, grid, boot);
+    const Confidence_band b =
+        Batch_engine(*artifacts_, parallel_opts).bootstrap(panel[0], options, grid, boot);
+
+    EXPECT_EQ(a.replicates_used, b.replicates_used);
+    EXPECT_EQ(a.lower, b.lower);
+    EXPECT_EQ(a.median, b.median);
+    EXPECT_EQ(a.upper, b.upper);
+}
+
+TEST_F(BatchEngineTest, SharedArtifactsAreReusedAcrossConsumers) {
+    // The engine, its deconvolver, and an external Deconvolver bound to
+    // the same artifacts all see one identical design.
+    const Batch_engine engine(*artifacts_);
+    const Deconvolver external(*artifacts_);
+    EXPECT_EQ(&engine.artifacts(), artifacts_->get());
+    EXPECT_EQ(external.artifacts().get(), artifacts_->get());
+    EXPECT_EQ(&engine.deconvolver().kernel_matrix(), &external.kernel_matrix());
+}
+
+TEST_F(BatchEngineTest, RunsUnderTheEngineConstraintGeometry) {
+    // An engine built for a non-default geometry applies it even when the
+    // per-call options carry defaults: no silent per-solve rebuild, no
+    // two-option-structs-out-of-sync trap.
+    const std::vector<Measurement_series> panel = make_panel(1);
+    Batch_engine_options engine_opts;
+    engine_opts.constraints.rate_continuity = false;
+    engine_opts.constraints.positivity_points = 61;
+    const Batch_engine engine(std::make_shared<Natural_spline_basis>(12), *kernel_,
+                              Cell_cycle_config{}, engine_opts);
+
+    Batch_options options = fast_options();  // default constraint options
+    options.select_lambda = false;
+    options.deconvolution.lambda = 1e-3;
+    const std::vector<Batch_entry> batch = engine.run(panel, options);
+    ASSERT_TRUE(batch[0].estimate.has_value()) << batch[0].error;
+
+    Deconvolution_options reference_options;
+    reference_options.lambda = 1e-3;
+    reference_options.constraints = engine_opts.constraints;
+    const Single_cell_estimate reference =
+        engine.deconvolver().estimate(panel[0], reference_options);
+    EXPECT_EQ(batch[0].estimate->coefficients(), reference.coefficients());
+}
+
+TEST_F(BatchEngineTest, EmptyPanelThrows) {
+    const Batch_engine engine(*artifacts_);
+    EXPECT_THROW(engine.run({}, fast_options()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

@@ -20,6 +20,10 @@
 //   --no-positivity / --no-conservation / --no-rate-continuity
 //   --bootstrap N       add an N-replicate 90% confidence band
 //   --seed N            simulation seed             (default 20110605)
+//   --threads N         worker threads for CV/bootstrap (default: hardware)
+//   --qp-backend NAME   automatic | active_set (default automatic; nnls is
+//                       rejected up front — the deconvolution QP is never
+//                       positivity-only)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,8 +31,7 @@
 #include <optional>
 #include <string>
 
-#include "core/bootstrap.h"
-#include "core/cross_validation.h"
+#include "core/batch_engine.h"
 #include "io/csv.h"
 #include "io/expression_data.h"
 #include "io/kernel_io.h"
@@ -53,6 +56,8 @@ struct Cli_options {
     bool rate_continuity = true;
     std::size_t bootstrap = 0;
     std::uint64_t seed = 20110605;
+    std::size_t threads = 0;
+    cellsync::Qp_backend backend = cellsync::Qp_backend::automatic;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -84,9 +89,25 @@ Cli_options parse_args(int argc, char** argv) {
         else if (arg == "--no-rate-continuity") options.rate_continuity = false;
         else if (arg == "--bootstrap") options.bootstrap = std::stoul(next_value(i));
         else if (arg == "--seed") options.seed = std::stoull(next_value(i));
+        else if (arg == "--threads") options.threads = std::stoul(next_value(i));
+        else if (arg == "--qp-backend") {
+            try {
+                options.backend = cellsync::qp_backend_from_string(next_value(i));
+            } catch (const std::invalid_argument& e) {
+                usage_error(e.what());
+            }
+        }
         else usage_error("unknown option '" + arg + "'");
     }
     if (options.input.empty()) usage_error("--input is required");
+    if (options.backend == cellsync::Qp_backend::nnls) {
+        // Fail before any simulation work: the deconvolution QP always has
+        // a spline-grid positivity block (and usually equality rows), so
+        // the coefficient-positivity NNLS fast path can never apply here.
+        usage_error(
+            "--qp-backend nnls does not apply to the deconvolution QP (it needs a "
+            "coefficient-positivity problem); use automatic or active_set");
+    }
     return options;
 }
 
@@ -130,18 +151,30 @@ int main(int argc, char** argv) {
             std::printf("kernel: saved to %s\n", cli.save_kernel_path.c_str());
         }
 
-        const Deconvolver deconvolver(std::make_shared<Natural_spline_basis>(cli.basis),
-                                      *kernel, config);
+        // One engine owns the shared design artifacts (kernel matrix,
+        // penalty, constraint blocks + QP reduction) and the worker pool
+        // used by the CV sweep and the bootstrap replicates.
         Deconvolution_options options;
         options.constraints.positivity = cli.positivity;
         options.constraints.conservation = cli.conservation;
         options.constraints.rate_continuity = cli.rate_continuity;
+        options.backend = cli.backend;
+
+        Batch_engine_options engine_options;
+        engine_options.threads = cli.threads;
+        engine_options.constraints = options.constraints;
+        const Batch_engine engine(std::make_shared<Natural_spline_basis>(cli.basis), *kernel,
+                                  config, engine_options);
+        const Deconvolver& deconvolver = engine.deconvolver();
+        std::printf("engine: %zu worker threads, %s backend\n", engine.thread_count(),
+                    to_string(cli.backend));
+
         if (cli.lambda.has_value()) {
             options.lambda = *cli.lambda;
             std::printf("lambda: fixed at %.3e\n", options.lambda);
         } else {
-            const Lambda_selection sel = select_lambda_kfold(
-                deconvolver, data, options, default_lambda_grid(15, 1e-7, 1e1), 5);
+            const Lambda_selection sel = engine.cross_validate(
+                data, options, default_lambda_grid(15, 1e-7, 1e1), 5);
             options.lambda = sel.best_lambda;
             std::printf("lambda: %.3e (5-fold CV)\n", options.lambda);
         }
@@ -158,8 +191,7 @@ int main(int argc, char** argv) {
         if (cli.bootstrap > 0) {
             Bootstrap_options boot;
             boot.replicates = cli.bootstrap;
-            const Confidence_band band =
-                bootstrap_confidence_band(deconvolver, data, options, grid, boot);
+            const Confidence_band band = engine.bootstrap(data, options, grid, boot);
             writer.add("f_lower90", band.lower)
                 .add("f_median", band.median)
                 .add("f_upper90", band.upper);
