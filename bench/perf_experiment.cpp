@@ -1,0 +1,201 @@
+// Performance: the multi-condition experiment runner with a cold vs warm
+// kernel cache. The headline comparison runs one 3-condition experiment
+// twice against the same disk cache directory: the cold pass simulates
+// every kernel, the warm pass (a fresh cache instance, so no memory
+// entries) must serve all of them from disk — zero population simulations
+// — and reproduce every per-gene coefficient bit-for-bit.
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+
+#include "biology/gene_profiles.h"
+#include "core/experiment_runner.h"
+#include "core/forward_model.h"
+#include "perf_util.h"
+
+namespace {
+
+using namespace cellsync;
+
+constexpr std::size_t conditions_count = 3;
+
+Experiment_spec make_experiment() {
+    const Vector times = linspace(0.0, 180.0, 13);
+    Experiment_spec spec;
+    spec.kernel.n_cells = 150000;
+    spec.kernel.n_bins = 200;
+    spec.kernel.seed = 20110605;
+    spec.basis_size = 18;
+    spec.batch.lambda_grid = default_lambda_grid(7, 1e-6, 1e-1);
+    spec.threads = 4;
+
+    // Three strains differing in cycle speed and transition phase, each
+    // with a 4-gene panel generated through its own kernel (generation
+    // uses direct build_kernel calls so the timed runs see a cold cache).
+    const double cycle_minutes[conditions_count] = {150.0, 130.0, 170.0};
+    const double mu_sst[conditions_count] = {0.15, 0.13, 0.17};
+    Rng rng(5);
+    const Noise_model noise{Noise_type::relative_gaussian, 0.08};
+    for (std::size_t c = 0; c < conditions_count; ++c) {
+        Experiment_condition condition;
+        condition.name = "strain" + std::to_string(c);
+        condition.cell_cycle.mean_cycle_minutes = cycle_minutes[c];
+        condition.cell_cycle.mu_sst = mu_sst[c];
+        const Kernel_grid kernel =
+            build_kernel(condition.cell_cycle, Smooth_volume_model{}, times, spec.kernel);
+        condition.panel = {
+            forward_measurements_noisy(kernel, ftsz_like_profile().f, noise, rng, "ftsZ"),
+            forward_measurements_noisy(kernel, sinusoid_profile(3.0, 2.0).f, noise, rng,
+                                       "sinA"),
+            forward_measurements_noisy(kernel, sinusoid_profile(4.0, 2.0, 1.0, 1.5).f,
+                                       noise, rng, "sinB"),
+            forward_measurements_noisy(kernel, pulse_profile(1.0, 6.0, 0.7, 0.15).f, noise,
+                                       rng, "pulse"),
+        };
+        spec.conditions.push_back(std::move(condition));
+    }
+    return spec;
+}
+
+void run_cache_comparison(cellsync::bench::Bench_json& json) {
+    using clock = std::chrono::steady_clock;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "cellsync_perf_experiment_cache")
+            .string();
+    std::filesystem::remove_all(dir);
+
+    const Experiment_spec spec = make_experiment();
+    const Smooth_volume_model volume;
+
+    Kernel_cache cold_cache(dir);
+    const auto cold_start = clock::now();
+    const Experiment_result cold = run_experiment(spec, volume, cold_cache);
+    const double cold_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - cold_start).count();
+
+    // Fresh instance: the memory map is empty, so every kernel must come
+    // off disk. builds == 0 is the "skips all population simulation" claim.
+    Kernel_cache warm_cache(dir);
+    const auto warm_start = clock::now();
+    const Experiment_result warm = run_experiment(spec, volume, warm_cache);
+    const double warm_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - warm_start).count();
+
+    std::size_t genes = 0;
+    std::size_t identical = 0;
+    double max_diff = 0.0;
+    for (std::size_t c = 0; c < cold.conditions.size(); ++c) {
+        for (std::size_t g = 0; g < cold.conditions[c].genes.size(); ++g) {
+            const Batch_entry& a = cold.conditions[c].genes[g];
+            const Batch_entry& b = warm.conditions[c].genes[g];
+            if (!a.estimate.has_value() || !b.estimate.has_value()) continue;
+            ++genes;
+            const Vector& ca = a.estimate->coefficients();
+            const Vector& cb = b.estimate->coefficients();
+            bool same = ca.size() == cb.size() && a.lambda == b.lambda;
+            if (ca.size() == cb.size()) {
+                // Scan every coefficient: max |diff| must reflect the worst
+                // divergence, not just the first one.
+                for (std::size_t i = 0; i < ca.size(); ++i) {
+                    max_diff = std::max(max_diff, std::abs(ca[i] - cb[i]));
+                    if (ca[i] != cb[i]) same = false;
+                }
+            }
+            if (same) ++identical;
+        }
+    }
+    const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+    std::printf("experiment: %zu conditions x 4 genes, %zu-cell kernels\n",
+                cold.conditions.size(), spec.kernel.n_cells);
+    std::printf("  cold (simulating)  : %9.1f ms (%zu kernel builds)\n", cold_ms,
+                cold_cache.stats().builds);
+    std::printf("  warm (disk cache)  : %9.1f ms (%zu builds, %zu disk hits)\n", warm_ms,
+                warm_cache.stats().builds, warm_cache.stats().disk_hits);
+    std::printf("  speedup            : %9.2fx\n", speedup);
+    std::printf("  identical genes    : %zu/%zu (max |diff| %.3e)\n\n", identical, genes,
+                max_diff);
+
+    json.add("experiment_conditions", static_cast<double>(cold.conditions.size()));
+    json.add("experiment_cold_ms", cold_ms);
+    json.add("experiment_warm_ms", warm_ms);
+    json.add("experiment_speedup", speedup);
+    json.add("experiment_cold_builds", static_cast<double>(cold_cache.stats().builds));
+    json.add("experiment_warm_builds", static_cast<double>(warm_cache.stats().builds));
+    json.add("experiment_warm_disk_hits",
+             static_cast<double>(warm_cache.stats().disk_hits));
+    json.add("experiment_identical_genes", static_cast<double>(identical));
+    json.add("experiment_total_genes", static_cast<double>(genes));
+    json.add("experiment_max_coefficient_diff", max_diff);
+
+    std::filesystem::remove_all(dir);
+}
+
+Kernel_build_options micro_options() {
+    Kernel_build_options o;
+    o.n_cells = 10000;
+    o.n_bins = 200;
+    return o;
+}
+
+void bm_cache_memory_hit(benchmark::State& state) {
+    Kernel_cache cache;
+    const Cell_cycle_config config;
+    const Smooth_volume_model volume;
+    const Vector times = linspace(0.0, 180.0, 13);
+    cache.get_or_build(config, volume, times, micro_options());
+    for (auto _ : state) {
+        const auto kernel = cache.get_or_build(config, volume, times, micro_options());
+        benchmark::DoNotOptimize(kernel.get());
+    }
+}
+
+void bm_cache_disk_hit(benchmark::State& state) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "cellsync_perf_experiment_disk").string();
+    std::filesystem::remove_all(dir);
+    Kernel_cache cache(dir);
+    const Cell_cycle_config config;
+    const Smooth_volume_model volume;
+    const Vector times = linspace(0.0, 180.0, 13);
+    cache.get_or_build(config, volume, times, micro_options());
+    for (auto _ : state) {
+        cache.clear_memory();  // force the disk path
+        const auto kernel = cache.get_or_build(config, volume, times, micro_options());
+        benchmark::DoNotOptimize(kernel.get());
+    }
+    std::filesystem::remove_all(dir);
+}
+
+void bm_cache_cold_build(benchmark::State& state) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model volume;
+    const Vector times = linspace(0.0, 180.0, 13);
+    for (auto _ : state) {
+        Kernel_cache cache;  // fresh: every iteration simulates
+        const auto kernel = cache.get_or_build(config, volume, times, micro_options());
+        benchmark::DoNotOptimize(kernel.get());
+    }
+}
+
+}  // namespace
+
+BENCHMARK(bm_cache_memory_hit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_cache_disk_hit)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_cache_cold_build)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+    cellsync::bench::Bench_json json("experiment");
+    // The cache comparison is the expensive part; skip it when the caller
+    // narrowed the run to micro-benchmarks.
+    bool want_comparison = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--benchmark_filter", 0) == 0 &&
+            arg.find("experiment") == std::string::npos) {
+            want_comparison = false;
+        }
+    }
+    if (want_comparison) run_cache_comparison(json);
+    return cellsync::bench::run_perf_harness(argc, argv, std::move(json));
+}

@@ -24,15 +24,25 @@ Deconvolution_options Batch_engine::aligned(const Deconvolution_options& options
 
 std::vector<Batch_entry> Batch_engine::run(const std::vector<Measurement_series>& panel,
                                            const Batch_options& options) const {
+    return run_with_grids(panel, std::vector<Vector>(panel.size()), options);
+}
+
+std::vector<Batch_entry> Batch_engine::run_with_grids(
+    const std::vector<Measurement_series>& panel, const std::vector<Vector>& grids,
+    const Batch_options& options) const {
     if (panel.empty()) throw std::invalid_argument("Batch_engine: empty panel");
+    if (grids.size() != panel.size()) {
+        throw std::invalid_argument("Batch_engine: one lambda grid per series required");
+    }
     Batch_options effective = options;
     effective.deconvolution = aligned(options.deconvolution);
-    const Vector grid =
+    const Vector shared_grid =
         effective.lambda_grid.empty() ? default_lambda_grid() : effective.lambda_grid;
 
     std::vector<Batch_entry> out(panel.size());
     const std::lock_guard<std::mutex> run_lock(run_mutex_);
     pool_.parallel_for(panel.size(), [&](std::size_t g) {
+        const Vector& grid = grids[g].empty() ? shared_grid : grids[g];
         out[g] = deconvolve_one(deconvolver_, panel[g], grid, effective);
     });
     return out;

@@ -58,6 +58,17 @@ class Batch_engine {
     std::vector<Batch_entry> run(const std::vector<Measurement_series>& panel,
                                  const Batch_options& options = {}) const;
 
+    /// run() with a per-gene lambda grid (grids[g] for panel[g]) — the
+    /// primitive behind the experiment runner's warm-started lambda
+    /// selection, where each gene's grid is narrowed around its selection
+    /// in the previous condition. An empty grids[g] falls back to
+    /// options.lambda_grid (or the default grid). Throws
+    /// std::invalid_argument on an empty panel or a grids/panel length
+    /// mismatch.
+    std::vector<Batch_entry> run_with_grids(const std::vector<Measurement_series>& panel,
+                                            const std::vector<Vector>& grids,
+                                            const Batch_options& options = {}) const;
+
     /// Lambda CV for one series with the grid points swept in parallel.
     /// Identical to select_lambda_kfold (same fold assignment, same
     /// per-lambda scoring).

@@ -1,0 +1,152 @@
+#include "core/experiment_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "population/synchrony.h"
+#include "spline/spline_basis.h"
+
+namespace cellsync {
+
+namespace {
+
+void validate_spec(const Experiment_spec& spec) {
+    if (spec.conditions.empty()) {
+        throw std::invalid_argument("run_experiment: no conditions");
+    }
+    if (spec.basis_size < 4) {
+        throw std::invalid_argument("run_experiment: basis_size too small");
+    }
+    if (spec.warm_start_lambda &&
+        (spec.warm_grid_points < 2 || !(spec.warm_grid_decades > 0.0))) {
+        throw std::invalid_argument(
+            "run_experiment: warm start needs >= 2 grid points and positive decades");
+    }
+    for (const Experiment_condition& condition : spec.conditions) {
+        if (condition.panel.empty()) {
+            throw std::invalid_argument("run_experiment: condition '" + condition.name +
+                                        "' has an empty panel");
+        }
+        const Vector& times = condition.panel.front().times;
+        for (const Measurement_series& series : condition.panel) {
+            series.validate();
+            if (series.times != times) {
+                throw std::invalid_argument(
+                    "run_experiment: series '" + series.label + "' of condition '" +
+                    condition.name + "' is not on the condition's time grid");
+            }
+        }
+    }
+}
+
+/// Log-spaced grid of `points` lambdas centered (in log space) on
+/// `center`, spanning +/- `decades`.
+Vector warm_grid(double center, std::size_t points, double decades) {
+    return default_lambda_grid(points, center * std::pow(10.0, -decades),
+                               center * std::pow(10.0, decades));
+}
+
+}  // namespace
+
+Experiment_result run_experiment(const Experiment_spec& spec,
+                                 const Volume_model& volume_model, Kernel_cache& cache) {
+    validate_spec(spec);
+
+    // Profiles are scored on the first 200 points of the standard 201-point
+    // output grid — phi = 0, 0.005, ..., 0.995. Dropping the phi = 1
+    // sample keeps the grid circularly open (phi = 0 and 1 are the same
+    // angle and must not be double-counted), and using the output grid's
+    // own points lets `cellsync_deconvolve report` reproduce these scores
+    // exactly from a saved profile CSV.
+    Vector score_phi = linspace(0.0, 1.0, 201);
+    score_phi.pop_back();
+
+    Experiment_result result;
+    result.conditions.reserve(spec.conditions.size());
+    // label -> lambda selected for that gene in the most recent condition
+    // where it succeeded; feeds the warm-started grids.
+    std::map<std::string, double> previous_lambda;
+    // Conditions resolving to the same cached kernel share one engine (the
+    // cache key covers the full cell-cycle config, so an identical grid
+    // pointer implies an identical design): the kernel matrix, penalty
+    // Gram, and constraint reduction are computed once per distinct
+    // kernel, not once per condition.
+    std::map<const Kernel_grid*, std::unique_ptr<Batch_engine>> engines;
+
+    for (std::size_t c = 0; c < spec.conditions.size(); ++c) {
+        const Experiment_condition& condition = spec.conditions[c];
+        Condition_result out;
+        out.name = condition.name.empty() ? ("condition" + std::to_string(c))
+                                          : condition.name;
+
+        out.kernel = cache.get_or_build(condition.cell_cycle, volume_model,
+                                        condition.panel.front().times, spec.kernel);
+
+        std::unique_ptr<Batch_engine>& engine_slot = engines[out.kernel.get()];
+        if (!engine_slot) {
+            Batch_engine_options engine_options;
+            engine_options.threads = spec.threads;
+            engine_options.constraints = spec.batch.deconvolution.constraints;
+            engine_slot = std::make_unique<Batch_engine>(
+                std::make_shared<Natural_spline_basis>(spec.basis_size), *out.kernel,
+                condition.cell_cycle, engine_options);
+        }
+        const Batch_engine& engine = *engine_slot;
+
+        std::vector<Vector> grids(condition.panel.size());
+        if (spec.warm_start_lambda && spec.batch.select_lambda && c > 0) {
+            for (std::size_t g = 0; g < condition.panel.size(); ++g) {
+                const auto it = previous_lambda.find(condition.panel[g].label);
+                if (it != previous_lambda.end()) {
+                    grids[g] = warm_grid(it->second, spec.warm_grid_points,
+                                         spec.warm_grid_decades);
+                }
+            }
+        }
+        out.genes = engine.run_with_grids(condition.panel, grids, spec.batch);
+
+        for (const Batch_entry& entry : out.genes) {
+            if (entry.estimate.has_value()) previous_lambda[entry.label] = entry.lambda;
+        }
+
+        for (const Batch_entry& entry : out.genes) {
+            if (!entry.estimate.has_value()) continue;
+            const Vector values = entry.estimate->sample(score_phi);
+            Gene_synchrony scores;
+            scores.label = entry.label;
+            try {
+                scores.order_parameter = profile_order_parameter(score_phi, values);
+                scores.entropy = profile_entropy(values);
+            } catch (const std::invalid_argument&) {
+                continue;  // no positive mass: synchrony is undefined, skip
+            }
+            const auto peak = std::max_element(values.begin(), values.end());
+            scores.peak_phi = score_phi[static_cast<std::size_t>(peak - values.begin())];
+            out.synchrony.push_back(std::move(scores));
+        }
+        if (!out.synchrony.empty()) {
+            for (const Gene_synchrony& s : out.synchrony) {
+                out.mean_order_parameter += s.order_parameter;
+                out.mean_entropy += s.entropy;
+            }
+            const double n = static_cast<double>(out.synchrony.size());
+            out.mean_order_parameter /= n;
+            out.mean_entropy /= n;
+        }
+
+        result.conditions.push_back(std::move(out));
+    }
+
+    result.cache_stats = cache.stats();
+    return result;
+}
+
+Experiment_result run_experiment(const Experiment_spec& spec,
+                                 const Volume_model& volume_model) {
+    Kernel_cache cache;
+    return run_experiment(spec, volume_model, cache);
+}
+
+}  // namespace cellsync

@@ -1,6 +1,8 @@
 #include "io/csv.h"
 
+#include <cctype>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -30,10 +32,30 @@ double parse_number(const std::string& field, std::size_t line_number) {
     double value = 0.0;
     const char* first = field.data();
     const char* last = field.data() + field.size();
+    // std::from_chars, unlike strtod, rejects an explicit '+' sign; accept
+    // it here (only when it actually prefixes a mantissa or an inf/nan
+    // spelling, so "+" and "+-1" still fail below while "+inf" reaches the
+    // dedicated non-finite rejection).
+    if (first != last && *first == '+' && first + 1 != last &&
+        (std::isdigit(static_cast<unsigned char>(first[1])) || first[1] == '.' ||
+         first[1] == 'i' || first[1] == 'I' || first[1] == 'n' || first[1] == 'N')) {
+        ++first;
+    }
     const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range) {
+        throw std::runtime_error("CSV line " + std::to_string(line_number) + ": field '" +
+                                 field + "' is out of double range");
+    }
     if (ec != std::errc() || ptr != last) {
         throw std::runtime_error("CSV line " + std::to_string(line_number) +
                                  ": non-numeric field '" + field + "'");
+    }
+    // from_chars happily parses "inf"/"nan" spellings; measurements must be
+    // finite, so reject them with a message naming the policy.
+    if (!std::isfinite(value)) {
+        throw std::runtime_error("CSV line " + std::to_string(line_number) +
+                                 ": non-finite field '" + field +
+                                 "' (inf/nan are not valid values)");
     }
     return value;
 }

@@ -28,6 +28,48 @@ Table table_from_series(const Measurement_series& series) {
     return t;
 }
 
+std::vector<Measurement_series> panel_from_table(const Table& table) {
+    if (!table.has_column("time")) {
+        throw std::invalid_argument("panel_from_table: need a 'time' column");
+    }
+    const Vector& times = table.column("time");
+    const std::string sigma_suffix = "_sigma";
+
+    auto is_sigma_name = [&](const std::string& name) {
+        return name.size() > sigma_suffix.size() && name.ends_with(sigma_suffix);
+    };
+
+    std::vector<Measurement_series> panel;
+    for (const std::string& name : table.names()) {
+        if (name == "time" || is_sigma_name(name)) continue;
+        Measurement_series s;
+        s.label = name;
+        s.times = times;
+        s.values = table.column(name);
+        const std::string sigma_name = name + sigma_suffix;
+        s.sigmas = table.has_column(sigma_name) ? table.column(sigma_name)
+                                                : Vector(times.size(), 1.0);
+        s.validate();
+        panel.push_back(std::move(s));
+    }
+    if (panel.empty()) {
+        throw std::invalid_argument("panel_from_table: no gene columns besides 'time'");
+    }
+    // Every sigma column must belong to a gene; a stray one is almost
+    // certainly a typo that would otherwise silently drop the data. The
+    // base must be an actual gene column — 'time' or another sigma column
+    // cannot own a sigma.
+    for (const std::string& name : table.names()) {
+        if (!is_sigma_name(name)) continue;
+        const std::string gene = name.substr(0, name.size() - sigma_suffix.size());
+        if (!table.has_column(gene) || gene == "time" || is_sigma_name(gene)) {
+            throw std::invalid_argument("panel_from_table: sigma column '" + name +
+                                        "' has no matching gene column '" + gene + "'");
+        }
+    }
+    return panel;
+}
+
 namespace {
 
 // Generated offline with tools/generate_ftsz_dataset (this repository):

@@ -24,6 +24,15 @@ Measurement_series series_from_table(const Table& table, std::string label);
 /// Convert a series to a 3-column table (time,value,sigma).
 Table table_from_series(const Measurement_series& series);
 
+/// Convert a wide panel table — a `time` column plus one column per gene,
+/// each optionally paired with a `<gene>_sigma` column — into one
+/// measurement series per gene (unit sigmas where no sigma column is
+/// given), in table column order. This is the multi-gene input format of
+/// the experiment runner CLI. Throws std::invalid_argument if `time` is
+/// missing, no gene column remains, or a `_sigma` column has no matching
+/// gene.
+std::vector<Measurement_series> panel_from_table(const Table& table);
+
 /// The embedded synthetic ftsZ population time course (11 samples,
 /// 15-minute spacing over 0-150 min, mimicking the McGrath et al.
 /// sampling). Parsed from embedded CSV through the real parser.

@@ -1,6 +1,7 @@
 #include "io/kernel_io.h"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,7 +14,9 @@ void write_kernel(std::ostream& out, const Kernel_grid& kernel) {
     table.add_column("phi", kernel.phi_centers());
     for (std::size_t m = 0; m < kernel.time_count(); ++m) {
         std::ostringstream name;
-        name << "t" << kernel.times()[m];
+        // Full precision: the loaded grid must reproduce the times
+        // bit-exactly (the kernel cache round trip depends on it).
+        name << "t" << std::setprecision(17) << kernel.times()[m];
         Vector column(kernel.bin_count());
         for (std::size_t b = 0; b < kernel.bin_count(); ++b) column[b] = kernel.q()(m, b);
         table.add_column(name.str(), column);

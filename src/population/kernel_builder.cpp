@@ -1,6 +1,8 @@
 #include "population/kernel_builder.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "population/phase_distribution.h"
@@ -26,6 +28,19 @@ Kernel_grid::Kernel_grid(Vector times, Vector phi_centers, Matrix q)
         }
     }
     bin_width_ = 1.0 / static_cast<double>(phi_centers_.size());
+    // Row-mass policy. Summing n_bins terms accrues rounding that scales
+    // with the bin count, so a fixed 1e-6 gate spuriously rejects valid
+    // high-resolution kernels. Rows whose mass drifts within the scaled
+    // tolerance are renormalized to unit mass; only genuinely
+    // non-normalizable rows (mass <= 0 or far from 1) are an error. Rows
+    // already at unit mass within the rounding floor of the sum itself are
+    // left untouched, which keeps a serialize/deserialize round trip
+    // bit-identical (renormalizing an already-renormalized row would
+    // perturb every entry by one ulp-scale factor).
+    const double n_bins = static_cast<double>(q_.cols());
+    const double epsilon = std::numeric_limits<double>::epsilon();
+    const double rounding_floor = 1024.0 * epsilon * n_bins;
+    const double renorm_tolerance = std::max(1e-6, 1e-9 * n_bins);
     for (std::size_t m = 0; m < q_.rows(); ++m) {
         double mass = 0.0;
         for (std::size_t b = 0; b < q_.cols(); ++b) {
@@ -34,9 +49,13 @@ Kernel_grid::Kernel_grid(Vector times, Vector phi_centers, Matrix q)
             }
             mass += q_(m, b) * bin_width_;
         }
-        if (std::abs(mass - 1.0) > 1e-6) {
+        if (!(mass > 0.0) || std::abs(mass - 1.0) > renorm_tolerance) {
             throw std::invalid_argument("Kernel_grid: row " + std::to_string(m) +
-                                        " does not integrate to 1");
+                                        " is not normalizable (mass " +
+                                        std::to_string(mass) + ")");
+        }
+        if (std::abs(mass - 1.0) > rounding_floor) {
+            for (std::size_t b = 0; b < q_.cols(); ++b) q_(m, b) /= mass;
         }
     }
 }
@@ -98,7 +117,16 @@ Kernel_grid build_kernel(const Cell_cycle_config& config, const Volume_model& vo
         sim.advance_to(times[m]);
         const Phase_density d = phase_volume_density(sim.snapshot(volume_model), options.n_bins);
         q.set_row(m, d.density);
-        if (m == 0) centers = d.bin_centers;
+        if (m == 0) {
+            centers = d.bin_centers;
+        } else if (d.bin_centers.size() != centers.size() ||
+                   !std::equal(centers.begin(), centers.end(), d.bin_centers.begin())) {
+            // The density estimator derives centers from n_bins alone, so
+            // every snapshot must agree; a divergence means the grid
+            // contract was broken upstream, not bad user input.
+            throw std::logic_error("build_kernel: snapshot bin centers diverged at t=" +
+                                   std::to_string(times[m]));
+        }
     }
     return Kernel_grid(times, centers, std::move(q));
 }

@@ -24,7 +24,12 @@ namespace cellsync {
 class Kernel_grid {
   public:
     /// Direct construction from precomputed slices (used by tests and by
-    /// deserialization); validates shapes and row normalization.
+    /// deserialization); validates shapes and row normalization. Rows whose
+    /// mass drifts from 1 within a tolerance scaled to the bin count are
+    /// renormalized in place; genuinely non-normalizable rows (mass <= 0 or
+    /// beyond the tolerance) throw std::invalid_argument. Rows already at
+    /// unit mass are left bit-identical, so a kernel_io round trip is
+    /// exact.
     Kernel_grid(Vector times, Vector phi_centers, Matrix q);
 
     const Vector& times() const { return times_; }

@@ -1,0 +1,156 @@
+#include "population/kernel_cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/kernel_io.h"
+
+namespace cellsync {
+
+namespace {
+
+void append_double(std::string& out, const char* name, double value) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%s=%.17g;", name, value);
+    out += buffer;
+}
+
+std::string read_text_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return "";
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+}  // namespace
+
+Kernel_cache::Kernel_cache(std::string directory) : directory_(std::move(directory)) {
+    if (directory_.empty()) {
+        throw std::invalid_argument("Kernel_cache: empty directory (use the default "
+                                    "constructor for a memory-only cache)");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec) {
+        throw std::runtime_error("Kernel_cache: cannot create directory '" + directory_ +
+                                 "': " + ec.message());
+    }
+}
+
+std::string Kernel_cache::cache_key(const Cell_cycle_config& config,
+                                    const Volume_model& volume_model, const Vector& times,
+                                    const Kernel_build_options& options) {
+    std::string key = "cellsync-kernel-v1;";
+    append_double(key, "mu_sst", config.mu_sst);
+    append_double(key, "cv_sst", config.cv_sst);
+    append_double(key, "mean_cycle_minutes", config.mean_cycle_minutes);
+    append_double(key, "cv_cycle", config.cv_cycle);
+    key += "initial_mode=" + std::to_string(static_cast<int>(config.initial_mode)) + ";";
+    key += "volume=" + volume_model.name() + ";";
+    key += "n_cells=" + std::to_string(options.n_cells) + ";";
+    key += "n_bins=" + std::to_string(options.n_bins) + ";";
+    key += "seed=" + std::to_string(options.seed) + ";";
+    key += "times=";
+    for (double t : times) {
+        char buffer[40];
+        std::snprintf(buffer, sizeof(buffer), "%.17g,", t);
+        key += buffer;
+    }
+    return key;
+}
+
+std::string Kernel_cache::key_hash(const std::string& key) {
+    std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+    for (unsigned char c : key) {
+        hash ^= c;
+        hash *= 1099511628211ull;  // FNV prime
+    }
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(hash));
+    return buffer;
+}
+
+std::string Kernel_cache::entry_path(const std::string& hash) const {
+    return directory_ + "/kernel_" + hash + ".csv";
+}
+
+std::string Kernel_cache::sidecar_path(const std::string& hash) const {
+    return directory_ + "/kernel_" + hash + ".key";
+}
+
+std::shared_ptr<const Kernel_grid> Kernel_cache::get_or_build(
+    const Cell_cycle_config& config, const Volume_model& volume_model, const Vector& times,
+    const Kernel_build_options& options) {
+    const std::string key = cache_key(config, volume_model, times, options);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = memory_.find(key); it != memory_.end()) {
+            ++stats_.memory_hits;
+            return it->second;
+        }
+    }
+
+    // Disk I/O and simulation run outside the mutex so a long build never
+    // blocks unrelated lookups. Two threads racing on the same uncached
+    // key may both simulate (identical, seeded results); the map keeps the
+    // first insertion and both callers share it.
+    std::shared_ptr<const Kernel_grid> kernel;
+    bool from_disk = false;
+    const std::string hash = key_hash(key);
+    if (!directory_.empty() && read_text_file(sidecar_path(hash)) == key) {
+        // The sidecar is written after the kernel CSV, so a matching key
+        // promises a complete entry; a corrupt or invariant-violating CSV
+        // still only costs a rebuild.
+        try {
+            kernel = std::make_shared<const Kernel_grid>(read_kernel_file(entry_path(hash)));
+            from_disk = true;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "Kernel_cache: discarding unreadable entry %s (%s)\n",
+                         entry_path(hash).c_str(), e.what());
+        }
+    }
+    if (!kernel) {
+        kernel = std::make_shared<const Kernel_grid>(
+            build_kernel(config, volume_model, times, options));
+        if (!directory_.empty()) {
+            // A full disk or read-only directory degrades to memory-only
+            // caching instead of sinking the run.
+            try {
+                write_kernel_file(entry_path(hash), *kernel);
+                std::ofstream sidecar(sidecar_path(hash),
+                                      std::ios::binary | std::ios::trunc);
+                sidecar << key;
+                if (!sidecar) {
+                    throw std::runtime_error("cannot write '" + sidecar_path(hash) + "'");
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "Kernel_cache: could not persist entry: %s\n",
+                             e.what());
+            }
+        }
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (from_disk) ++stats_.disk_hits;
+    else ++stats_.builds;
+    // emplace keeps an entry a racing thread may have inserted first;
+    // return the map's copy so all callers share one grid.
+    return memory_.emplace(key, std::move(kernel)).first->second;
+}
+
+Kernel_cache_stats Kernel_cache::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void Kernel_cache::clear_memory() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    memory_.clear();
+}
+
+}  // namespace cellsync

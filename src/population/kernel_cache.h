@@ -1,0 +1,95 @@
+// Memoization of Monte-Carlo kernel construction.
+//
+// build_kernel is the dominant cost of any realistic workload: a full
+// agent-based population simulation per (organism config, volume model,
+// time grid, build options) tuple. Those tuples recur constantly — every
+// gene of a panel, every condition re-run, every session on the same
+// protocol — so the cache keys kernels by the complete set of inputs the
+// simulation depends on and serves repeats from memory, or from disk
+// through the kernel_io round trip (which is bit-exact), skipping the
+// simulation entirely.
+//
+// Layering: in-memory map first (shared_ptr hand-out, so concurrent users
+// share one grid), then the on-disk store when a directory is configured.
+// Disk entries are a kernel CSV plus a sidecar `.key` file holding the
+// canonical key string; the sidecar is written last (commit marker) and
+// compared on load, so torn writes and hash collisions degrade to a
+// rebuild, never to a wrong kernel.
+#ifndef CELLSYNC_POPULATION_KERNEL_CACHE_H
+#define CELLSYNC_POPULATION_KERNEL_CACHE_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "population/kernel_builder.h"
+
+namespace cellsync {
+
+/// Aggregate counters describing how get_or_build calls were served.
+struct Kernel_cache_stats {
+    std::size_t memory_hits = 0;  ///< served from the in-memory map
+    std::size_t disk_hits = 0;    ///< deserialized from the cache directory
+    std::size_t builds = 0;       ///< full population simulations run
+};
+
+/// Thread-safe kernel memoizer, optionally backed by a disk directory.
+class Kernel_cache {
+  public:
+    /// Memory-only cache (entries live as long as the cache).
+    Kernel_cache() = default;
+
+    /// Disk-backed cache rooted at `directory` (created, with parents, on
+    /// first store). Throws std::runtime_error if the directory cannot be
+    /// created.
+    explicit Kernel_cache(std::string directory);
+
+    /// The kernel for the given inputs: in-memory entry if present, else a
+    /// disk entry whose stored key matches exactly, else a fresh
+    /// build_kernel run (persisted to disk when a directory is
+    /// configured). The returned grid is immutable and shared; callers may
+    /// keep it beyond the cache's lifetime. Simulation and disk I/O happen
+    /// outside the cache lock, so a long build never blocks unrelated
+    /// lookups; two threads racing on the same uncached key may both
+    /// simulate (identical, seeded results) and end up sharing the first
+    /// insertion.
+    std::shared_ptr<const Kernel_grid> get_or_build(const Cell_cycle_config& config,
+                                                    const Volume_model& volume_model,
+                                                    const Vector& times,
+                                                    const Kernel_build_options& options = {});
+
+    /// Counters since construction.
+    Kernel_cache_stats stats() const;
+
+    /// Drop the in-memory entries (disk entries are untouched). Subsequent
+    /// lookups fall through to disk / rebuild.
+    void clear_memory();
+
+    /// Cache directory ("" for memory-only).
+    const std::string& directory() const { return directory_; }
+
+    /// Canonical key string: every input the simulation output depends on,
+    /// doubles printed round-trip exactly. Equal keys <=> bit-identical
+    /// kernels (the simulator is seeded and deterministic).
+    static std::string cache_key(const Cell_cycle_config& config,
+                                 const Volume_model& volume_model, const Vector& times,
+                                 const Kernel_build_options& options);
+
+    /// FNV-1a 64-bit hash of a key, as the fixed-width hex file stem.
+    static std::string key_hash(const std::string& key);
+
+  private:
+    std::string entry_path(const std::string& hash) const;
+    std::string sidecar_path(const std::string& hash) const;
+
+    std::string directory_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const Kernel_grid>> memory_;
+    Kernel_cache_stats stats_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_POPULATION_KERNEL_CACHE_H

@@ -1,6 +1,8 @@
 #include "population/phase_distribution.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <stdexcept>
 
 namespace cellsync {
@@ -9,12 +11,34 @@ double Phase_density::mass() const {
     return sum(density) * bin_width;
 }
 
-double Phase_density::mean_phase() const {
-    double m = 0.0;
+void Phase_density::resultant(double& re, double& im) const {
+    re = 0.0;
+    im = 0.0;
     for (std::size_t i = 0; i < bin_centers.size(); ++i) {
-        m += bin_centers[i] * density[i] * bin_width;
+        const double a = 2.0 * std::numbers::pi * bin_centers[i];
+        const double w = density[i] * bin_width;
+        re += w * std::cos(a);
+        im += w * std::sin(a);
     }
-    return m;
+}
+
+double Phase_density::mean_phase() const {
+    // Phase is circular: a linear first moment of a density clustered
+    // around the wrap point phi ~ 0/1 lands near 0.5 even though the
+    // population is tightly synchronized there. Use the resultant-angle
+    // (circular) mean instead, mapped back to [0, 1).
+    double re = 0.0, im = 0.0;
+    resultant(re, im);
+    double angle = std::atan2(im, re) / (2.0 * std::numbers::pi);
+    if (angle < 0.0) angle += 1.0;
+    if (angle >= 1.0) angle -= 1.0;  // guard the rounding case atan2 -> 2 pi
+    return angle;
+}
+
+double Phase_density::resultant_length() const {
+    double re = 0.0, im = 0.0;
+    resultant(re, im);
+    return std::sqrt(re * re + im * im);
 }
 
 namespace {

@@ -23,8 +23,22 @@ struct Phase_density {
     /// Integral of the density over [0,1] (== 1 up to rounding).
     double mass() const;
 
-    /// Mean phase under this density.
+    /// Circular (resultant-angle) mean phase under this density, in
+    /// [0, 1). Phase is periodic, so the mean of a density clustered
+    /// around the wrap point phi ~ 0/1 is near 0 (not the 0.5 a linear
+    /// first moment would report). The direction is meaningful only when
+    /// resultant_length() is away from 0; for a (near-)uniform density the
+    /// resultant vanishes and the returned angle is numerical noise.
     double mean_phase() const;
+
+    /// Length of the circular resultant |integral e^{2 pi i phi} rho dphi|
+    /// in [0, 1]: 1 for a point mass, 0 for the uniform density. This is
+    /// the density-level analogue of the population order parameter.
+    double resultant_length() const;
+
+  private:
+    /// Shared resultant-vector accumulation.
+    void resultant(double& re, double& im) const;
 };
 
 /// Number-weighted phase density. Throws std::invalid_argument for zero

@@ -1,8 +1,10 @@
 #include "population/synchrony.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <string>
 
 #include "population/phase_distribution.h"
 
@@ -29,6 +31,53 @@ double phase_entropy(const std::vector<Snapshot_entry>& snapshot, std::size_t bi
         if (p > 0.0) h -= p * std::log(p);
     }
     return h / std::log(static_cast<double>(bins));
+}
+
+namespace {
+
+/// Clamp negatives to zero and normalize to probabilities; throws when the
+/// clamped profile carries no mass.
+Vector profile_probabilities(const Vector& values, const char* caller) {
+    if (values.size() < 2) {
+        throw std::invalid_argument(std::string(caller) + ": need at least 2 samples");
+    }
+    Vector p(values.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        p[i] = std::max(values[i], 0.0);
+        total += p[i];
+    }
+    if (!(total > 0.0)) {
+        throw std::invalid_argument(std::string(caller) +
+                                    ": profile has no positive mass");
+    }
+    for (double& v : p) v /= total;
+    return p;
+}
+
+}  // namespace
+
+double profile_order_parameter(const Vector& phi, const Vector& values) {
+    if (phi.size() != values.size()) {
+        throw std::invalid_argument("profile_order_parameter: grid/profile size mismatch");
+    }
+    const Vector p = profile_probabilities(values, "profile_order_parameter");
+    double re = 0.0, im = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const double a = 2.0 * std::numbers::pi * phi[i];
+        re += p[i] * std::cos(a);
+        im += p[i] * std::sin(a);
+    }
+    return std::sqrt(re * re + im * im);
+}
+
+double profile_entropy(const Vector& values) {
+    const Vector p = profile_probabilities(values, "profile_entropy");
+    double h = 0.0;
+    for (double v : p) {
+        if (v > 0.0) h -= v * std::log(v);
+    }
+    return h / std::log(static_cast<double>(p.size()));
 }
 
 }  // namespace cellsync

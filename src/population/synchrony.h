@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "numerics/vector_ops.h"
 #include "population/population_simulator.h"
 
 namespace cellsync {
@@ -21,6 +22,25 @@ double phase_order_parameter(const std::vector<Snapshot_entry>& snapshot);
 /// 0 when all mass is in one bin, 1 for the uniform distribution.
 /// Throws std::invalid_argument on an empty snapshot or zero bins.
 double phase_entropy(const std::vector<Snapshot_entry>& snapshot, std::size_t bins = 50);
+
+// -- profile-level variants -------------------------------------------------
+//
+// The experiment runner scores reconstructed single-cell profiles f(phi)
+// with the same two metrics: the profile, clamped at zero and normalized
+// to unit mass, is treated as the phase density of the expression it
+// represents. A sharply cell-cycle-regulated gene scores r -> 1 / entropy
+// -> 0; a constitutive (flat) gene scores r -> 0 / entropy -> 1.
+
+/// Order parameter r = |sum_b p_b exp(2 pi i phi_b)| of a sampled profile
+/// (values at `phi`, negatives clamped to 0, normalized to probabilities).
+/// Throws std::invalid_argument on empty/mismatched inputs or when the
+/// clamped profile has no positive mass.
+double profile_order_parameter(const Vector& phi, const Vector& values);
+
+/// Normalized Shannon entropy of a sampled profile's probability vector:
+/// 0 when all mass is at one sample, 1 for a flat profile. Same
+/// preconditions as profile_order_parameter (needs >= 2 samples).
+double profile_entropy(const Vector& values);
 
 }  // namespace cellsync
 

@@ -36,6 +36,43 @@ TEST(Csv, ScientificNotationAndNegatives) {
     EXPECT_DOUBLE_EQ(t.column("x")[1], 2e4);
 }
 
+TEST(Csv, LeadingPlusSignAccepted) {
+    // Regression: std::from_chars rejects '+'-signed doubles, so "+1.5"
+    // used to throw even though it is a standard numeric spelling.
+    const Table t = read_csv_string("x\n+1.5\n+2E4\n+.25\n+1e-3\n");
+    EXPECT_DOUBLE_EQ(t.column("x")[0], 1.5);
+    EXPECT_DOUBLE_EQ(t.column("x")[1], 2e4);
+    EXPECT_DOUBLE_EQ(t.column("x")[2], 0.25);
+    EXPECT_DOUBLE_EQ(t.column("x")[3], 1e-3);
+}
+
+TEST(Csv, BarePlusAndSignPairsRejected) {
+    EXPECT_THROW(read_csv_string("x\n+\n"), std::runtime_error);
+    EXPECT_THROW(read_csv_string("x\n+-1\n"), std::runtime_error);
+    EXPECT_THROW(read_csv_string("x\n++1\n"), std::runtime_error);
+}
+
+TEST(Csv, NonFiniteValuesRejectedWithClearMessage) {
+    for (const char* bad : {"inf", "-inf", "+inf", "nan", "-nan", "INF", "NaN"}) {
+        try {
+            read_csv_string(std::string("x\n") + bad + "\n");
+            FAIL() << "expected non-finite rejection for '" << bad << "'";
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+                << "message for '" << bad << "' was: " << e.what();
+        }
+    }
+}
+
+TEST(Csv, OutOfRangeValueRejected) {
+    try {
+        read_csv_string("x\n1e999\n");
+        FAIL() << "expected out-of-range rejection";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("range"), std::string::npos);
+    }
+}
+
 TEST(Csv, RaggedRowReportsLineNumber) {
     try {
         read_csv_string("a,b\n1,2\n3\n");

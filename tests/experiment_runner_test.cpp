@@ -1,0 +1,191 @@
+// End-to-end: a 3-condition synthetic experiment through the experiment
+// runner — kernels via the cache, per-condition Batch_engine solves,
+// warm-started lambda selection, profile synchrony scores, and cold/warm
+// determinism of the whole pipeline.
+#include "core/experiment_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+
+#include "biology/gene_profiles.h"
+#include "core/forward_model.h"
+#include "numerics/statistics.h"
+
+namespace cellsync {
+namespace {
+
+Kernel_build_options small_kernel() {
+    Kernel_build_options o;
+    o.n_cells = 4000;
+    o.n_bins = 80;
+    o.seed = 11;
+    return o;
+}
+
+Cell_cycle_config fast_config() {
+    Cell_cycle_config c;
+    c.mean_cycle_minutes = 120.0;
+    return c;
+}
+
+/// Noiseless panel for one condition: a cycle-regulated gene, a sinusoid,
+/// and a constitutive (flat) gene, pushed through the condition's kernel.
+std::vector<Measurement_series> make_panel(const Cell_cycle_config& config,
+                                           const Vector& times) {
+    const Kernel_grid kernel =
+        build_kernel(config, Smooth_volume_model{}, times, small_kernel());
+    return {
+        forward_measurements(kernel, ftsz_like_profile().f, "ftsZ-like"),
+        forward_measurements(kernel, sinusoid_profile(3.0, 2.0).f, "sinusoid"),
+        forward_measurements(kernel, constant_profile(4.0).f, "flat"),
+    };
+}
+
+Experiment_spec make_spec() {
+    const Vector times = linspace(0.0, 150.0, 11);
+    Experiment_spec spec;
+    spec.kernel = small_kernel();
+    spec.basis_size = 14;
+    spec.batch.lambda_grid = default_lambda_grid(7, 1e-6, 1e-1);
+    spec.threads = 2;
+
+    Experiment_condition wildtype;
+    wildtype.name = "wildtype";
+    wildtype.panel = make_panel(wildtype.cell_cycle, times);
+
+    Experiment_condition fast;
+    fast.name = "fast";
+    fast.cell_cycle = fast_config();
+    fast.panel = make_panel(fast.cell_cycle, times);
+
+    // Same biology as wildtype (kernel must come from the cache, not a
+    // third simulation), fresh data realization is unnecessary: reuse.
+    Experiment_condition repeat = wildtype;
+    repeat.name = "repeat";
+
+    spec.conditions = {wildtype, fast, repeat};
+    return spec;
+}
+
+TEST(ExperimentRunner, ThreeConditionExperimentEndToEnd) {
+    const Experiment_spec spec = make_spec();
+    Kernel_cache cache;
+    const Experiment_result result = run_experiment(spec, Smooth_volume_model{}, cache);
+
+    ASSERT_EQ(result.conditions.size(), 3u);
+    for (const Condition_result& condition : result.conditions) {
+        ASSERT_EQ(condition.genes.size(), 3u);
+        for (const Batch_entry& gene : condition.genes) {
+            EXPECT_TRUE(gene.estimate.has_value()) << condition.name << ": " << gene.error;
+        }
+        EXPECT_EQ(condition.synchrony.size(), 3u);
+    }
+
+    // Two distinct kernels; the third condition reuses the first's.
+    EXPECT_EQ(result.cache_stats.builds, 2u);
+    EXPECT_EQ(result.cache_stats.memory_hits, 1u);
+
+    // Recovery of the cycle-regulated truth from noiseless data.
+    const Gene_profile truth = ftsz_like_profile();
+    const Vector grid = linspace(0.04, 0.96, 47);
+    const Single_cell_estimate& ftsz = *result.conditions[0].genes[0].estimate;
+    Vector recovered(grid.size()), expected(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        recovered[i] = ftsz(grid[i]);
+        expected[i] = truth(grid[i]);
+    }
+    EXPECT_GT(pearson_correlation(recovered, expected), 0.95);
+
+    // Synchrony scores separate regulated from constitutive expression.
+    const Condition_result& wildtype = result.conditions[0];
+    const Gene_synchrony& ftsz_scores = wildtype.synchrony[0];
+    const Gene_synchrony& flat_scores = wildtype.synchrony[2];
+    EXPECT_EQ(ftsz_scores.label, "ftsZ-like");
+    EXPECT_EQ(flat_scores.label, "flat");
+    EXPECT_GT(ftsz_scores.order_parameter, flat_scores.order_parameter);
+    EXPECT_LT(ftsz_scores.entropy, flat_scores.entropy);
+    EXPECT_GT(flat_scores.entropy, 0.9);
+    EXPECT_NEAR(ftsz_scores.peak_phi, 0.40, 0.10);
+    EXPECT_GT(wildtype.mean_order_parameter, 0.0);
+    EXPECT_GT(wildtype.mean_entropy, 0.0);
+}
+
+TEST(ExperimentRunner, WarmStartKeepsLambdaNearPreviousCondition) {
+    const Experiment_spec spec = make_spec();
+    const Experiment_result result = run_experiment(spec, Smooth_volume_model{});
+    for (std::size_t g = 0; g < 3; ++g) {
+        const Batch_entry& before = result.conditions[0].genes[g];
+        const Batch_entry& after = result.conditions[1].genes[g];
+        ASSERT_TRUE(before.estimate.has_value());
+        ASSERT_TRUE(after.estimate.has_value());
+        // The narrowed grid spans +/- warm_grid_decades around the
+        // previous selection.
+        const double decades =
+            std::abs(std::log10(after.lambda) - std::log10(before.lambda));
+        EXPECT_LE(decades, spec.warm_grid_decades + 1e-9)
+            << before.label << ": " << before.lambda << " -> " << after.lambda;
+    }
+}
+
+TEST(ExperimentRunner, ColdAndWarmCacheRunsAreBitIdentical) {
+    const std::string dir =
+        testing::TempDir() + "cellsync_experiment_runner_cache";
+    std::filesystem::remove_all(dir);
+    const Experiment_spec spec = make_spec();
+
+    Kernel_cache cold_cache(dir);
+    const Experiment_result cold = run_experiment(spec, Smooth_volume_model{}, cold_cache);
+    EXPECT_EQ(cold_cache.stats().builds, 2u);
+
+    // Fresh cache instance on the same directory: every kernel must come
+    // from disk, and every coefficient must match the cold run exactly.
+    Kernel_cache warm_cache(dir);
+    const Experiment_result warm = run_experiment(spec, Smooth_volume_model{}, warm_cache);
+    EXPECT_EQ(warm_cache.stats().builds, 0u);
+    EXPECT_EQ(warm_cache.stats().disk_hits, 2u);
+
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t g = 0; g < 3; ++g) {
+            const Batch_entry& a = cold.conditions[c].genes[g];
+            const Batch_entry& b = warm.conditions[c].genes[g];
+            ASSERT_TRUE(a.estimate.has_value());
+            ASSERT_TRUE(b.estimate.has_value());
+            EXPECT_EQ(a.lambda, b.lambda);
+            const Vector& ca = a.estimate->coefficients();
+            const Vector& cb = b.estimate->coefficients();
+            ASSERT_EQ(ca.size(), cb.size());
+            for (std::size_t i = 0; i < ca.size(); ++i) {
+                EXPECT_EQ(ca[i], cb[i])
+                    << "condition " << c << " gene " << g << " coefficient " << i;
+            }
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ExperimentRunner, ValidationErrors) {
+    const Smooth_volume_model vm;
+    Experiment_spec empty;
+    EXPECT_THROW(run_experiment(empty, vm), std::invalid_argument);
+
+    Experiment_spec bad_panel;
+    bad_panel.conditions.resize(1);
+    bad_panel.conditions[0].name = "empty";
+    EXPECT_THROW(run_experiment(bad_panel, vm), std::invalid_argument);
+
+    // Series on different time grids within one condition.
+    Experiment_spec mismatched;
+    mismatched.conditions.resize(1);
+    Measurement_series a = Measurement_series::with_unit_sigma(
+        "a", linspace(0.0, 150.0, 11), Vector(11, 1.0));
+    Measurement_series b = Measurement_series::with_unit_sigma(
+        "b", linspace(0.0, 120.0, 11), Vector(11, 1.0));
+    mismatched.conditions[0].panel = {a, b};
+    EXPECT_THROW(run_experiment(mismatched, vm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

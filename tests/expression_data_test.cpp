@@ -52,6 +52,46 @@ TEST(ExpressionData, EmbeddedFtszDatasetParsesAndValidates) {
     for (double v : s.values) EXPECT_GT(v, 0.0);
 }
 
+TEST(ExpressionData, PanelFromWideTable) {
+    Table t;
+    t.add_column("time", {0.0, 15.0, 30.0});
+    t.add_column("dnaA", {1.0, 2.0, 3.0});
+    t.add_column("dnaA_sigma", {0.1, 0.2, 0.3});
+    t.add_column("ftsZ", {4.0, 5.0, 6.0});
+    const auto panel = panel_from_table(t);
+    ASSERT_EQ(panel.size(), 2u);
+    EXPECT_EQ(panel[0].label, "dnaA");
+    EXPECT_DOUBLE_EQ(panel[0].sigmas[1], 0.2);
+    EXPECT_EQ(panel[1].label, "ftsZ");
+    EXPECT_DOUBLE_EQ(panel[1].sigmas[1], 1.0);  // unit sigma when absent
+    EXPECT_DOUBLE_EQ(panel[1].values[2], 6.0);
+    EXPECT_DOUBLE_EQ(panel[0].times[2], 30.0);
+}
+
+TEST(ExpressionData, PanelValidationErrors) {
+    Table no_time;
+    no_time.add_column("geneA", {1.0, 2.0});
+    EXPECT_THROW(panel_from_table(no_time), std::invalid_argument);
+
+    Table only_time;
+    only_time.add_column("time", {0.0, 15.0});
+    EXPECT_THROW(panel_from_table(only_time), std::invalid_argument);
+
+    Table stray_sigma;
+    stray_sigma.add_column("time", {0.0, 15.0});
+    stray_sigma.add_column("geneA", {1.0, 2.0});
+    stray_sigma.add_column("geneB_sigma", {0.1, 0.2});
+    EXPECT_THROW(panel_from_table(stray_sigma), std::invalid_argument);
+
+    // 'time' is not a gene, so it cannot own a sigma column; this must be
+    // rejected rather than silently dropped.
+    Table time_sigma;
+    time_sigma.add_column("time", {0.0, 15.0});
+    time_sigma.add_column("time_sigma", {0.1, 0.2});
+    time_sigma.add_column("geneA", {1.0, 2.0});
+    EXPECT_THROW(panel_from_table(time_sigma), std::invalid_argument);
+}
+
 TEST(ExpressionData, FtszGenerationInfoMatchesDocumentedProvenance) {
     const Ftsz_generation_info info = ftsz_generation_info();
     EXPECT_DOUBLE_EQ(info.onset, 0.16);

@@ -35,6 +35,58 @@ TEST(KernelGrid, ConstructorValidatesShapes) {
     EXPECT_THROW(Kernel_grid(times, centers, neg), std::invalid_argument);
 }
 
+TEST(KernelGrid, SmallRowMassDriftIsRenormalizedNotRejected) {
+    // Regression: a fixed 1e-6 row-mass gate rejected valid high-resolution
+    // kernels whose summation rounding scales with n_bins. A uniform row
+    // carrying a 5e-6 relative drift at 8000 bins is within the scaled
+    // tolerance (1e-9 * n_bins = 8e-6) and must be renormalized, not thrown.
+    const std::size_t bins = 8000;
+    Vector centers(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+        centers[b] = (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
+    }
+    const double drift = 1.0 + 5e-6;
+    Matrix q(2, bins, drift);  // each row mass = 1 + 5e-6
+    const Kernel_grid k({0.0, 10.0}, centers, q);
+    for (std::size_t m = 0; m < 2; ++m) {
+        double mass = 0.0;
+        for (std::size_t b = 0; b < bins; ++b) mass += k.q()(m, b) * k.bin_width();
+        EXPECT_NEAR(mass, 1.0, 1e-12) << "row " << m << " not renormalized";
+    }
+}
+
+TEST(KernelGrid, GenuinelyNonNormalizableRowsStillHardError) {
+    const Vector times{0.0, 10.0};
+    const Vector centers{0.25, 0.75};
+    // Mass far from 1.
+    EXPECT_THROW(Kernel_grid(times, centers, Matrix(2, 2, 1.5)), std::invalid_argument);
+    // Zero mass cannot be renormalized.
+    EXPECT_THROW(Kernel_grid(times, centers, Matrix(2, 2, 0.0)), std::invalid_argument);
+}
+
+TEST(KernelGrid, ExactRowsSurviveRoundTripBitIdentically) {
+    // Rows already at unit mass within the rounding floor must not be
+    // touched: renormalizing them would perturb entries by an ulp-scale
+    // factor and break serialize/load bit-identity.
+    const std::size_t bins = 50;
+    Vector centers(bins);
+    Vector row(bins);
+    double mass = 0.0;
+    for (std::size_t b = 0; b < bins; ++b) {
+        centers[b] = (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
+        row[b] = 1.0 + 0.5 * std::sin(2.0 * 3.141592653589793 * centers[b]);
+        mass += row[b] / static_cast<double>(bins);
+    }
+    for (std::size_t b = 0; b < bins; ++b) row[b] /= mass;  // normalize once
+    Matrix q(1, bins);
+    q.set_row(0, row);
+    const Kernel_grid first({0.0}, centers, q);
+    const Kernel_grid second({0.0}, first.phi_centers(), first.q());
+    for (std::size_t b = 0; b < bins; ++b) {
+        EXPECT_EQ(first.q()(0, b), second.q()(0, b)) << "bin " << b;
+    }
+}
+
 TEST(BuildKernel, RowsIntegrateToOneAtAllTimes) {
     const Cell_cycle_config config;
     const Smooth_volume_model vm;

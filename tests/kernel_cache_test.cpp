@@ -1,0 +1,189 @@
+#include "population/kernel_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/kernel_io.h"
+
+namespace cellsync {
+namespace {
+
+Kernel_build_options tiny_options() {
+    Kernel_build_options o;
+    o.n_cells = 2000;
+    o.n_bins = 40;
+    o.seed = 7;
+    return o;
+}
+
+std::string fresh_dir(const std::string& name) {
+    const std::string dir = testing::TempDir() + "cellsync_kernel_cache_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+void expect_bit_identical(const Kernel_grid& a, const Kernel_grid& b) {
+    ASSERT_EQ(a.time_count(), b.time_count());
+    ASSERT_EQ(a.bin_count(), b.bin_count());
+    for (std::size_t m = 0; m < a.time_count(); ++m) {
+        EXPECT_EQ(a.times()[m], b.times()[m]) << "time " << m;
+        for (std::size_t c = 0; c < a.bin_count(); ++c) {
+            EXPECT_EQ(a.q()(m, c), b.q()(m, c)) << "entry (" << m << ", " << c << ")";
+        }
+    }
+    for (std::size_t c = 0; c < a.bin_count(); ++c) {
+        EXPECT_EQ(a.phi_centers()[c], b.phi_centers()[c]) << "center " << c;
+    }
+}
+
+TEST(KernelCache, MemoryHitReturnsSameGridWithoutRebuilding) {
+    Kernel_cache cache;
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0, 60.0};
+
+    const auto first = cache.get_or_build(config, vm, times, tiny_options());
+    const auto second = cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(first.get(), second.get());  // shared, not re-simulated
+    const Kernel_cache_stats stats = cache.stats();
+    EXPECT_EQ(stats.builds, 1u);
+    EXPECT_EQ(stats.memory_hits, 1u);
+    EXPECT_EQ(stats.disk_hits, 0u);
+}
+
+TEST(KernelCache, KeyCoversEveryBuildInput) {
+    const Cell_cycle_config config;
+    const Smooth_volume_model smooth;
+    const Linear_volume_model linear;
+    const Vector times{0.0, 30.0};
+    const Kernel_build_options options = tiny_options();
+    const std::string base = Kernel_cache::cache_key(config, smooth, times, options);
+
+    Cell_cycle_config other_config = config;
+    other_config.mu_sst = 0.18;
+    EXPECT_NE(Kernel_cache::cache_key(other_config, smooth, times, options), base);
+
+    EXPECT_NE(Kernel_cache::cache_key(config, linear, times, options), base);
+
+    EXPECT_NE(Kernel_cache::cache_key(config, smooth, {0.0, 45.0}, options), base);
+
+    Kernel_build_options other_options = options;
+    other_options.seed = 8;
+    EXPECT_NE(Kernel_cache::cache_key(config, smooth, times, other_options), base);
+    other_options = options;
+    other_options.n_bins = 41;
+    EXPECT_NE(Kernel_cache::cache_key(config, smooth, times, other_options), base);
+    other_options = options;
+    other_options.n_cells = 2001;
+    EXPECT_NE(Kernel_cache::cache_key(config, smooth, times, other_options), base);
+
+    // And identical inputs agree, including through copies.
+    EXPECT_EQ(Kernel_cache::cache_key(Cell_cycle_config{}, Smooth_volume_model{}, times,
+                                      tiny_options()),
+              base);
+}
+
+TEST(KernelCache, DifferentInputsTriggerRebuilds) {
+    Kernel_cache cache;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    Cell_cycle_config config;
+    cache.get_or_build(config, vm, times, tiny_options());
+    config.mu_sst = 0.20;
+    cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().builds, 2u);
+    EXPECT_EQ(cache.stats().memory_hits, 0u);
+}
+
+TEST(KernelCache, DiskRoundTripIsBitIdenticalToFreshBuild) {
+    const std::string dir = fresh_dir("roundtrip");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 25.0, 50.0, 75.0};
+
+    Kernel_cache writer(dir);
+    const auto built = writer.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(writer.stats().builds, 1u);
+
+    // A fresh cache instance has no memory entries: the hit must come from
+    // disk and reproduce the simulated grid bit-for-bit.
+    Kernel_cache reader(dir);
+    const auto loaded = reader.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(reader.stats().builds, 0u);
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+    expect_bit_identical(*built, *loaded);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, ClearMemoryFallsThroughToDisk) {
+    const std::string dir = fresh_dir("clear");
+    Kernel_cache cache(dir);
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    cache.get_or_build(config, vm, times, tiny_options());
+    cache.clear_memory();
+    cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, CorruptDiskEntryDegradesToRebuild) {
+    const std::string dir = fresh_dir("corrupt");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    {
+        Kernel_cache cache(dir);
+        cache.get_or_build(config, vm, times, tiny_options());
+    }
+    // Truncate the kernel CSV (sidecar stays valid) — the loader must
+    // reject it and rebuild instead of throwing or serving garbage.
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".csv") {
+            std::ofstream truncate(entry.path(), std::ios::trunc);
+            truncate << "phi,t0\nnot,a,kernel\n";
+        }
+    }
+    Kernel_cache cache(dir);
+    const auto kernel = cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_EQ(cache.stats().disk_hits, 0u);
+    EXPECT_EQ(kernel->time_count(), 2u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, StaleSidecarKeyIsIgnored) {
+    const std::string dir = fresh_dir("stale");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    {
+        Kernel_cache cache(dir);
+        cache.get_or_build(config, vm, times, tiny_options());
+    }
+    // Rewrite the sidecar with a different key: simulates a hash collision
+    // or a torn write. The entry must not be served.
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".key") {
+            std::ofstream rewrite(entry.path(), std::ios::trunc);
+            rewrite << "some-other-key";
+        }
+    }
+    Kernel_cache cache(dir);
+    cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_EQ(cache.stats().disk_hits, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, EmptyDirectoryRejected) {
+    EXPECT_THROW(Kernel_cache(std::string{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cellsync

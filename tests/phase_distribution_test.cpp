@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cellsync {
@@ -67,9 +68,51 @@ TEST(PhaseDistribution, PhiExactlyOneLandsInLastBin) {
     EXPECT_GT(d.density[3], 0.0);
 }
 
-TEST(PhaseDistribution, MeanPhaseOfUniformIsHalf) {
+TEST(PhaseDistribution, UniformDensityHasVanishingResultant) {
+    // The circular mean of a uniform density is undefined: the resultant
+    // vector vanishes, which is what callers should test before trusting
+    // the angle.
     const Phase_density d = phase_number_density(uniform_snapshot(100000), 100);
-    EXPECT_NEAR(d.mean_phase(), 0.5, 1e-3);
+    EXPECT_NEAR(d.resultant_length(), 0.0, 1e-3);
+}
+
+TEST(PhaseDistribution, MeanPhaseMatchesCenterOfInteriorCluster) {
+    // Away from the wrap point the circular mean agrees with the linear one.
+    std::vector<Snapshot_entry> snap;
+    for (int i = -2; i <= 2; ++i) {
+        snap.push_back({0.6 + 0.01 * i, 0.15, 1.0});
+    }
+    const Phase_density d = phase_number_density(snap, 100);
+    EXPECT_NEAR(d.mean_phase(), 0.6, 0.01);
+    EXPECT_GT(d.resultant_length(), 0.9);
+}
+
+TEST(PhaseDistribution, MeanPhaseHandlesWrapPointCluster) {
+    // Regression: a population tightly clustered around the phi ~ 0/1 wrap
+    // point (half just below 1, half just above 0) used to report a linear
+    // mean of ~0.5 — the antipode of the true cluster. The circular mean
+    // must land at the wrap point itself.
+    std::vector<Snapshot_entry> snap;
+    for (int i = 0; i < 50; ++i) {
+        snap.push_back({0.98, 0.15, 1.0});
+        snap.push_back({0.02, 0.15, 1.0});
+    }
+    const Phase_density d = phase_number_density(snap, 100);
+    const double m = d.mean_phase();
+    // Circular distance from 0 (equivalently 1) is small.
+    const double wrap_distance = std::min(m, 1.0 - m);
+    EXPECT_LT(wrap_distance, 0.01);
+    EXPECT_GT(d.resultant_length(), 0.9);  // tightly clustered, not uniform
+}
+
+TEST(PhaseDistribution, MeanPhaseStaysInUnitInterval) {
+    // A cluster just below the wrap point: the resultant angle is negative
+    // before wrapping and must come back as a value in [0, 1).
+    std::vector<Snapshot_entry> snap(20, Snapshot_entry{0.97, 0.15, 1.0});
+    const Phase_density d = phase_number_density(snap, 100);
+    EXPECT_GE(d.mean_phase(), 0.0);
+    EXPECT_LT(d.mean_phase(), 1.0);
+    EXPECT_NEAR(d.mean_phase(), 0.975, 0.01);  // bin center of the 0.97 cluster
 }
 
 TEST(PhaseDistribution, ValidationErrors) {

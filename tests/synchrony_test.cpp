@@ -58,5 +58,40 @@ TEST(Synchrony, ValidationErrors) {
     EXPECT_THROW(phase_entropy(snapshot_at_phases({0.5}), 1), std::invalid_argument);
 }
 
+TEST(Synchrony, FlatProfileIsMaximallyEntropicAndUnordered) {
+    const Vector phi = linspace(0.0, 1.0, 64);
+    const Vector flat(64, 3.0);
+    EXPECT_NEAR(profile_entropy(flat), 1.0, 1e-12);
+    // The closed grid double-counts phi = 0/1; the resultant of the 63
+    // distinct uniform samples cancels, leaving only that overlap.
+    EXPECT_LT(profile_order_parameter(phi, flat), 0.05);
+}
+
+TEST(Synchrony, PeakedProfileIsOrderedAndLowEntropy) {
+    const Vector phi = linspace(0.0, 1.0, 101);
+    Vector values(101, 0.0);
+    values[40] = 5.0;  // all expression at phi = 0.4
+    EXPECT_NEAR(profile_entropy(values), 0.0, 1e-12);
+    EXPECT_NEAR(profile_order_parameter(phi, values), 1.0, 1e-12);
+}
+
+TEST(Synchrony, ProfileMetricsClampNegativeLobes) {
+    // Spline estimates can undershoot below zero; the metrics must treat
+    // negative lobes as zero expression, not as (meaningless) negative mass.
+    const Vector phi{0.1, 0.3, 0.5, 0.7, 0.9};
+    const Vector values{-2.0, 4.0, -1.0, 0.0, 0.0};
+    EXPECT_NEAR(profile_order_parameter(phi, values), 1.0, 1e-12);
+    EXPECT_NEAR(profile_entropy(values), 0.0, 1e-12);
+}
+
+TEST(Synchrony, ProfileMetricValidationErrors) {
+    EXPECT_THROW(profile_order_parameter({0.1, 0.2}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(profile_order_parameter({}, {}), std::invalid_argument);
+    EXPECT_THROW(profile_entropy({1.0}), std::invalid_argument);
+    // All-nonpositive profile has no mass to normalize.
+    EXPECT_THROW(profile_entropy({-1.0, 0.0, -0.5}), std::invalid_argument);
+    EXPECT_THROW(profile_order_parameter({0.1, 0.5}, {0.0, -1.0}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace cellsync

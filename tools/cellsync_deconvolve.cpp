@@ -1,51 +1,88 @@
-// Command-line deconvolution: the full pipeline on a CSV time course.
+// Command-line deconvolution suite.
 //
-//   cellsync_deconvolve --input data.csv [options]
+//   cellsync_deconvolve <subcommand> [options]
 //
-// Input format: CSV with columns `time` (minutes), `value`, optional
-// `sigma`. Output: the deconvolved profile as CSV (phi, f, and — with
-// --bootstrap — confidence band columns) plus a fit report on stdout.
+// Subcommands:
 //
-// Options:
-//   --input PATH        measurement CSV (required)
-//   --output PATH       profile CSV (default: deconvolved.csv)
-//   --kernel PATH       reuse a saved kernel instead of simulating
-//   --save-kernel PATH  persist the simulated kernel for reuse
-//   --cells N           kernel simulation size      (default 100000)
+//   run      Deconvolve measurements. Two modes:
+//            * single series:  --input data.csv  (columns time, value,
+//              optional sigma); writes the profile CSV exactly as the
+//              historical single-command tool did.
+//            * experiment:     --condition NAME=panel.csv[,mu_sst=X]
+//              [,cycle_minutes=Y] repeated once per condition. Each panel
+//              CSV is wide format: a `time` column plus one column per
+//              gene, optionally paired with `<gene>_sigma`. All
+//              (condition x gene) solves share kernels through the cache
+//              and one Batch_engine per condition; lambda selection is
+//              warm-started across adjacent conditions. Writes
+//              `<output stem>.<condition>.csv` per condition and prints
+//              per-condition synchrony scores.
+//   kernel   build: simulate a kernel and write it to --output.
+//            cache: resolve a kernel through --cache-dir (build on miss,
+//            reuse on hit) — use it to pre-warm a cache shared by later
+//            runs.
+//   report   Recompute synchrony scores (order parameter, entropy, peak
+//            phase) for profile CSVs produced by `run`.
+//
+// Legacy compatibility: invoking with options only (first argument starts
+// with `--`) behaves as `run`.
+//
+// Common options:
+//   --output PATH       profile CSV / kernel CSV destination
+//   --cache-dir DIR     disk-backed kernel cache (run, kernel cache)
+//   --kernel PATH       reuse a saved kernel (single-series run)
+//   --save-kernel PATH  persist the simulated kernel (single-series run)
+//   --cells N --bins N --seed N     simulation controls
 //   --basis N           spline knots Nc             (default 18)
 //   --lambda X          fixed smoothness weight     (default: 5-fold CV)
-//   --mu-sst X          SW->ST transition phase     (default 0.15)
-//   --cycle-minutes X   mean cycle time             (default 150)
+//   --mu-sst X --cycle-minutes X    organism model defaults
 //   --linear-volume     use the 2009 linear volume model
 //   --no-positivity / --no-conservation / --no-rate-continuity
-//   --bootstrap N       add an N-replicate 90% confidence band
-//   --seed N            simulation seed             (default 20110605)
-//   --threads N         worker threads for CV/bootstrap (default: hardware)
-//   --qp-backend NAME   automatic | active_set (default automatic; nnls is
-//                       rejected up front — the deconvolution QP is never
-//                       positivity-only)
+//   --no-warm-start     full lambda grid for every condition
+//   --bootstrap N       confidence band (single-series run only)
+//   --threads N         worker threads              (default: hardware)
+//   --times LO:HI:N | --times-from data.csv   time grid (kernel build/cache)
+//   --qp-backend NAME   automatic | active_set
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/batch_engine.h"
+#include "core/experiment_runner.h"
 #include "io/csv.h"
 #include "io/expression_data.h"
 #include "io/kernel_io.h"
 #include "io/series_writer.h"
+#include "population/kernel_cache.h"
+#include "population/synchrony.h"
 #include "spline/spline_basis.h"
 
 namespace {
 
+using namespace cellsync;
+
+struct Condition_request {
+    std::string name;
+    std::string panel_path;
+    std::optional<double> mu_sst;
+    std::optional<double> cycle_minutes;
+};
+
 struct Cli_options {
     std::string input;
-    std::string output = "deconvolved.csv";
+    std::vector<Condition_request> conditions;
+    std::string output;  ///< resolved per subcommand (run defaults it)
+    std::string cache_dir;
     std::string kernel_path;
     std::string save_kernel_path;
+    std::string times_spec;
+    std::string times_from;
     std::size_t cells = 100000;
+    std::size_t bins = 200;
     std::size_t basis = 18;
     std::optional<double> lambda;
     double mu_sst = 0.15;
@@ -54,10 +91,11 @@ struct Cli_options {
     bool positivity = true;
     bool conservation = true;
     bool rate_continuity = true;
+    bool warm_start = true;
     std::size_t bootstrap = 0;
     std::uint64_t seed = 20110605;
     std::size_t threads = 0;
-    cellsync::Qp_backend backend = cellsync::Qp_backend::automatic;
+    Qp_backend backend = Qp_backend::automatic;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -66,41 +104,80 @@ struct Cli_options {
     std::exit(2);
 }
 
-Cli_options parse_args(int argc, char** argv) {
+Condition_request parse_condition(const std::string& value) {
+    Condition_request request;
+    const auto eq = value.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        usage_error("--condition expects NAME=panel.csv[,mu_sst=X][,cycle_minutes=Y], got '" +
+                    value + "'");
+    }
+    request.name = value.substr(0, eq);
+    std::string rest = value.substr(eq + 1);
+    std::size_t comma = rest.find(',');
+    request.panel_path = rest.substr(0, comma);
+    if (request.panel_path.empty()) usage_error("--condition '" + request.name + "': empty path");
+    while (comma != std::string::npos) {
+        rest = rest.substr(comma + 1);
+        comma = rest.find(',');
+        const std::string field = rest.substr(0, comma);
+        const auto feq = field.find('=');
+        if (feq == std::string::npos) {
+            usage_error("--condition '" + request.name + "': bad field '" + field + "'");
+        }
+        const std::string key = field.substr(0, feq);
+        const std::string val = field.substr(feq + 1);
+        try {
+            if (key == "mu_sst") request.mu_sst = std::stod(val);
+            else if (key == "cycle_minutes") request.cycle_minutes = std::stod(val);
+            else usage_error("--condition '" + request.name + "': unknown field '" + key + "'");
+        } catch (const std::exception&) {
+            usage_error("--condition '" + request.name + "': non-numeric '" + field + "'");
+        }
+    }
+    return request;
+}
+
+Cli_options parse_args(int argc, char** argv, int first) {
     Cli_options options;
     auto next_value = [&](int& i) -> std::string {
         if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
         return argv[++i];
     };
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--input") options.input = next_value(i);
-        else if (arg == "--output") options.output = next_value(i);
-        else if (arg == "--kernel") options.kernel_path = next_value(i);
-        else if (arg == "--save-kernel") options.save_kernel_path = next_value(i);
-        else if (arg == "--cells") options.cells = std::stoul(next_value(i));
-        else if (arg == "--basis") options.basis = std::stoul(next_value(i));
-        else if (arg == "--lambda") options.lambda = std::stod(next_value(i));
-        else if (arg == "--mu-sst") options.mu_sst = std::stod(next_value(i));
-        else if (arg == "--cycle-minutes") options.cycle_minutes = std::stod(next_value(i));
-        else if (arg == "--linear-volume") options.linear_volume = true;
-        else if (arg == "--no-positivity") options.positivity = false;
-        else if (arg == "--no-conservation") options.conservation = false;
-        else if (arg == "--no-rate-continuity") options.rate_continuity = false;
-        else if (arg == "--bootstrap") options.bootstrap = std::stoul(next_value(i));
-        else if (arg == "--seed") options.seed = std::stoull(next_value(i));
-        else if (arg == "--threads") options.threads = std::stoul(next_value(i));
-        else if (arg == "--qp-backend") {
-            try {
-                options.backend = cellsync::qp_backend_from_string(next_value(i));
-            } catch (const std::invalid_argument& e) {
-                usage_error(e.what());
-            }
+        try {
+            if (arg == "--input") options.input = next_value(i);
+            else if (arg == "--condition")
+                options.conditions.push_back(parse_condition(next_value(i)));
+            else if (arg == "--output") options.output = next_value(i);
+            else if (arg == "--cache-dir") options.cache_dir = next_value(i);
+            else if (arg == "--kernel") options.kernel_path = next_value(i);
+            else if (arg == "--save-kernel") options.save_kernel_path = next_value(i);
+            else if (arg == "--times") options.times_spec = next_value(i);
+            else if (arg == "--times-from") options.times_from = next_value(i);
+            else if (arg == "--cells") options.cells = std::stoul(next_value(i));
+            else if (arg == "--bins") options.bins = std::stoul(next_value(i));
+            else if (arg == "--basis") options.basis = std::stoul(next_value(i));
+            else if (arg == "--lambda") options.lambda = std::stod(next_value(i));
+            else if (arg == "--mu-sst") options.mu_sst = std::stod(next_value(i));
+            else if (arg == "--cycle-minutes") options.cycle_minutes = std::stod(next_value(i));
+            else if (arg == "--linear-volume") options.linear_volume = true;
+            else if (arg == "--no-positivity") options.positivity = false;
+            else if (arg == "--no-conservation") options.conservation = false;
+            else if (arg == "--no-rate-continuity") options.rate_continuity = false;
+            else if (arg == "--no-warm-start") options.warm_start = false;
+            else if (arg == "--bootstrap") options.bootstrap = std::stoul(next_value(i));
+            else if (arg == "--seed") options.seed = std::stoull(next_value(i));
+            else if (arg == "--threads") options.threads = std::stoul(next_value(i));
+            else if (arg == "--qp-backend") options.backend = qp_backend_from_string(next_value(i));
+            else usage_error("unknown option '" + arg + "'");
+        } catch (const std::exception& e) {
+            // stoul/stod throw invalid_argument or out_of_range; both are
+            // malformed option values and deserve the usage path.
+            usage_error(std::string(e.what()) + " (option " + arg + ")");
         }
-        else usage_error("unknown option '" + arg + "'");
     }
-    if (options.input.empty()) usage_error("--input is required");
-    if (options.backend == cellsync::Qp_backend::nnls) {
+    if (options.backend == Qp_backend::nnls) {
         // Fail before any simulation work: the deconvolution QP always has
         // a spline-grid positivity block (and usually equality rows), so
         // the coefficient-positivity NNLS fast path can never apply here.
@@ -111,96 +188,369 @@ Cli_options parse_args(int argc, char** argv) {
     return options;
 }
 
+Cell_cycle_config config_from(const Cli_options& cli) {
+    Cell_cycle_config config;
+    config.mu_sst = cli.mu_sst;
+    config.mean_cycle_minutes = cli.cycle_minutes;
+    return config;
+}
+
+std::unique_ptr<Volume_model> volume_from(const Cli_options& cli) {
+    if (cli.linear_volume) return std::make_unique<Linear_volume_model>();
+    return std::make_unique<Smooth_volume_model>();
+}
+
+Kernel_build_options kernel_options_from(const Cli_options& cli) {
+    Kernel_build_options kernel_options;
+    kernel_options.n_cells = cli.cells;
+    kernel_options.n_bins = cli.bins;
+    kernel_options.seed = cli.seed;
+    return kernel_options;
+}
+
+Constraint_options constraints_from(const Cli_options& cli) {
+    Constraint_options constraints;
+    constraints.positivity = cli.positivity;
+    constraints.conservation = cli.conservation;
+    constraints.rate_continuity = cli.rate_continuity;
+    return constraints;
+}
+
+/// Time grid for the kernel subcommands: LO:HI:N or a CSV's time column.
+Vector resolve_times(const Cli_options& cli) {
+    if (!cli.times_spec.empty() && !cli.times_from.empty()) {
+        usage_error("--times and --times-from are mutually exclusive");
+    }
+    if (!cli.times_spec.empty()) {
+        double lo = 0.0, hi = 0.0;
+        long count = 0;
+        int consumed = -1;
+        // %n + full-consumption check rejects trailing garbage ("0:180:13.7");
+        // signed count rejects "-3" (which %lu would wrap to a huge value).
+        if (std::sscanf(cli.times_spec.c_str(), "%lf:%lf:%ld%n", &lo, &hi, &count,
+                        &consumed) != 3 ||
+            consumed != static_cast<int>(cli.times_spec.size()) || count < 2 ||
+            count > 100000) {
+            usage_error("--times expects LO:HI:COUNT with 2 <= COUNT <= 100000, got '" +
+                        cli.times_spec + "'");
+        }
+        return linspace(lo, hi, static_cast<std::size_t>(count));
+    }
+    if (!cli.times_from.empty()) {
+        const Table table = read_csv_file(cli.times_from);
+        if (!table.has_column("time")) {
+            usage_error("--times-from file '" + cli.times_from + "' has no 'time' column");
+        }
+        return table.column("time");
+    }
+    usage_error("a time grid is required: --times LO:HI:COUNT or --times-from data.csv");
+}
+
+std::string output_stem(const std::string& output) {
+    const auto dot = output.rfind(".csv");
+    return dot == output.size() - 4 ? output.substr(0, dot) : output;
+}
+
+// ---------------------------------------------------------------------------
+// run: single series (the historical behavior).
+// ---------------------------------------------------------------------------
+
+int run_single(const Cli_options& cli) {
+    const std::string output = cli.output.empty() ? "deconvolved.csv" : cli.output;
+    const Measurement_series data = series_from_table(read_csv_file(cli.input), cli.input);
+    std::printf("loaded %zu measurements from %s (t = %.0f..%.0f min)\n", data.size(),
+                cli.input.c_str(), data.times.front(), data.times.back());
+
+    const Cell_cycle_config config = config_from(cli);
+    const std::unique_ptr<Volume_model> volume = volume_from(cli);
+
+    std::optional<Kernel_grid> kernel;
+    if (!cli.kernel_path.empty()) {
+        kernel = read_kernel_file(cli.kernel_path);
+        std::printf("kernel: loaded from %s (%zu times x %zu bins)\n",
+                    cli.kernel_path.c_str(), kernel->time_count(), kernel->bin_count());
+    } else if (!cli.cache_dir.empty()) {
+        Kernel_cache cache(cli.cache_dir);
+        kernel = *cache.get_or_build(config, *volume, data.times, kernel_options_from(cli));
+        const Kernel_cache_stats stats = cache.stats();
+        std::printf("kernel: %s via cache %s\n",
+                    stats.builds > 0 ? "simulated" : "reused", cli.cache_dir.c_str());
+    } else {
+        kernel = build_kernel(config, *volume, data.times, kernel_options_from(cli));
+        std::printf("kernel: simulated %zu cells (%s volume model)\n", cli.cells,
+                    volume->name().c_str());
+    }
+    if (!cli.save_kernel_path.empty()) {
+        write_kernel_file(cli.save_kernel_path, *kernel);
+        std::printf("kernel: saved to %s\n", cli.save_kernel_path.c_str());
+    }
+
+    // One engine owns the shared design artifacts (kernel matrix, penalty,
+    // constraint blocks + QP reduction) and the worker pool used by the CV
+    // sweep and the bootstrap replicates.
+    Deconvolution_options options;
+    options.constraints = constraints_from(cli);
+    options.backend = cli.backend;
+
+    Batch_engine_options engine_options;
+    engine_options.threads = cli.threads;
+    engine_options.constraints = options.constraints;
+    const Batch_engine engine(std::make_shared<Natural_spline_basis>(cli.basis), *kernel,
+                              config, engine_options);
+    const Deconvolver& deconvolver = engine.deconvolver();
+    std::printf("engine: %zu worker threads, %s backend\n", engine.thread_count(),
+                to_string(cli.backend));
+
+    if (cli.lambda.has_value()) {
+        options.lambda = *cli.lambda;
+        std::printf("lambda: fixed at %.3e\n", options.lambda);
+    } else {
+        const Lambda_selection sel =
+            engine.cross_validate(data, options, default_lambda_grid(15, 1e-7, 1e1), 5);
+        options.lambda = sel.best_lambda;
+        std::printf("lambda: %.3e (5-fold CV)\n", options.lambda);
+    }
+
+    const Single_cell_estimate estimate = deconvolver.estimate(data, options);
+    std::printf("fit: chi^2=%.3f over %zu points, roughness=%.3f, %zu active "
+                "positivity rows\n",
+                estimate.chi_squared, data.size(), estimate.roughness,
+                estimate.active_constraints);
+
+    const Vector grid = linspace(0.0, 1.0, 201);
+    Series_writer writer("phi", grid);
+    writer.add("f", estimate.sample(grid));
+    if (cli.bootstrap > 0) {
+        Bootstrap_options boot;
+        boot.replicates = cli.bootstrap;
+        const Confidence_band band = engine.bootstrap(data, options, grid, boot);
+        writer.add("f_lower90", band.lower)
+            .add("f_median", band.median)
+            .add("f_upper90", band.upper);
+        std::printf("bootstrap: %zu replicates, mean 90%% band width %.3f\n",
+                    band.replicates_used, band.mean_width());
+    }
+    writer.write(output);
+    std::printf("wrote %s\n", output.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// run: multi-condition experiment through the experiment runner.
+// ---------------------------------------------------------------------------
+
+int run_experiment_mode(const Cli_options& cli) {
+    Experiment_spec spec;
+    spec.kernel = kernel_options_from(cli);
+    spec.basis_size = cli.basis;
+    spec.threads = cli.threads;
+    spec.warm_start_lambda = cli.warm_start;
+    spec.batch.deconvolution.constraints = constraints_from(cli);
+    spec.batch.deconvolution.backend = cli.backend;
+    spec.batch.lambda_grid = default_lambda_grid(15, 1e-7, 1e1);
+    if (cli.lambda.has_value()) {
+        spec.batch.select_lambda = false;
+        spec.batch.deconvolution.lambda = *cli.lambda;
+    }
+
+    for (const Condition_request& request : cli.conditions) {
+        Experiment_condition condition;
+        condition.name = request.name;
+        condition.cell_cycle = config_from(cli);
+        if (request.mu_sst.has_value()) condition.cell_cycle.mu_sst = *request.mu_sst;
+        if (request.cycle_minutes.has_value()) {
+            condition.cell_cycle.mean_cycle_minutes = *request.cycle_minutes;
+        }
+        condition.panel = panel_from_table(read_csv_file(request.panel_path));
+        std::printf("condition %-12s: %zu genes x %zu timepoints from %s\n",
+                    condition.name.c_str(), condition.panel.size(),
+                    condition.panel.front().size(), request.panel_path.c_str());
+        spec.conditions.push_back(std::move(condition));
+    }
+
+    const std::unique_ptr<Volume_model> volume = volume_from(cli);
+    std::unique_ptr<Kernel_cache> cache;
+    if (!cli.cache_dir.empty()) cache = std::make_unique<Kernel_cache>(cli.cache_dir);
+    else cache = std::make_unique<Kernel_cache>();
+
+    const Experiment_result result = run_experiment(spec, *volume, *cache);
+    std::printf("kernels: %zu simulated, %zu from disk, %zu from memory%s%s\n",
+                result.cache_stats.builds, result.cache_stats.disk_hits,
+                result.cache_stats.memory_hits, cli.cache_dir.empty() ? "" : " via ",
+                cli.cache_dir.c_str());
+
+    const Vector grid = linspace(0.0, 1.0, 201);
+    const std::string stem =
+        output_stem(cli.output.empty() ? "deconvolved.csv" : cli.output);
+    int failures = 0;
+    for (const Condition_result& condition : result.conditions) {
+        std::printf("condition %-12s: mean order parameter %.3f, mean entropy %.3f\n",
+                    condition.name.c_str(), condition.mean_order_parameter,
+                    condition.mean_entropy);
+        std::printf("  %-16s %-10s %-8s %-8s %-8s\n", "gene", "lambda", "order", "entropy",
+                    "peak");
+        Series_writer writer("phi", grid);
+        auto scores = condition.synchrony.begin();
+        for (const Batch_entry& gene : condition.genes) {
+            if (!gene.estimate.has_value()) {
+                ++failures;
+                std::printf("  %-16s FAILED: %s\n", gene.label.c_str(), gene.error.c_str());
+                continue;
+            }
+            writer.add(gene.label, gene.estimate->sample(grid));
+            if (scores != condition.synchrony.end() && scores->label == gene.label) {
+                std::printf("  %-16s %-10.3e %-8.3f %-8.3f %-8.3f\n", gene.label.c_str(),
+                            gene.lambda, scores->order_parameter, scores->entropy,
+                            scores->peak_phi);
+                ++scores;
+            } else {
+                std::printf("  %-16s %-10.3e (no positive mass)\n", gene.label.c_str(),
+                            gene.lambda);
+            }
+        }
+        const std::string path = stem + "." + condition.name + ".csv";
+        writer.write(path);
+        std::printf("  wrote %s\n", path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int cmd_run(const Cli_options& cli) {
+    if (!cli.input.empty() && !cli.conditions.empty()) {
+        usage_error("use either --input (single series) or --condition (experiment)");
+    }
+    if (cli.input.empty() && cli.conditions.empty()) {
+        usage_error("run needs --input data.csv or --condition NAME=panel.csv");
+    }
+    if (!cli.conditions.empty() && cli.bootstrap > 0) {
+        usage_error("--bootstrap applies to single-series runs only");
+    }
+    if (!cli.conditions.empty() &&
+        (!cli.kernel_path.empty() || !cli.save_kernel_path.empty())) {
+        // Experiment kernels go through the cache; silently discarding a
+        // user-supplied kernel file would re-simulate behind their back.
+        usage_error("--kernel/--save-kernel apply to single-series runs only; "
+                    "use --cache-dir for experiments");
+    }
+    for (std::size_t a = 0; a < cli.conditions.size(); ++a) {
+        for (std::size_t b = a + 1; b < cli.conditions.size(); ++b) {
+            if (cli.conditions[a].name == cli.conditions[b].name) {
+                usage_error("duplicate condition name '" + cli.conditions[a].name +
+                            "' (their output CSVs would overwrite each other)");
+            }
+        }
+    }
+    return cli.conditions.empty() ? run_single(cli) : run_experiment_mode(cli);
+}
+
+// ---------------------------------------------------------------------------
+// kernel build / kernel cache
+// ---------------------------------------------------------------------------
+
+int cmd_kernel_build(const Cli_options& cli) {
+    if (cli.output.empty()) usage_error("kernel build needs --output PATH");
+    const Vector times = resolve_times(cli);
+    const std::unique_ptr<Volume_model> volume = volume_from(cli);
+    const Kernel_grid kernel =
+        build_kernel(config_from(cli), *volume, times, kernel_options_from(cli));
+    write_kernel_file(cli.output, kernel);
+    std::printf("simulated %zu cells -> %zu times x %zu bins, wrote %s\n", cli.cells,
+                kernel.time_count(), kernel.bin_count(), cli.output.c_str());
+    return 0;
+}
+
+int cmd_kernel_cache(const Cli_options& cli) {
+    if (cli.cache_dir.empty()) usage_error("kernel cache needs --cache-dir DIR");
+    const Vector times = resolve_times(cli);
+    const std::unique_ptr<Volume_model> volume = volume_from(cli);
+    Kernel_cache cache(cli.cache_dir);
+    const auto kernel =
+        cache.get_or_build(config_from(cli), *volume, times, kernel_options_from(cli));
+    const Kernel_cache_stats stats = cache.stats();
+    const char* source = stats.builds > 0 ? "simulated (cache miss)" : "reused from disk";
+    std::printf("%s: %zu times x %zu bins in %s\n", source, kernel->time_count(),
+                kernel->bin_count(), cli.cache_dir.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// report: synchrony scores for saved profile CSVs
+// ---------------------------------------------------------------------------
+
+int cmd_report(const Cli_options& cli, const std::vector<std::string>& inputs) {
+    if (inputs.empty() && cli.input.empty()) {
+        usage_error("report needs profile CSVs (--input or positional paths)");
+    }
+    std::vector<std::string> paths = inputs;
+    if (!cli.input.empty()) paths.insert(paths.begin(), cli.input);
+    for (const std::string& path : paths) {
+        const Table table = read_csv_file(path);
+        if (!table.has_column("phi")) {
+            std::fprintf(stderr, "report: %s has no 'phi' column, skipping\n", path.c_str());
+            continue;
+        }
+        Vector phi = table.column("phi");
+        // Profile CSVs are written on the closed 0..1 grid; phi = 0 and 1
+        // are the same circular angle, so drop the duplicate before
+        // scoring — this makes report reproduce exactly the scores `run`
+        // printed for the same profile.
+        const bool closed_grid =
+            phi.size() > 2 && phi.front() == 0.0 && phi.back() == 1.0;
+        if (closed_grid) phi.pop_back();
+        std::printf("%s\n  %-16s %-8s %-8s %-8s\n", path.c_str(), "profile", "order",
+                    "entropy", "peak");
+        for (std::size_t c = 0; c < table.column_count(); ++c) {
+            const std::string& name = table.names()[c];
+            if (name == "phi") continue;
+            Vector values = table.column(c);
+            if (closed_grid) values.pop_back();
+            try {
+                const double order = profile_order_parameter(phi, values);
+                const double entropy = profile_entropy(values);
+                std::size_t peak = 0;
+                for (std::size_t i = 1; i < values.size(); ++i) {
+                    if (values[i] > values[peak]) peak = i;
+                }
+                std::printf("  %-16s %-8.3f %-8.3f %-8.3f\n", name.c_str(), order, entropy,
+                            phi[peak]);
+            } catch (const std::invalid_argument&) {
+                std::printf("  %-16s (no positive mass)\n", name.c_str());
+            }
+        }
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    using namespace cellsync;
-    const Cli_options cli = parse_args(argc, argv);
+    if (argc < 2) usage_error("missing subcommand (run, kernel build, kernel cache, report)");
+    std::string command = argv[1];
+    int first = 2;
+    if (command.rfind("--", 0) == 0) {
+        command = "run";  // legacy single-command invocation
+        first = 1;
+    }
     try {
-        const Measurement_series data =
-            series_from_table(read_csv_file(cli.input), cli.input);
-        std::printf("loaded %zu measurements from %s (t = %.0f..%.0f min)\n", data.size(),
-                    cli.input.c_str(), data.times.front(), data.times.back());
-
-        Cell_cycle_config config;
-        config.mu_sst = cli.mu_sst;
-        config.mean_cycle_minutes = cli.cycle_minutes;
-
-        std::unique_ptr<Volume_model> volume;
-        if (cli.linear_volume) {
-            volume = std::make_unique<Linear_volume_model>();
-        } else {
-            volume = std::make_unique<Smooth_volume_model>();
+        if (command == "run") {
+            return cmd_run(parse_args(argc, argv, first));
         }
-
-        std::optional<Kernel_grid> kernel;
-        if (!cli.kernel_path.empty()) {
-            kernel = read_kernel_file(cli.kernel_path);
-            std::printf("kernel: loaded from %s (%zu times x %zu bins)\n",
-                        cli.kernel_path.c_str(), kernel->time_count(), kernel->bin_count());
-        } else {
-            Kernel_build_options kernel_options;
-            kernel_options.n_cells = cli.cells;
-            kernel_options.seed = cli.seed;
-            kernel = build_kernel(config, *volume, data.times, kernel_options);
-            std::printf("kernel: simulated %zu cells (%s volume model)\n", cli.cells,
-                        volume->name().c_str());
+        if (command == "kernel") {
+            if (argc < 3) usage_error("kernel needs a mode: build or cache");
+            const std::string mode = argv[2];
+            const Cli_options cli = parse_args(argc, argv, 3);
+            if (mode == "build") return cmd_kernel_build(cli);
+            if (mode == "cache") return cmd_kernel_cache(cli);
+            usage_error("unknown kernel mode '" + mode + "' (build or cache)");
         }
-        if (!cli.save_kernel_path.empty()) {
-            write_kernel_file(cli.save_kernel_path, *kernel);
-            std::printf("kernel: saved to %s\n", cli.save_kernel_path.c_str());
+        if (command == "report") {
+            // Positional profile CSVs are allowed after `report`.
+            std::vector<std::string> inputs;
+            int i = first;
+            for (; i < argc && argv[i][0] != '-'; ++i) inputs.emplace_back(argv[i]);
+            return cmd_report(parse_args(argc, argv, i), inputs);
         }
-
-        // One engine owns the shared design artifacts (kernel matrix,
-        // penalty, constraint blocks + QP reduction) and the worker pool
-        // used by the CV sweep and the bootstrap replicates.
-        Deconvolution_options options;
-        options.constraints.positivity = cli.positivity;
-        options.constraints.conservation = cli.conservation;
-        options.constraints.rate_continuity = cli.rate_continuity;
-        options.backend = cli.backend;
-
-        Batch_engine_options engine_options;
-        engine_options.threads = cli.threads;
-        engine_options.constraints = options.constraints;
-        const Batch_engine engine(std::make_shared<Natural_spline_basis>(cli.basis), *kernel,
-                                  config, engine_options);
-        const Deconvolver& deconvolver = engine.deconvolver();
-        std::printf("engine: %zu worker threads, %s backend\n", engine.thread_count(),
-                    to_string(cli.backend));
-
-        if (cli.lambda.has_value()) {
-            options.lambda = *cli.lambda;
-            std::printf("lambda: fixed at %.3e\n", options.lambda);
-        } else {
-            const Lambda_selection sel = engine.cross_validate(
-                data, options, default_lambda_grid(15, 1e-7, 1e1), 5);
-            options.lambda = sel.best_lambda;
-            std::printf("lambda: %.3e (5-fold CV)\n", options.lambda);
-        }
-
-        const Single_cell_estimate estimate = deconvolver.estimate(data, options);
-        std::printf("fit: chi^2=%.3f over %zu points, roughness=%.3f, %zu active "
-                    "positivity rows\n",
-                    estimate.chi_squared, data.size(), estimate.roughness,
-                    estimate.active_constraints);
-
-        const Vector grid = linspace(0.0, 1.0, 201);
-        Series_writer writer("phi", grid);
-        writer.add("f", estimate.sample(grid));
-        if (cli.bootstrap > 0) {
-            Bootstrap_options boot;
-            boot.replicates = cli.bootstrap;
-            const Confidence_band band = engine.bootstrap(data, options, grid, boot);
-            writer.add("f_lower90", band.lower)
-                .add("f_median", band.median)
-                .add("f_upper90", band.upper);
-            std::printf("bootstrap: %zu replicates, mean 90%% band width %.3f\n",
-                        band.replicates_used, band.mean_width());
-        }
-        writer.write(cli.output);
-        std::printf("wrote %s\n", cli.output.c_str());
-        return 0;
+        usage_error("unknown subcommand '" + command + "'");
     } catch (const std::exception& e) {
         std::fprintf(stderr, "cellsync_deconvolve: error: %s\n", e.what());
         return 1;
