@@ -11,8 +11,6 @@
 
 namespace cellsync {
 
-namespace {
-
 std::string exception_type_name(const std::exception& e) {
     const char* raw = typeid(e).name();
 #if defined(__GNUG__)
@@ -27,7 +25,10 @@ std::string exception_type_name(const std::exception& e) {
     return raw;
 }
 
-}  // namespace
+std::string labeled_task_error(const std::string& label, const std::exception& e) {
+    const std::string shown = label.empty() ? "<unlabeled>" : label;
+    return "gene '" + shown + "' [" + exception_type_name(e) + "]: " + e.what();
+}
 
 Batch_entry deconvolve_one(const Deconvolver& deconvolver, const Measurement_series& series,
                            const Vector& lambda_grid, const Batch_options& options) {
@@ -43,9 +44,7 @@ Batch_entry deconvolve_one(const Deconvolver& deconvolver, const Measurement_ser
         entry.estimate = deconvolver.estimate(series, deconv);
         entry.lambda = deconv.lambda;
     } catch (const std::exception& e) {
-        const std::string label = entry.label.empty() ? "<unlabeled>" : entry.label;
-        entry.error =
-            "gene '" + label + "' [" + exception_type_name(e) + "]: " + e.what();
+        entry.error = labeled_task_error(entry.label, e);
     }
     return entry;
 }

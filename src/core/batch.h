@@ -9,6 +9,7 @@
 #ifndef CELLSYNC_CORE_BATCH_H
 #define CELLSYNC_CORE_BATCH_H
 
+#include <exception>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,16 @@ struct Batch_options {
     bool select_lambda = true;  ///< per-gene CV; else deconvolution.lambda
     std::uint64_t cv_seed = 77; ///< fold-shuffle seed (per gene, thread-invariant)
 };
+
+/// Demangled (where the ABI allows) dynamic type name of an exception —
+/// the `[<exception type>]` part of a labeled task error. Shared by the
+/// batch runner and the streaming session so every per-gene failure is
+/// reported in the same format.
+std::string exception_type_name(const std::exception& e);
+
+/// "gene '<label>' [<exception type>]: <message>" — the uniform labeled
+/// failure string stored in Batch_entry::error and Stream_update::error.
+std::string labeled_task_error(const std::string& label, const std::exception& e);
 
 /// Deconvolve one series: per-gene lambda CV (when enabled) plus the
 /// constrained estimate. Failures land in the entry's `error` instead of

@@ -12,9 +12,29 @@ namespace cellsync {
 
 namespace {
 
+/// Condition names as used downstream: an empty name defaults to its
+/// positional "conditionN" label.
+std::string resolved_condition_name(const Experiment_condition& condition, std::size_t index) {
+    return condition.name.empty() ? ("condition" + std::to_string(index)) : condition.name;
+}
+
 void validate_spec(const Experiment_spec& spec) {
     if (spec.conditions.empty()) {
         throw std::invalid_argument("run_experiment: no conditions");
+    }
+    // Duplicate names would silently merge two conditions under one label:
+    // the second would overwrite the first's warm-start lambdas and the
+    // caller could not tell their results apart. Reject them up front.
+    for (std::size_t a = 0; a < spec.conditions.size(); ++a) {
+        const std::string name_a = resolved_condition_name(spec.conditions[a], a);
+        for (std::size_t b = a + 1; b < spec.conditions.size(); ++b) {
+            if (name_a == resolved_condition_name(spec.conditions[b], b)) {
+                throw std::invalid_argument(
+                    "run_experiment: duplicate condition name '" + name_a +
+                    "' (conditions " + std::to_string(a) + " and " + std::to_string(b) +
+                    "); give each condition a distinct name");
+            }
+        }
     }
     if (spec.basis_size < 4) {
         throw std::invalid_argument("run_experiment: basis_size too small");
@@ -78,8 +98,7 @@ Experiment_result run_experiment(const Experiment_spec& spec,
     for (std::size_t c = 0; c < spec.conditions.size(); ++c) {
         const Experiment_condition& condition = spec.conditions[c];
         Condition_result out;
-        out.name = condition.name.empty() ? ("condition" + std::to_string(c))
-                                          : condition.name;
+        out.name = resolved_condition_name(condition, c);
 
         out.kernel = cache.get_or_build(condition.cell_cycle, volume_model,
                                         condition.panel.front().times, spec.kernel);

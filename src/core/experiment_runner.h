@@ -82,10 +82,12 @@ struct Experiment_result {
 };
 
 /// Run the experiment, resolving kernels through `cache`. Throws
-/// std::invalid_argument for an empty experiment, an empty panel, or a
-/// panel whose series disagree on the time grid; per-gene estimation
-/// failures are reported in the corresponding Batch_entry::error instead
-/// of aborting.
+/// std::invalid_argument for an empty experiment, an empty panel, a
+/// panel whose series disagree on the time grid, or duplicate condition
+/// names (after empty names resolve to their positional "conditionN"
+/// label — duplicates would merge two conditions' results and warm-start
+/// lambdas under one label); per-gene estimation failures are reported
+/// in the corresponding Batch_entry::error instead of aborting.
 Experiment_result run_experiment(const Experiment_spec& spec,
                                  const Volume_model& volume_model, Kernel_cache& cache);
 

@@ -19,7 +19,9 @@ std::string trim(const std::string& s) {
     return s.substr(begin, end - begin + 1);
 }
 
-std::vector<std::string> split_fields(const std::string& line) {
+}  // namespace
+
+std::vector<std::string> csv_split_fields(const std::string& line) {
     std::vector<std::string> fields;
     std::string field;
     std::istringstream ss(line);
@@ -28,7 +30,7 @@ std::vector<std::string> split_fields(const std::string& line) {
     return fields;
 }
 
-double parse_number(const std::string& field, std::size_t line_number) {
+double csv_parse_field(const std::string& field, std::size_t line_number) {
     double value = 0.0;
     const char* first = field.data();
     const char* last = field.data() + field.size();
@@ -60,8 +62,6 @@ double parse_number(const std::string& field, std::size_t line_number) {
     return value;
 }
 
-}  // namespace
-
 Table read_csv(std::istream& in) {
     std::string line;
     std::size_t line_number = 0;
@@ -72,7 +72,7 @@ Table read_csv(std::istream& in) {
         ++line_number;
         const std::string t = trim(line);
         if (t.empty() || t.front() == '#') continue;
-        header = split_fields(t);
+        header = csv_split_fields(t);
         break;
     }
     if (header.empty()) throw std::runtime_error("CSV: empty or missing header");
@@ -85,14 +85,14 @@ Table read_csv(std::istream& in) {
         ++line_number;
         const std::string t = trim(line);
         if (t.empty() || t.front() == '#') continue;
-        const std::vector<std::string> fields = split_fields(t);
+        const std::vector<std::string> fields = csv_split_fields(t);
         if (fields.size() != header.size()) {
             throw std::runtime_error("CSV line " + std::to_string(line_number) + ": expected " +
                                      std::to_string(header.size()) + " fields, got " +
                                      std::to_string(fields.size()));
         }
         for (std::size_t c = 0; c < fields.size(); ++c) {
-            columns[c].push_back(parse_number(fields[c], line_number));
+            columns[c].push_back(csv_parse_field(fields[c], line_number));
         }
     }
 

@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "io/table.h"
 
@@ -25,6 +26,16 @@ Table read_csv_string(const std::string& text);
 /// Read a CSV file. Throws std::runtime_error if the file cannot be
 /// opened, plus the parse errors above.
 Table read_csv_file(const std::string& path);
+
+/// Split one CSV line into trimmed fields (',' separator; a trailing ','
+/// yields a final empty field) — the exact field semantics of read_csv,
+/// shared with the incremental record reader (io/stream_records.h).
+std::vector<std::string> csv_split_fields(const std::string& line);
+
+/// Parse one numeric CSV field under read_csv's rules: optional leading
+/// '+', finite values only. Throws std::runtime_error naming
+/// `line_number` on malformed or non-finite input.
+double csv_parse_field(const std::string& field, std::size_t line_number);
 
 /// Write a table as CSV (header + rows, '\n' line endings, max precision).
 void write_csv(std::ostream& out, const Table& table);

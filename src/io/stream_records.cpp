@@ -1,0 +1,129 @@
+#include "io/stream_records.h"
+
+#include <cmath>
+#include <istream>
+#include <stdexcept>
+
+#include "io/csv.h"
+
+namespace cellsync {
+
+namespace {
+
+std::string trim_line(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Record_stream::Record_stream(std::istream& in) : in_(in) {
+    std::string line;
+    std::vector<std::string> header;
+    while (std::getline(in_, line)) {
+        ++line_number_;
+        const std::string t = trim_line(line);
+        if (t.empty() || t.front() == '#') continue;
+        header = csv_split_fields(t);
+        break;
+    }
+    if (header.empty()) {
+        throw std::runtime_error("record stream: empty or missing header");
+    }
+    bool has_time = false, has_gene = false, has_value = false;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        const std::string& name = header[c];
+        if (name == "time") {
+            time_col_ = c;
+            has_time = true;
+        } else if (name == "gene") {
+            gene_col_ = c;
+            has_gene = true;
+        } else if (name == "value") {
+            value_col_ = c;
+            has_value = true;
+        } else if (name == "sigma") {
+            sigma_col_ = c;
+            has_sigma_ = true;
+        } else {
+            throw std::runtime_error("record stream line " + std::to_string(line_number_) +
+                                     ": unexpected column '" + name +
+                                     "' (want time, gene, value[, sigma])");
+        }
+    }
+    if (!has_time || !has_gene || !has_value) {
+        throw std::runtime_error(
+            "record stream: header needs time, gene, and value columns");
+    }
+    column_count_ = header.size();
+}
+
+std::optional<Expression_record> Record_stream::parse_next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_number_;
+        const std::string t = trim_line(line);
+        if (t.empty() || t.front() == '#') continue;
+
+        const std::vector<std::string> fields = csv_split_fields(t);
+        if (fields.size() != column_count_) {
+            throw std::runtime_error("record stream line " + std::to_string(line_number_) +
+                                     ": expected " + std::to_string(column_count_) +
+                                     " fields, got " + std::to_string(fields.size()));
+        }
+        Expression_record record;
+        record.time = csv_parse_field(fields[time_col_], line_number_);
+        record.gene = fields[gene_col_];
+        record.value = csv_parse_field(fields[value_col_], line_number_);
+        if (has_sigma_) record.sigma = csv_parse_field(fields[sigma_col_], line_number_);
+        if (record.gene.empty()) {
+            throw std::runtime_error("record stream line " + std::to_string(line_number_) +
+                                     ": empty gene name");
+        }
+        if (!(record.sigma > 0.0) || !std::isfinite(record.sigma)) {
+            throw std::runtime_error("record stream line " + std::to_string(line_number_) +
+                                     ": sigma must be positive and finite");
+        }
+        if (any_record_ && record.time < last_time_) {
+            throw std::runtime_error("record stream line " + std::to_string(line_number_) +
+                                     ": time went backwards (append-only logs are "
+                                     "time-ordered)");
+        }
+        last_time_ = record.time;
+        any_record_ = true;
+        ++record_count_;
+        return record;
+    }
+    return std::nullopt;
+}
+
+std::optional<Expression_record> Record_stream::next() {
+    if (lookahead_.has_value()) {
+        std::optional<Expression_record> out = std::move(lookahead_);
+        lookahead_.reset();
+        return out;
+    }
+    return parse_next();
+}
+
+std::vector<Expression_record> Record_stream::next_timepoint() {
+    std::vector<Expression_record> batch;
+    std::optional<Expression_record> record = next();
+    if (!record.has_value()) return batch;
+    const double time = record->time;
+    batch.push_back(std::move(*record));
+    for (;;) {
+        record = parse_next();
+        if (!record.has_value()) break;
+        if (record->time != time) {
+            lookahead_ = std::move(record);
+            break;
+        }
+        batch.push_back(std::move(*record));
+    }
+    return batch;
+}
+
+}  // namespace cellsync

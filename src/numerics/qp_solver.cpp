@@ -119,7 +119,8 @@ Kkt_step solve_kkt(const Qp_problem& prob, const Vector& x,
 }  // namespace
 
 Qp_result solve_qp(const Qp_problem& problem, const Qp_options& options,
-                   const std::optional<Vector>& start) {
+                   const std::optional<Vector>& start,
+                   const std::vector<std::size_t>& initial_working) {
     validate(problem);
     const std::size_t n = problem.hessian.rows();
     const std::size_t mi = problem.ineq_matrix.rows();
@@ -142,6 +143,12 @@ Qp_result solve_qp(const Qp_problem& problem, const Qp_options& options,
 
     std::vector<std::size_t> working;  // active inequality indices
     std::vector<char> in_working(mi, 0);
+    for (std::size_t k : initial_working) {
+        if (k >= mi) throw std::invalid_argument("solve_qp: initial working index out of range");
+        if (in_working[k]) continue;  // duplicate hints are harmless
+        in_working[k] = 1;
+        working.push_back(k);
+    }
     // Anti-cycling state: a constraint dropped at a stationary point that
     // immediately re-blocks with a zero-length step is "pinned" — kept in
     // the working set with its (numerically) negative multiplier tolerated
@@ -464,49 +471,212 @@ Qp_result solve_qp_dual_reduced(const Matrix& hessian, const Vector& gradient,
     return result;
 }
 
-Qp_result solve_qp_dual_prepared(const Matrix& hessian, const Vector& gradient,
-                                 const Qp_constraint_prep& prep, const Qp_options& options) {
+namespace {
+
+void check_prepared_shapes(const char* who, const Matrix& hessian, const Vector& gradient,
+                           const Qp_constraint_prep& prep) {
     const std::size_t n = prep.unknowns();
     if (hessian.rows() != n || hessian.cols() != n || gradient.size() != n) {
-        throw std::invalid_argument("solve_qp_dual_prepared: Hessian/gradient shape mismatch");
+        throw std::invalid_argument(std::string(who) + ": Hessian/gradient shape mismatch");
     }
+}
+
+/// The point pinned by the equality constraints alone (empty null space).
+Qp_result fully_determined_result(const Matrix& hessian, const Vector& gradient,
+                                  const Qp_constraint_prep& prep) {
+    Qp_result only;
+    only.x = prep.x_particular();
+    only.objective = 0.5 * dot(only.x, hessian * only.x) + dot(gradient, only.x);
+    only.converged = true;
+    only.iterations = 1;
+    return only;
+}
+
+/// Reduced objective blocks: Hr = Z'HZ, gr = Z'(H x0 + g).
+struct Reduced_objective {
+    Matrix hr;
+    Vector gr;
+};
+
+Reduced_objective reduce_objective(const Matrix& hessian, const Vector& gradient,
+                                   const Qp_constraint_prep& prep) {
     const Matrix& z_basis = prep.z_basis();
-    const Vector& x_particular = prep.x_particular();
-
-    if (prep.fully_determined()) {
-        // Fully determined by the equalities; just report that point.
-        Qp_result only;
-        only.x = x_particular;
-        only.objective =
-            0.5 * dot(only.x, hessian * only.x) + dot(gradient, only.x);
-        only.converged = true;
-        only.iterations = 1;
-        return only;
-    }
-
-    // Reduced problem: min 0.5 y'Hr y + gr'y  s.t.  Cr y >= dr.
+    const std::size_t n = prep.unknowns();
     const std::size_t nz = z_basis.cols();
-    Matrix hr(nz, nz);
-    {
-        const Matrix hz = hessian * z_basis;
-        for (std::size_t i = 0; i < nz; ++i) {
-            for (std::size_t j = 0; j < nz; ++j) {
-                double s = 0.0;
-                for (std::size_t k = 0; k < n; ++k) s += z_basis(k, i) * hz(k, j);
-                hr(i, j) = s;
-            }
+    Reduced_objective out;
+    out.hr = Matrix(nz, nz);
+    const Matrix hz = hessian * z_basis;
+    for (std::size_t i = 0; i < nz; ++i) {
+        for (std::size_t j = 0; j < nz; ++j) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < n; ++k) s += z_basis(k, i) * hz(k, j);
+            out.hr(i, j) = s;
         }
     }
-    const Vector gr = transposed_times(z_basis, hessian * x_particular + gradient);
+    out.gr = transposed_times(z_basis, hessian * prep.x_particular() + gradient);
+    return out;
+}
 
-    Qp_result reduced = solve_qp_dual_reduced(hr, gr, prep.reduced_inequality(),
+}  // namespace
+
+Qp_result solve_qp_dual_prepared(const Matrix& hessian, const Vector& gradient,
+                                 const Qp_constraint_prep& prep, const Qp_options& options) {
+    check_prepared_shapes("solve_qp_dual_prepared", hessian, gradient, prep);
+    if (prep.fully_determined()) return fully_determined_result(hessian, gradient, prep);
+
+    // Reduced problem: min 0.5 y'Hr y + gr'y  s.t.  Cr y >= dr.
+    const Reduced_objective reduced_obj = reduce_objective(hessian, gradient, prep);
+    Qp_result reduced = solve_qp_dual_reduced(reduced_obj.hr, reduced_obj.gr,
+                                              prep.reduced_inequality(),
                                               prep.reduced_ineq_rhs(), options);
     Qp_result result;
-    result.x = z_basis * reduced.x + x_particular;
+    result.x = prep.z_basis() * reduced.x + prep.x_particular();
     result.objective = 0.5 * dot(result.x, hessian * result.x) + dot(gradient, result.x);
     result.iterations = reduced.iterations;
     result.active_set = std::move(reduced.active_set);
     result.converged = reduced.converged;
+    return result;
+}
+
+std::optional<Qp_result> try_solve_qp_reduced_warm(const Matrix& hessian,
+                                                   const Vector& gradient,
+                                                   const Matrix& ineq_matrix,
+                                                   const Vector& ineq_rhs,
+                                                   const std::vector<std::size_t>& active_hint,
+                                                   const Qp_options& options) {
+    const std::size_t nz = hessian.rows();
+    const std::size_t mi = ineq_matrix.rows();
+    if (hessian.cols() != nz || gradient.size() != nz) {
+        throw std::invalid_argument("try_solve_qp_reduced_warm: Hessian/gradient shape mismatch");
+    }
+    if (ineq_rhs.size() != mi || (mi > 0 && ineq_matrix.cols() != nz)) {
+        throw std::invalid_argument("try_solve_qp_reduced_warm: inequality block shape mismatch");
+    }
+    for (std::size_t k : active_hint) {
+        if (k >= mi) {
+            throw std::invalid_argument("try_solve_qp_reduced_warm: hint index out of range");
+        }
+    }
+    // An empty hint is just a cold solve; more active rows than reduced
+    // dimensions cannot be an independent active set.
+    if (active_hint.empty() || active_hint.size() > nz) return std::nullopt;
+    const Matrix& cr = ineq_matrix;
+    const Vector& dr = ineq_rhs;
+
+    // Same strict-convexity ridge as the cold dual iteration, so warm and
+    // cold paths agree on what "optimal" means.
+    Matrix hr = hessian;
+    {
+        double trace = 0.0;
+        for (std::size_t i = 0; i < nz; ++i) trace += hr(i, i);
+        const double ridge = std::max(options.fallback_ridge, 1e-12) *
+                             std::max(1.0, trace / static_cast<double>(nz));
+        for (std::size_t i = 0; i < nz; ++i) hr(i, i) += ridge;
+    }
+
+    // Bounded active-set repair from the hint: each step solves the KKT
+    // system with the working rows held at their bounds,
+    //   [ Hr  Cs' ] [ y ]   [ -gr ]
+    //   [ Cs   0  ] [ v ] = [ d_S ],  multipliers mu = -v,
+    // then drops the most dual-infeasible row or adds the most violated
+    // one. A nearby problem's active set differs by a row or two, so a
+    // few cheap direct solves usually land on the optimum; the small
+    // budget keeps a stale hint (or a degenerate drop/re-add cycle)
+    // cheap before the cold dual fallback. The accepted point is optimal
+    // by construction of the exit condition: no negative multiplier, no
+    // violated inequality.
+    constexpr std::size_t max_repair_steps = 4;
+    std::vector<std::size_t> working = active_hint;
+    for (std::size_t step = 0; step < max_repair_steps; ++step) {
+        const std::size_t s = working.size();
+        const std::size_t dim = nz + s;
+        Matrix kkt(dim, dim);
+        Vector rhs(dim, 0.0);
+        for (std::size_t i = 0; i < nz; ++i) {
+            for (std::size_t j = 0; j < nz; ++j) kkt(i, j) = hr(i, j);
+            rhs[i] = -gradient[i];
+        }
+        for (std::size_t k = 0; k < s; ++k) {
+            const std::size_t row = working[k];
+            for (std::size_t j = 0; j < nz; ++j) {
+                kkt(nz + k, j) = cr(row, j);
+                kkt(j, nz + k) = cr(row, j);
+            }
+            rhs[nz + k] = dr[row];
+        }
+
+        Vector sol;
+        try {
+            sol = ldlt_solve(kkt, rhs);
+        } catch (const std::runtime_error&) {
+            return std::nullopt;  // dependent working rows: cold path sorts it out
+        }
+        Vector y(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(nz));
+
+        // Drop phase: most negative multiplier leaves the working set.
+        std::size_t drop = s;
+        double most_negative = -options.multiplier_tol;
+        for (std::size_t k = 0; k < s; ++k) {
+            const double mu = -sol[nz + k];
+            if (mu < most_negative) {
+                most_negative = mu;
+                drop = k;
+            }
+        }
+        if (drop != s) {
+            working.erase(working.begin() + static_cast<std::ptrdiff_t>(drop));
+            continue;
+        }
+
+        // Add phase: most violated inactive inequality joins, under the
+        // same tolerance the cold dual iteration uses to pick rows.
+        std::vector<char> in_working(mi, 0);
+        for (std::size_t k : working) in_working[k] = 1;
+        std::size_t add = mi;
+        double worst = -options.constraint_tol;
+        for (std::size_t r = 0; r < mi; ++r) {
+            if (in_working[r]) continue;
+            const double slack = dot(cr.row(r), y) - dr[r];
+            if (slack < worst) {
+                worst = slack;
+                add = r;
+            }
+        }
+        if (add != mi) {
+            if (working.size() == nz) return std::nullopt;  // cannot grow further
+            working.push_back(add);
+            continue;
+        }
+
+        Qp_result result;
+        result.x = std::move(y);
+        result.objective =
+            0.5 * dot(result.x, hessian * result.x) + dot(gradient, result.x);
+        result.iterations = step + 1;
+        result.active_set = std::move(working);
+        std::sort(result.active_set.begin(), result.active_set.end());
+        result.converged = true;
+        return result;
+    }
+    return std::nullopt;  // repair budget exhausted: the hint was not nearby
+}
+
+std::optional<Qp_result> try_solve_qp_prepared_warm(const Matrix& hessian,
+                                                    const Vector& gradient,
+                                                    const Qp_constraint_prep& prep,
+                                                    const std::vector<std::size_t>& active_hint,
+                                                    const Qp_options& options) {
+    check_prepared_shapes("try_solve_qp_prepared_warm", hessian, gradient, prep);
+    if (prep.fully_determined()) return fully_determined_result(hessian, gradient, prep);
+
+    const Reduced_objective reduced_obj = reduce_objective(hessian, gradient, prep);
+    std::optional<Qp_result> reduced =
+        try_solve_qp_reduced_warm(reduced_obj.hr, reduced_obj.gr, prep.reduced_inequality(),
+                                  prep.reduced_ineq_rhs(), active_hint, options);
+    if (!reduced.has_value()) return std::nullopt;
+    Qp_result result = std::move(*reduced);
+    result.x = prep.z_basis() * result.x + prep.x_particular();
+    result.objective = 0.5 * dot(result.x, hessian * result.x) + dot(gradient, result.x);
     return result;
 }
 

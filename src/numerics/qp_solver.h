@@ -60,11 +60,16 @@ struct Qp_options {
 ///
 /// `start` must be feasible if provided. If omitted, the solver tries, in
 /// order: the zero vector; the minimum-norm solution of the equality
-/// system. Throws std::invalid_argument for malformed shapes and
-/// std::runtime_error if no feasible start can be constructed or the
-/// iteration limit is exceeded.
+/// system. `initial_working` warm-starts the working set (inequality row
+/// indices, typically the active set of a nearby problem's solution
+/// whose x is passed as `start`); rows that do not belong are shed by
+/// the normal multiplier test, so a stale hint costs iterations, not
+/// correctness. Throws std::invalid_argument for malformed shapes or
+/// out-of-range working indices and std::runtime_error if no feasible
+/// start can be constructed or the iteration limit is exceeded.
 Qp_result solve_qp(const Qp_problem& problem, const Qp_options& options = {},
-                   const std::optional<Vector>& start = std::nullopt);
+                   const std::optional<Vector>& start = std::nullopt,
+                   const std::vector<std::size_t>& initial_working = {});
 
 /// Precomputed constraint geometry of a QP family.
 ///
@@ -116,6 +121,39 @@ Qp_result solve_qp_dual_reduced(const Matrix& hessian, const Vector& gradient,
 Qp_result solve_qp_dual_prepared(const Matrix& hessian, const Vector& gradient,
                                  const Qp_constraint_prep& prep,
                                  const Qp_options& options = {});
+
+/// Warm-started solve of a reduced, inequality-only QP from a hinted
+/// active set (e.g. the binding rows of the previous solve in a sequence
+/// of nearby problems, such as a gene stream gaining one timepoint at a
+/// time), under the same strict-convexity ridge as
+/// solve_qp_dual_reduced, so warm and cold paths agree on what
+/// "optimal" means. Runs a bounded active-set repair: solve the KKT
+/// system with the working rows pinned at their bounds, drop the most
+/// dual-infeasible row or add the most violated one, for at most a
+/// handful of direct solves (an unchanged active set is accepted after
+/// the first). The accepted point is optimal by construction of the
+/// exit condition: no negative multiplier, no violated inequality.
+/// Returns std::nullopt when the hint is empty or the attempt does not
+/// converge cleanly (dependent rows, repair budget exceeded); callers
+/// fall back to the cold solve_qp_dual_reduced path. Throws
+/// std::invalid_argument on shape mismatch or out-of-range hint
+/// indices.
+std::optional<Qp_result> try_solve_qp_reduced_warm(const Matrix& hessian,
+                                                   const Vector& gradient,
+                                                   const Matrix& ineq_matrix,
+                                                   const Vector& ineq_rhs,
+                                                   const std::vector<std::size_t>& active_hint,
+                                                   const Qp_options& options = {});
+
+/// try_solve_qp_reduced_warm through a shared constraint preparation:
+/// reduces the objective onto prep's equality null space, warm-solves,
+/// and maps the verified optimum back to full space. Same return
+/// contract as the reduced form.
+std::optional<Qp_result> try_solve_qp_prepared_warm(const Matrix& hessian,
+                                                    const Vector& gradient,
+                                                    const Qp_constraint_prep& prep,
+                                                    const std::vector<std::size_t>& active_hint,
+                                                    const Qp_options& options = {});
 
 /// Solve the QP by the Goldfarb-Idnani dual active-set method.
 ///

@@ -1,7 +1,9 @@
 #include "population/kernel_cache.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -27,9 +29,107 @@ std::string read_text_file(const std::string& path) {
     return content.str();
 }
 
+std::uint64_t file_bytes(const std::string& path) {
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+constexpr const char* manifest_header = "# cellsync-kernel-cache-manifest-v1";
+
+/// Parse the manifest file: tab-separated "hash bytes last_use key" lines
+/// under a version header. Returns false when the file is missing or
+/// malformed (caller falls back to a directory scan).
+bool parse_manifest(const std::string& path, std::vector<Kernel_cache_entry_info>& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::string line;
+    if (!std::getline(in, line) || line != manifest_header) return false;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        Kernel_cache_entry_info entry;
+        std::size_t pos = 0;
+        for (int field = 0; field < 3; ++field) {
+            const std::size_t tab = line.find('\t', pos);
+            if (tab == std::string::npos) return false;
+            const std::string value = line.substr(pos, tab - pos);
+            try {
+                if (field == 0) entry.hash = value;
+                else if (field == 1) entry.bytes = std::stoull(value);
+                else entry.last_use = std::stoull(value);
+            } catch (const std::exception&) {
+                return false;
+            }
+            pos = tab + 1;
+        }
+        entry.key = line.substr(pos);
+        if (entry.hash.empty()) return false;
+        out.push_back(std::move(entry));
+    }
+    return true;
+}
+
+/// Rebuild manifest entries by scanning the directory's sidecar files —
+/// the sidecars, not the manifest, are the source of truth for what is
+/// cached. Recency is unknown for scanned entries (last_use = 0): they
+/// evict first, in hash order, which is deterministic.
+std::vector<Kernel_cache_entry_info> scan_directory(const std::string& directory) {
+    std::vector<Kernel_cache_entry_info> entries;
+    std::error_code ec;
+    for (const auto& item : std::filesystem::directory_iterator(directory, ec)) {
+        const std::string name = item.path().filename().string();
+        constexpr const char* prefix = "kernel_";
+        constexpr const char* suffix = ".key";
+        if (name.rfind(prefix, 0) != 0 || name.size() <= std::strlen(prefix) + 4 ||
+            name.substr(name.size() - 4) != suffix) {
+            continue;
+        }
+        Kernel_cache_entry_info entry;
+        entry.hash = name.substr(std::strlen(prefix),
+                                 name.size() - std::strlen(prefix) - 4);
+        entry.key = read_text_file(item.path().string());
+        entry.bytes = file_bytes(item.path().string());
+        const std::string csv =
+            (item.path().parent_path() / ("kernel_" + entry.hash + ".csv")).string();
+        entry.bytes += file_bytes(csv);
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Kernel_cache_entry_info& a, const Kernel_cache_entry_info& b) {
+                  return a.hash < b.hash;
+              });
+    return entries;
+}
+
+std::vector<Kernel_cache_entry_info> load_manifest(const std::string& directory,
+                                                   const std::string& manifest_file) {
+    std::vector<Kernel_cache_entry_info> entries;
+    if (parse_manifest(manifest_file, entries)) return entries;
+    return scan_directory(directory);
+}
+
+void save_manifest(const std::string& manifest_file,
+                   const std::vector<Kernel_cache_entry_info>& entries) {
+    // Write-then-rename so readers never observe a torn manifest (a torn
+    // temp file is simply rescanned away on the next load).
+    const std::string tmp = manifest_file + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot write '" + tmp + "'");
+        out << manifest_header << '\n';
+        for (const Kernel_cache_entry_info& entry : entries) {
+            out << entry.hash << '\t' << entry.bytes << '\t' << entry.last_use << '\t'
+                << entry.key << '\n';
+        }
+        if (!out) throw std::runtime_error("write failed for '" + tmp + "'");
+    }
+    std::filesystem::rename(tmp, manifest_file);
+}
+
 }  // namespace
 
-Kernel_cache::Kernel_cache(std::string directory) : directory_(std::move(directory)) {
+Kernel_cache::Kernel_cache(std::string directory, Kernel_cache_limits limits)
+    : directory_(std::move(directory)), limits_(limits) {
     if (directory_.empty()) {
         throw std::invalid_argument("Kernel_cache: empty directory (use the default "
                                     "constructor for a memory-only cache)");
@@ -83,6 +183,88 @@ std::string Kernel_cache::sidecar_path(const std::string& hash) const {
     return directory_ + "/kernel_" + hash + ".key";
 }
 
+std::string Kernel_cache::manifest_path(const std::string& directory) {
+    return directory + "/manifest.tsv";
+}
+
+Kernel_cache_manifest Kernel_cache::manifest() const {
+    Kernel_cache_manifest out;
+    out.max_bytes = limits_.max_disk_bytes;
+    if (directory_.empty()) return out;
+    const std::lock_guard<std::mutex> lock(manifest_mutex_);
+    out.entries = load_manifest(directory_, manifest_path(directory_));
+    std::sort(out.entries.begin(), out.entries.end(),
+              [](const Kernel_cache_entry_info& a, const Kernel_cache_entry_info& b) {
+                  return a.last_use > b.last_use;
+              });
+    for (const Kernel_cache_entry_info& entry : out.entries) out.total_bytes += entry.bytes;
+    return out;
+}
+
+void Kernel_cache::touch_manifest(const std::string& hash, const std::string& key,
+                                  bool stored) {
+    if (directory_.empty()) return;
+    std::size_t evicted = 0;
+    try {
+        const std::lock_guard<std::mutex> lock(manifest_mutex_);
+        std::vector<Kernel_cache_entry_info> entries =
+            load_manifest(directory_, manifest_path(directory_));
+
+        std::uint64_t next_use = 1;
+        for (const Kernel_cache_entry_info& entry : entries) {
+            next_use = std::max(next_use, entry.last_use + 1);
+        }
+        auto self = std::find_if(entries.begin(), entries.end(),
+                                 [&](const Kernel_cache_entry_info& e) {
+                                     return e.hash == hash;
+                                 });
+        if (self == entries.end()) {
+            entries.push_back({});
+            self = entries.end() - 1;
+            self->hash = hash;
+        }
+        self->key = key;
+        self->last_use = next_use;
+        if (stored || self->bytes == 0) {
+            self->bytes = file_bytes(entry_path(hash)) + file_bytes(sidecar_path(hash));
+        }
+
+        if (limits_.max_disk_bytes > 0) {
+            std::uint64_t total = 0;
+            for (const Kernel_cache_entry_info& entry : entries) total += entry.bytes;
+            // Evict least-recently-used first; the just-touched entry is
+            // exempt so a single oversized kernel still caches (the cap is
+            // then best-effort, which beats thrashing).
+            while (total > limits_.max_disk_bytes && entries.size() > 1) {
+                std::size_t victim = entries.size();
+                for (std::size_t i = 0; i < entries.size(); ++i) {
+                    if (entries[i].hash == hash) continue;
+                    if (victim == entries.size() ||
+                        entries[i].last_use < entries[victim].last_use) {
+                        victim = i;
+                    }
+                }
+                if (victim == entries.size()) break;
+                std::error_code ec;
+                // Sidecar first: without its key the CSV orphan can never
+                // be served, so a torn eviction degrades to a rebuild.
+                std::filesystem::remove(sidecar_path(entries[victim].hash), ec);
+                std::filesystem::remove(entry_path(entries[victim].hash), ec);
+                total -= std::min(total, entries[victim].bytes);
+                entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(victim));
+                ++evicted;
+            }
+        }
+        save_manifest(manifest_path(directory_), entries);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "Kernel_cache: manifest update failed: %s\n", e.what());
+    }
+    if (evicted > 0) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stats_.evictions += evicted;
+    }
+}
+
 std::shared_ptr<const Kernel_grid> Kernel_cache::get_or_build(
     const Cell_cycle_config& config, const Volume_model& volume_model, const Vector& times,
     const Kernel_build_options& options) {
@@ -109,6 +291,7 @@ std::shared_ptr<const Kernel_grid> Kernel_cache::get_or_build(
         try {
             kernel = std::make_shared<const Kernel_grid>(read_kernel_file(entry_path(hash)));
             from_disk = true;
+            touch_manifest(hash, key, /*stored=*/false);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "Kernel_cache: discarding unreadable entry %s (%s)\n",
                          entry_path(hash).c_str(), e.what());
@@ -128,6 +311,7 @@ std::shared_ptr<const Kernel_grid> Kernel_cache::get_or_build(
                 if (!sidecar) {
                     throw std::runtime_error("cannot write '" + sidecar_path(hash) + "'");
                 }
+                touch_manifest(hash, key, /*stored=*/true);
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "Kernel_cache: could not persist entry: %s\n",
                              e.what());

@@ -19,10 +19,12 @@
 #define CELLSYNC_POPULATION_KERNEL_CACHE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "population/kernel_builder.h"
 
@@ -33,18 +35,53 @@ struct Kernel_cache_stats {
     std::size_t memory_hits = 0;  ///< served from the in-memory map
     std::size_t disk_hits = 0;    ///< deserialized from the cache directory
     std::size_t builds = 0;       ///< full population simulations run
+    std::size_t evictions = 0;    ///< disk entries removed by the LRU policy
+};
+
+/// Disk-usage policy for a directory-backed cache.
+struct Kernel_cache_limits {
+    /// Size cap for the cache directory's entries (kernel CSV + sidecar),
+    /// enforced after every store by evicting least-recently-used entries.
+    /// 0 = unbounded (the pre-LRU behavior).
+    std::uint64_t max_disk_bytes = 0;
+};
+
+/// One manifest row: a disk entry with its provenance and recency.
+struct Kernel_cache_entry_info {
+    std::string hash;          ///< fixed-width hex file stem
+    std::uint64_t bytes = 0;   ///< kernel CSV + sidecar size on disk
+    std::uint64_t last_use = 0;///< monotone use sequence (higher = more recent)
+    std::string key;           ///< full config provenance (cache_key string)
+};
+
+/// Snapshot of the on-disk manifest.
+struct Kernel_cache_manifest {
+    std::vector<Kernel_cache_entry_info> entries;  ///< most recent first
+    std::uint64_t total_bytes = 0;
+    std::uint64_t max_bytes = 0;  ///< configured cap (0 = unbounded)
 };
 
 /// Thread-safe kernel memoizer, optionally backed by a disk directory.
+///
+/// A directory-backed cache additionally maintains `manifest.tsv` in the
+/// cache directory — one line per entry: hash, byte size, last-use
+/// sequence number, and the full cache key (config provenance). The
+/// manifest is advisory bookkeeping for the LRU policy and `kernel
+/// cache` reporting; a missing or corrupt manifest is rebuilt by
+/// scanning the directory's sidecar files, never trusted over them.
+/// Recency uses a persisted monotone counter rather than wall-clock
+/// time, so eviction order is deterministic and clock-skew-proof. The
+/// policy assumes one writer process per directory (the ROADMAP's
+/// shared read-only fleet mode remains open).
 class Kernel_cache {
   public:
     /// Memory-only cache (entries live as long as the cache).
     Kernel_cache() = default;
 
     /// Disk-backed cache rooted at `directory` (created, with parents, on
-    /// first store). Throws std::runtime_error if the directory cannot be
-    /// created.
-    explicit Kernel_cache(std::string directory);
+    /// first store), with an optional LRU size cap. Throws
+    /// std::runtime_error if the directory cannot be created.
+    explicit Kernel_cache(std::string directory, Kernel_cache_limits limits = {});
 
     /// The kernel for the given inputs: in-memory entry if present, else a
     /// disk entry whose stored key matches exactly, else a fresh
@@ -70,6 +107,17 @@ class Kernel_cache {
     /// Cache directory ("" for memory-only).
     const std::string& directory() const { return directory_; }
 
+    /// Configured disk limits.
+    const Kernel_cache_limits& limits() const { return limits_; }
+
+    /// Current manifest (entries most-recent-first). Rebuilt from the
+    /// directory's sidecar files when the manifest file is missing or
+    /// corrupt; empty for a memory-only cache.
+    Kernel_cache_manifest manifest() const;
+
+    /// Path of the manifest file within a cache directory.
+    static std::string manifest_path(const std::string& directory);
+
     /// Canonical key string: every input the simulation output depends on,
     /// doubles printed round-trip exactly. Equal keys <=> bit-identical
     /// kernels (the simulator is seeded and deterministic).
@@ -83,9 +131,18 @@ class Kernel_cache {
   private:
     std::string entry_path(const std::string& hash) const;
     std::string sidecar_path(const std::string& hash) const;
+    /// Record a use (disk hit) or a fresh store of `hash` in the manifest,
+    /// then enforce the size cap by evicting LRU entries (never the entry
+    /// just touched). Never throws: manifest I/O failures degrade to a
+    /// stale manifest, not a failed lookup.
+    void touch_manifest(const std::string& hash, const std::string& key, bool stored);
 
     std::string directory_;
+    Kernel_cache_limits limits_;
     mutable std::mutex mutex_;
+    // Manifest I/O is serialized separately so a slow manifest rewrite
+    // never blocks in-memory lookups.
+    mutable std::mutex manifest_mutex_;
     std::map<std::string, std::shared_ptr<const Kernel_grid>> memory_;
     Kernel_cache_stats stats_;
 };

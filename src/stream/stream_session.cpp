@@ -1,0 +1,148 @@
+#include "stream/stream_session.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/batch.h"
+#include "spline/spline_basis.h"
+
+namespace cellsync {
+
+Stream_session::Stream_session(const Cell_cycle_config& config,
+                               const Volume_model& volume_model, const Vector& times,
+                               Kernel_cache& cache, const Stream_session_options& options)
+    : options_(options), pool_(options.threads) {
+    kernel_ = cache.get_or_build(config, volume_model, times, options_.kernel);
+    artifacts_ =
+        make_design_artifacts(std::make_shared<Natural_spline_basis>(options_.basis_size),
+                              *kernel_, config, options_.constraints);
+}
+
+Stream_session::Stream_session(std::shared_ptr<const Design_artifacts> artifacts,
+                               const Stream_session_options& options)
+    : artifacts_(std::move(artifacts)), options_(options), pool_(options.threads) {
+    if (!artifacts_) throw std::invalid_argument("Stream_session: null artifacts");
+}
+
+Streaming_deconvolver& Stream_session::open_locked(const std::string& label) {
+    if (label.empty()) throw std::invalid_argument("Stream_session: empty stream label");
+    auto it = streams_.find(label);
+    if (it == streams_.end()) {
+        it = streams_
+                 .emplace(label, std::make_unique<Streaming_deconvolver>(
+                                     artifacts_, label, options_.stream))
+                 .first;
+        order_.push_back(label);
+    }
+    return *it->second;
+}
+
+Streaming_deconvolver& Stream_session::open_stream(const std::string& label) {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    return open_locked(label);
+}
+
+Streaming_deconvolver* Stream_session::find_stream(const std::string& label) {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const auto it = streams_.find(label);
+    return it == streams_.end() ? nullptr : it->second.get();
+}
+
+const Streaming_deconvolver* Stream_session::find_stream(const std::string& label) const {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const auto it = streams_.find(label);
+    return it == streams_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Stream_update> Stream_session::append_timepoint(
+    double time, const std::vector<Stream_record>& records) {
+    if (records.empty()) {
+        throw std::invalid_argument("Stream_session: empty timepoint batch");
+    }
+    {
+        std::unordered_set<std::string> seen;
+        for (const Stream_record& record : records) {
+            if (record.gene.empty()) {
+                throw std::invalid_argument("Stream_session: record with empty gene name");
+            }
+            if (!seen.insert(record.gene).second) {
+                throw std::invalid_argument(
+                    "Stream_session: gene '" + record.gene +
+                    "' appears twice in one timepoint batch (one record per gene per "
+                    "timepoint)");
+            }
+        }
+    }
+
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    // Registry mutation is serial (the map must not rehash under the
+    // pool); the per-gene solves then touch disjoint stream objects and a
+    // shared immutable design, so the parallel fan-out is data-race free
+    // and bit-deterministic for any thread count.
+    std::vector<Streaming_deconvolver*> targets(records.size());
+    for (std::size_t r = 0; r < records.size(); ++r) {
+        targets[r] = &open_locked(records[r].gene);
+    }
+
+    std::vector<Stream_update> updates(records.size());
+    pool_.parallel_for(records.size(), [&](std::size_t r) {
+        const Stream_record& record = records[r];
+        Streaming_deconvolver& stream = *targets[r];
+        Stream_update& update = updates[r];
+        update.label = record.gene;
+        try {
+            stream.append(time, record.value, record.sigma);
+            update.estimate = stream.current();
+            update.converged = stream.converged();
+            update.coefficient_delta = stream.last_coefficient_delta();
+            update.score_delta = stream.last_score_delta();
+            update.order_parameter = stream.order_parameter();
+        } catch (const std::exception& e) {
+            update.error = labeled_task_error(record.gene, e);
+        }
+        update.observed = stream.observed();
+    });
+    return updates;
+}
+
+std::vector<std::string> Stream_session::labels() const {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    return order_;
+}
+
+std::size_t Stream_session::stream_count() const {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    return order_.size();
+}
+
+std::size_t Stream_session::converged_count() const {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    std::size_t count = 0;
+    for (const auto& [label, stream] : streams_) {
+        if (stream->converged()) ++count;
+    }
+    return count;
+}
+
+bool Stream_session::all_converged() const {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    std::size_t count = 0;
+    for (const auto& [label, stream] : streams_) {
+        if (stream->converged()) ++count;
+    }
+    return !streams_.empty() && count == streams_.size();
+}
+
+Stream_solve_stats Stream_session::total_stats() const {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    Stream_solve_stats total;
+    for (const auto& [label, stream] : streams_) {
+        const Stream_solve_stats& s = stream->stats();
+        total.updates += s.updates;
+        total.warm_accepts += s.warm_accepts;
+        total.cold_solves += s.cold_solves;
+    }
+    return total;
+}
+
+}  // namespace cellsync

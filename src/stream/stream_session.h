@@ -1,0 +1,132 @@
+// Session management for many concurrent gene streams.
+//
+// A monitoring run streams a whole panel: every timepoint delivers one
+// record per gene. Stream_session owns the shared machinery — the kernel
+// resolved through a Kernel_cache (simulation skipped when the protocol
+// was seen before), one immutable Design_artifacts reused by every
+// stream (the same sharing discipline as Batch_engine), and a
+// Worker_pool that fans each timepoint's per-gene updates out in
+// parallel — and a registry of named Streaming_deconvolver instances.
+//
+// Determinism: per-gene updates are independent (each stream owns its
+// state; the artifacts are immutable), results are written into
+// caller-ordered slots, and no randomness is involved, so a session
+// produces bit-identical streams for any thread count. Failures follow
+// the batch engine's contract: a gene whose update throws surfaces as a
+// labeled error in its Stream_update — never a hang, never a dropped
+// timepoint for the other genes.
+#ifndef CELLSYNC_STREAM_STREAM_SESSION_H
+#define CELLSYNC_STREAM_STREAM_SESSION_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/worker_pool.h"
+#include "population/kernel_cache.h"
+#include "stream/streaming_deconvolver.h"
+
+namespace cellsync {
+
+/// Session construction controls.
+struct Stream_session_options {
+    std::size_t basis_size = 18;      ///< Nc natural-spline knots
+    std::size_t threads = 0;          ///< worker parallelism (0 = hardware)
+    Constraint_options constraints;   ///< geometry baked into the shared design
+    Kernel_build_options kernel;      ///< Monte-Carlo controls (cache key inputs)
+    Stream_options stream;            ///< defaults for every opened stream
+};
+
+/// One gene's record within a timepoint batch.
+struct Stream_record {
+    std::string gene;
+    double value = 0.0;
+    double sigma = 1.0;
+};
+
+/// Outcome of one gene's update at one timepoint (slot order follows the
+/// records passed to append_timepoint).
+struct Stream_update {
+    std::string label;
+    std::size_t observed = 0;      ///< timepoints the stream holds after the update
+    bool converged = false;
+    double coefficient_delta = 0.0;
+    double score_delta = 0.0;
+    double order_parameter = 0.0;
+    std::optional<Single_cell_estimate> estimate;  ///< empty if the update failed
+    std::string error;  ///< labeled failure ("gene '<label>' [<type>]: <message>")
+};
+
+class Stream_session {
+  public:
+    /// Resolve the kernel for `times` through `cache` and build the shared
+    /// design. Throws whatever kernel construction / design construction
+    /// throws (std::invalid_argument on bad config or times).
+    Stream_session(const Cell_cycle_config& config, const Volume_model& volume_model,
+                   const Vector& times, Kernel_cache& cache,
+                   const Stream_session_options& options = {});
+
+    /// Adopt artifacts precomputed elsewhere (tests, custom bases).
+    Stream_session(std::shared_ptr<const Design_artifacts> artifacts,
+                   const Stream_session_options& options = {});
+
+    /// The shared design every stream solves against.
+    const Design_artifacts& artifacts() const { return *artifacts_; }
+    std::shared_ptr<const Kernel_grid> kernel() const { return kernel_; }
+    std::size_t thread_count() const { return pool_.thread_count(); }
+
+    /// Register a stream (no-op if the label is already open). Returns the
+    /// stream; it lives as long as the session (streams are never erased,
+    /// so the reference stays valid across later appends).
+    Streaming_deconvolver& open_stream(const std::string& label);
+
+    /// Registered stream, or nullptr. The registry lookup is serialized
+    /// against append_timepoint; calling into the returned stream while a
+    /// batch is updating that same stream is the caller's race to avoid.
+    Streaming_deconvolver* find_stream(const std::string& label);
+    const Streaming_deconvolver* find_stream(const std::string& label) const;
+
+    /// Apply one timepoint's records: streams named by `records` are
+    /// updated in parallel over the pool (auto-opened on first sight).
+    /// Per-gene failures land in the matching Stream_update::error; the
+    /// batch itself only throws std::invalid_argument for structural
+    /// misuse (empty batch, duplicate gene within the batch). Concurrent
+    /// calls are serialized.
+    std::vector<Stream_update> append_timepoint(double time,
+                                                const std::vector<Stream_record>& records);
+
+    /// Registered labels, in registration order.
+    std::vector<std::string> labels() const;
+    std::size_t stream_count() const;
+
+    /// Streams currently reporting a stabilized estimate.
+    std::size_t converged_count() const;
+    /// True when at least one stream is open and every stream converged.
+    bool all_converged() const;
+
+    /// Aggregate solve statistics over all streams.
+    Stream_solve_stats total_stats() const;
+
+  private:
+    /// Registry insert without locking (callers hold run_mutex_).
+    Streaming_deconvolver& open_locked(const std::string& label);
+
+    std::shared_ptr<const Design_artifacts> artifacts_;
+    std::shared_ptr<const Kernel_grid> kernel_;  // null for adopted artifacts
+    Stream_session_options options_;
+    std::map<std::string, std::unique_ptr<Streaming_deconvolver>> streams_;
+    std::vector<std::string> order_;  // registration order for labels()
+    mutable Worker_pool pool_;
+    // Guards the stream registry and serializes timepoint batches: the
+    // pool is never shared between two concurrent append_timepoint calls
+    // (same discipline as Batch_engine), and the read accessors
+    // (labels/converged_count/...) never observe the map mid-insert.
+    mutable std::mutex run_mutex_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_STREAM_STREAM_SESSION_H

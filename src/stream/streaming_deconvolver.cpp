@@ -1,0 +1,249 @@
+#include "stream/streaming_deconvolver.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "population/synchrony.h"
+
+namespace cellsync {
+
+Streaming_deconvolver::Streaming_deconvolver(
+    std::shared_ptr<const Design_artifacts> artifacts, std::string label,
+    const Stream_options& options)
+    : artifacts_(std::move(artifacts)), label_(std::move(label)), options_(options) {
+    if (!artifacts_) throw std::invalid_argument("Streaming_deconvolver: null artifacts");
+    if (options_.lambda < 0.0) {
+        throw std::invalid_argument("Streaming_deconvolver: lambda must be >= 0");
+    }
+    if (options_.convergence.stable_updates == 0) {
+        throw std::invalid_argument(
+            "Streaming_deconvolver: stable_updates must be positive");
+    }
+    if (options_.convergence.score_points < 2) {
+        throw std::invalid_argument(
+            "Streaming_deconvolver: score_points must be >= 2");
+    }
+    const std::size_t n = artifacts_->basis->size();
+    gram_ = Matrix(n, n);
+    ktwg_.assign(n, 0.0);
+
+    // Seed the reduced state with the measurement-independent part of the
+    // objective: H0 = 2 (lambda Omega + ridge I), g0 = 0.
+    const Qp_constraint_prep& prep = *artifacts_->constraint_prep;
+    const Matrix& z_basis = prep.z_basis();
+    const std::size_t nz = z_basis.cols();
+    if (nz > 0) {
+        Matrix h0 = 2.0 * (options_.lambda * artifacts_->penalty);
+        for (std::size_t i = 0; i < n; ++i) h0(i, i) += 2.0 * options_.ridge;
+        reduced_hessian_ = Matrix(nz, nz);
+        const Matrix hz = h0 * z_basis;
+        for (std::size_t i = 0; i < nz; ++i) {
+            for (std::size_t j = 0; j < nz; ++j) {
+                double s = 0.0;
+                for (std::size_t k = 0; k < n; ++k) s += z_basis(k, i) * hz(k, j);
+                reduced_hessian_(i, j) = s;
+            }
+        }
+        reduced_gradient_ = transposed_times(z_basis, h0 * prep.x_particular());
+    }
+
+    // Circularly-open scoring grid (phi = 1 aliases phi = 0 and must not
+    // be double-counted), coarse by default — see Stream_convergence. The
+    // design matrix on it turns each append's profile sampling into one
+    // small mat-vec instead of per-point basis evaluation.
+    score_phi_ = linspace(0.0, 1.0, options_.convergence.score_points + 1);
+    score_phi_.pop_back();
+    score_design_ = artifacts_->basis->design_matrix(score_phi_);
+}
+
+const Single_cell_estimate& Streaming_deconvolver::current() const {
+    if (!estimate_.has_value()) {
+        throw std::logic_error("Streaming_deconvolver: no timepoint appended yet");
+    }
+    return *estimate_;
+}
+
+Measurement_series Streaming_deconvolver::observed_series() const {
+    Measurement_series series;
+    series.label = label_;
+    series.times.assign(artifacts_->times.begin(),
+                        artifacts_->times.begin() + static_cast<std::ptrdiff_t>(observed_));
+    series.values = values_;
+    series.sigmas = sigmas_;
+    return series;
+}
+
+const Single_cell_estimate& Streaming_deconvolver::append(double time, double value,
+                                                          double sigma) {
+    if (complete()) {
+        throw std::logic_error("Streaming_deconvolver: stream '" + label_ +
+                               "' already holds the complete series");
+    }
+    const Vector& times = artifacts_->times;
+    const std::size_t m = observed_;
+    if (std::abs(time - times[m]) > 1e-9 * std::max(1.0, std::abs(times[m]))) {
+        throw std::invalid_argument(
+            "Streaming_deconvolver: stream '" + label_ + "' expected the measurement at t=" +
+            std::to_string(times[m]) + " (grid row " + std::to_string(m) + "), got t=" +
+            std::to_string(time));
+    }
+    if (!std::isfinite(value)) {
+        throw std::invalid_argument("Streaming_deconvolver: non-finite value for '" +
+                                    label_ + "'");
+    }
+    if (!(sigma > 0.0) || !std::isfinite(sigma)) {
+        throw std::invalid_argument("Streaming_deconvolver: sigma must be positive for '" +
+                                    label_ + "'");
+    }
+
+    // Rank-one update of the normal-equation state, accumulated in exactly
+    // the order weighted_gram / transposed_times would have used over the
+    // full prefix, so the assembled blocks stay bit-identical to a
+    // from-scratch build (the basis of the final-estimate bit-identity
+    // guarantee). Snapshots make a failed solve side-effect free:
+    // floating-point subtraction would not restore the old bits.
+    const Matrix gram_before = gram_;
+    const Vector ktwg_before = ktwg_;
+    const Matrix reduced_hessian_before = reduced_hessian_;
+    const Vector reduced_gradient_before = reduced_gradient_;
+    const std::size_t n = artifacts_->basis->size();
+    const Vector row = artifacts_->kernel_matrix.row(m);
+    const double w = 1.0 / (sigma * sigma);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            gram_(i, j) += w * row[i] * row[j];
+            gram_(j, i) = gram_(i, j);
+        }
+    }
+    const double wg = w * value;
+    if (wg != 0.0) {  // transposed_times skips zero entries; mirror that
+        for (std::size_t j = 0; j < n; ++j) ktwg_[j] += row[j] * wg;
+    }
+
+    // The same rank-one step in the reduced space: with kr = Z'k,
+    // delta Hr = 2 w kr kr' and delta gr = 2 w (k'x0 - G_m) kr.
+    const Qp_constraint_prep& prep = *artifacts_->constraint_prep;
+    const std::size_t nz = prep.z_basis().cols();
+    if (nz > 0) {
+        const Vector kr = transposed_times(prep.z_basis(), row);
+        for (std::size_t i = 0; i < nz; ++i) {
+            const double wi = 2.0 * w * kr[i];
+            for (std::size_t j = 0; j < nz; ++j) reduced_hessian_(i, j) += wi * kr[j];
+        }
+        const double c = 2.0 * w * (dot(row, prep.x_particular()) - value);
+        if (c != 0.0) axpy(c, kr, reduced_gradient_);
+    }
+
+    values_.push_back(value);
+    sigmas_.push_back(sigma);
+    weights_.push_back(w);
+    ++observed_;
+
+    try {
+        solve_and_package();
+    } catch (...) {
+        gram_ = gram_before;
+        ktwg_ = ktwg_before;
+        reduced_hessian_ = reduced_hessian_before;
+        reduced_gradient_ = reduced_gradient_before;
+        values_.pop_back();
+        sigmas_.pop_back();
+        weights_.pop_back();
+        --observed_;
+        throw;
+    }
+    return *estimate_;
+}
+
+void Streaming_deconvolver::solve_and_package() {
+    const std::size_t n = artifacts_->basis->size();
+    const Qp_constraint_prep& prep = *artifacts_->constraint_prep;
+    Qp_result result;
+    bool warm_used = false;
+    if (complete()) {
+        // The solve that completes the series assembles H = 2 (K'WK +
+        // lambda Omega + ridge I), g = -2 K'W G with the same expressions
+        // as Deconvolver::estimate_on_rows and runs the identical cold
+        // prepared path, so the final estimate's bits depend only on the
+        // accumulated state, never on the warm/cold history before it.
+        Matrix hessian = 2.0 * (gram_ + options_.lambda * artifacts_->penalty);
+        for (std::size_t i = 0; i < n; ++i) hessian(i, i) += 2.0 * options_.ridge;
+        Vector gradient(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) gradient[i] = -2.0 * ktwg_[i];
+        result = solve_qp_dual_prepared(hessian, gradient, prep, options_.qp);
+    } else if (prep.fully_determined()) {
+        // The equalities pin the solution; nothing varies with the data.
+        result.x = prep.x_particular();
+        result.converged = true;
+        result.iterations = 1;
+    } else {
+        // Mid-stream: solve directly on the incrementally maintained
+        // reduced problem — bounded active-set repair from the previous
+        // solve's binding rows first, cold Goldfarb-Idnani on the same
+        // reduced blocks as fallback.
+        if (options_.warm_start && !active_set_.empty()) {
+            const std::optional<Qp_result> warm = try_solve_qp_reduced_warm(
+                reduced_hessian_, reduced_gradient_, prep.reduced_inequality(),
+                prep.reduced_ineq_rhs(), active_set_, options_.qp);
+            if (warm.has_value()) {
+                result = *warm;
+                warm_used = true;
+            }
+        }
+        if (!warm_used) {
+            result = solve_qp_dual_reduced(reduced_hessian_, reduced_gradient_,
+                                           prep.reduced_inequality(),
+                                           prep.reduced_ineq_rhs(), options_.qp);
+        }
+        result.x = prep.z_basis() * result.x + prep.x_particular();
+    }
+
+    Single_cell_estimate est(artifacts_->basis, result.x);
+    est.lambda = options_.lambda;
+    est.fitted = artifacts_->kernel_matrix * est.coefficients();
+    double chi2 = 0.0;
+    for (std::size_t m = 0; m < observed_; ++m) {
+        const double r = values_[m] - est.fitted[m];
+        chi2 += weights_[m] * r * r;
+    }
+    est.chi_squared = chi2;
+    est.roughness = dot(est.coefficients(), artifacts_->penalty * est.coefficients());
+    est.objective = chi2 + options_.lambda * est.roughness;
+    est.qp_iterations = result.iterations;
+    est.active_constraints = result.active_set.size();
+
+    // Convergence bookkeeping against the previous estimate.
+    double score = 0.0;
+    try {
+        score = profile_order_parameter(score_phi_, score_design_ * est.coefficients());
+    } catch (const std::invalid_argument&) {
+        score = 0.0;  // no positive mass: treat as fully unlocalized
+    }
+    if (previous_alpha_.empty()) {
+        last_coefficient_delta_ = std::numeric_limits<double>::infinity();
+        last_score_delta_ = std::numeric_limits<double>::infinity();
+    } else {
+        const double scale = std::max(1.0, norm_inf(est.coefficients()));
+        last_coefficient_delta_ = norm_inf(est.coefficients() - previous_alpha_) / scale;
+        last_score_delta_ = std::abs(score - order_parameter_);
+    }
+    const Stream_convergence& conv = options_.convergence;
+    if (last_coefficient_delta_ <= conv.coefficient_tol &&
+        last_score_delta_ <= conv.score_tol) {
+        ++stable_count_;
+    } else {
+        stable_count_ = 0;
+    }
+    converged_ = observed_ >= conv.min_observed && stable_count_ >= conv.stable_updates;
+
+    previous_alpha_ = est.coefficients();
+    order_parameter_ = score;
+    active_set_ = result.active_set;
+    estimate_ = std::move(est);
+    ++stats_.updates;
+    if (warm_used) ++stats_.warm_accepts;
+    else ++stats_.cold_solves;
+}
+
+}  // namespace cellsync

@@ -187,5 +187,39 @@ TEST(ExperimentRunner, ValidationErrors) {
     EXPECT_THROW(run_experiment(mismatched, vm), std::invalid_argument);
 }
 
+TEST(ExperimentRunner, DuplicateConditionNamesRejected) {
+    const Smooth_volume_model vm;
+    const Measurement_series series = Measurement_series::with_unit_sigma(
+        "gene", linspace(0.0, 150.0, 11), Vector(11, 1.0));
+
+    // Two conditions under one label would silently merge their results
+    // and warm-start lambdas; the spec must be rejected before any
+    // simulation happens, with an error naming the clash.
+    Experiment_spec dup;
+    dup.conditions.resize(2);
+    dup.conditions[0].name = "wildtype";
+    dup.conditions[0].panel = {series};
+    dup.conditions[1].name = "wildtype";
+    dup.conditions[1].panel = {series};
+    try {
+        run_experiment(dup, vm);
+        FAIL() << "expected duplicate-name rejection";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate condition name 'wildtype'"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // An unnamed condition resolves to its positional label, so an
+    // explicit "condition1" colliding with it is rejected too.
+    Experiment_spec positional;
+    positional.conditions.resize(2);
+    positional.conditions[0].name = "condition1";
+    positional.conditions[0].panel = {series};
+    positional.conditions[1].name = "";  // resolves to "condition1"
+    positional.conditions[1].panel = {series};
+    EXPECT_THROW(run_experiment(positional, vm), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace cellsync

@@ -185,5 +185,115 @@ TEST(KernelCache, EmptyDirectoryRejected) {
     EXPECT_THROW(Kernel_cache(std::string{}), std::invalid_argument);
 }
 
+TEST(KernelCache, ManifestTracksEntriesBytesAndRecency) {
+    const std::string dir = fresh_dir("manifest");
+    const Smooth_volume_model vm;
+    Cell_cycle_config config;
+    Kernel_cache cache(dir);
+    cache.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    const std::string first_hash = cache.manifest().entries[0].hash;
+    config.mu_sst = 0.25;  // exactly representable: safe to grep in the key
+    cache.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+
+    Kernel_cache_manifest manifest = cache.manifest();
+    ASSERT_EQ(manifest.entries.size(), 2u);
+    EXPECT_EQ(manifest.max_bytes, 0u);
+    EXPECT_GT(manifest.total_bytes, 0u);
+    // Most recent first; keys carry the config provenance.
+    EXPECT_GT(manifest.entries[0].last_use, manifest.entries[1].last_use);
+    EXPECT_NE(manifest.entries[0].key.find("mu_sst=0.25"), std::string::npos)
+        << manifest.entries[0].key;
+    for (const Kernel_cache_entry_info& entry : manifest.entries) {
+        EXPECT_GT(entry.bytes, 0u);
+        EXPECT_NE(entry.key.find("cellsync-kernel-v1"), std::string::npos);
+    }
+
+    // A disk hit from a fresh instance bumps the entry's recency.
+    config.mu_sst = 0.15;
+    Kernel_cache reader(dir);
+    reader.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    manifest = reader.manifest();
+    ASSERT_EQ(manifest.entries.size(), 2u);
+    EXPECT_EQ(manifest.entries[0].hash, first_hash);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, LruEvictionEnforcesSizeCap) {
+    const std::string dir = fresh_dir("lru");
+    const Smooth_volume_model vm;
+    Cell_cycle_config config;
+
+    // Size one entry, then cap the cache so only one fits.
+    std::uint64_t entry_bytes = 0;
+    {
+        Kernel_cache sizing(dir);
+        sizing.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+        entry_bytes = sizing.manifest().total_bytes;
+        ASSERT_GT(entry_bytes, 0u);
+    }
+    Kernel_cache_limits limits;
+    limits.max_disk_bytes = entry_bytes + entry_bytes / 2;
+    Kernel_cache cache(dir, limits);
+
+    // Touch the first entry (disk hit), then add a second: the cap forces
+    // the older entry out.
+    cache.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    Cell_cycle_config second = config;
+    second.mu_sst = 0.25;
+    cache.get_or_build(second, vm, {0.0, 30.0}, tiny_options());
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    const Kernel_cache_manifest manifest = cache.manifest();
+    ASSERT_EQ(manifest.entries.size(), 1u);
+    EXPECT_NE(manifest.entries[0].key.find("mu_sst=0.25"), std::string::npos)
+        << "the LRU entry, not the fresh one, must be evicted";
+    EXPECT_LE(manifest.total_bytes, limits.max_disk_bytes);
+
+    // The evicted tuple is gone from disk: a fresh instance re-simulates.
+    Kernel_cache after(dir, limits);
+    after.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    EXPECT_EQ(after.stats().builds, 1u);
+    EXPECT_EQ(after.stats().disk_hits, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, OversizedEntryStillCachesBestEffort) {
+    const std::string dir = fresh_dir("oversized");
+    Kernel_cache_limits limits;
+    limits.max_disk_bytes = 1;  // smaller than any kernel
+    Kernel_cache cache(dir, limits);
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    cache.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    // The just-stored entry is exempt from its own eviction pass: caching
+    // beats thrashing when a single kernel exceeds the cap.
+    EXPECT_EQ(cache.manifest().entries.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    Kernel_cache reader(dir, limits);
+    reader.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, MissingManifestIsRebuiltFromSidecars) {
+    const std::string dir = fresh_dir("rebuild");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    {
+        Kernel_cache cache(dir);
+        cache.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    }
+    std::filesystem::remove(Kernel_cache::manifest_path(dir));
+    Kernel_cache cache(dir);
+    const Kernel_cache_manifest manifest = cache.manifest();
+    ASSERT_EQ(manifest.entries.size(), 1u);
+    EXPECT_GT(manifest.entries[0].bytes, 0u);
+    EXPECT_NE(manifest.entries[0].key.find("cellsync-kernel-v1"), std::string::npos);
+    // The rebuilt manifest still serves the disk entry.
+    cache.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace cellsync

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace cellsync {
@@ -73,6 +74,45 @@ TEST(WorkerPool, FirstExceptionPropagatesAfterDrain) {
     std::atomic<int> ok{0};
     pool.parallel_for(10, [&](std::size_t) { ++ok; });
     EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(WorkerPool, EveryTaskThrowingStillDrainsAndRethrowsExactlyOne) {
+    // The pathological end of the propagation contract: all 64 tasks
+    // throw concurrently. Exactly one exception must surface (the first
+    // recorded), every index must still have run (no hang, no abandoned
+    // slots), and the pool must stay usable — this is what guarantees a
+    // throwing per-gene task can always be turned into a labeled error by
+    // the layer above instead of taking the process down.
+    Worker_pool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    for (int round = 0; round < 5; ++round) {
+        for (auto& h : hits) h = 0;
+        EXPECT_THROW(pool.parallel_for(hits.size(),
+                                       [&](std::size_t i) {
+                                           ++hits[i];
+                                           throw std::runtime_error(
+                                               "task " + std::to_string(i));
+                                       }),
+                     std::runtime_error);
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+    std::atomic<int> ok{0};
+    pool.parallel_for(16, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(WorkerPool, NonStdExceptionPropagatesWithoutTerminate) {
+    // Tasks may throw anything; the pool must carry it across threads via
+    // exception_ptr rather than std::terminate-ing the worker.
+    Worker_pool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(8,
+                                   [&](std::size_t i) {
+                                       ++ran;
+                                       if (i == 3) throw 42;  // NOLINT
+                                   }),
+                 int);
+    EXPECT_EQ(ran.load(), 8);
 }
 
 TEST(WorkerPool, EmptyBatchIsNoOp) {

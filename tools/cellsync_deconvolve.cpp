@@ -17,39 +17,64 @@
 //              warm-started across adjacent conditions. Writes
 //              `<output stem>.<condition>.csv` per condition and prints
 //              per-condition synchrony scores.
+//   stream   Incremental deconvolution of an append-only record log
+//            (long-form CSV: time,gene,value[,sigma], rows time-ordered).
+//            Each timepoint's records update every gene's estimate
+//            in-place through the streaming engine (rank-one
+//            normal-equation update + warm-started QP re-solve); once a
+//            gene's estimate stabilizes it is reported converged, and
+//            --stop-when-converged ends the run as soon as every gene
+//            has. Requires the full time grid up front (--times or
+//            --times-from) because the kernel is simulated for the whole
+//            protocol. The final profile CSV matches a batch `run` with
+//            the same fixed --lambda bit for bit.
 //   kernel   build: simulate a kernel and write it to --output.
 //            cache: resolve a kernel through --cache-dir (build on miss,
 //            reuse on hit) — use it to pre-warm a cache shared by later
-//            runs.
+//            runs — then print the cache manifest (entries, bytes,
+//            recency). Without --times/--times-from, just prints the
+//            manifest.
 //   report   Recompute synchrony scores (order parameter, entropy, peak
-//            phase) for profile CSVs produced by `run`.
+//            phase) for profile CSVs produced by `run` / `stream`;
+//            --json PATH additionally writes a machine-readable report
+//            (per-gene scores plus the lambda recorded in the profile
+//            CSV's `# lambda:` comments).
 //
 // Legacy compatibility: invoking with options only (first argument starts
 // with `--`) behaves as `run`.
 //
 // Common options:
 //   --output PATH       profile CSV / kernel CSV destination
-//   --cache-dir DIR     disk-backed kernel cache (run, kernel cache)
+//   --cache-dir DIR     disk-backed kernel cache (run, stream, kernel cache)
+//   --cache-max-bytes N LRU size cap for --cache-dir (0 = unbounded)
 //   --kernel PATH       reuse a saved kernel (single-series run)
 //   --save-kernel PATH  persist the simulated kernel (single-series run)
 //   --cells N --bins N --seed N     simulation controls
 //   --basis N           spline knots Nc             (default 18)
-//   --lambda X          fixed smoothness weight     (default: 5-fold CV)
+//   --lambda X          fixed smoothness weight     (default: 5-fold CV
+//                       for run; 1e-3 for stream)
 //   --mu-sst X --cycle-minutes X    organism model defaults
 //   --linear-volume     use the 2009 linear volume model
 //   --no-positivity / --no-conservation / --no-rate-continuity
-//   --no-warm-start     full lambda grid for every condition
+//   --no-warm-start     run: full lambda grid for every condition;
+//                       stream: cold QP re-solve on every timepoint
 //   --bootstrap N       confidence band (single-series run only)
 //   --threads N         worker threads              (default: hardware)
-//   --times LO:HI:N | --times-from data.csv   time grid (kernel build/cache)
+//   --times LO:HI:N | --times-from data.csv   time grid (kernel, stream)
 //   --qp-backend NAME   automatic | active_set
+//   --json PATH         machine-readable report output (report)
+//   --stop-when-converged / --coef-tol X / --score-tol X
+//   --stable-updates N / --min-observed N     streaming convergence
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include <fstream>
 
 #include "core/batch_engine.h"
 #include "core/experiment_runner.h"
@@ -57,9 +82,11 @@
 #include "io/expression_data.h"
 #include "io/kernel_io.h"
 #include "io/series_writer.h"
+#include "io/stream_records.h"
 #include "population/kernel_cache.h"
 #include "population/synchrony.h"
 #include "spline/spline_basis.h"
+#include "stream/stream_session.h"
 
 namespace {
 
@@ -96,6 +123,10 @@ struct Cli_options {
     std::uint64_t seed = 20110605;
     std::size_t threads = 0;
     Qp_backend backend = Qp_backend::automatic;
+    std::string json_path;                ///< report --json destination
+    std::uint64_t cache_max_bytes = 0;    ///< LRU cap for --cache-dir
+    bool stop_when_converged = false;     ///< stream: end once all genes stabilize
+    Stream_convergence convergence;       ///< stream thresholds
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -170,6 +201,13 @@ Cli_options parse_args(int argc, char** argv, int first) {
             else if (arg == "--seed") options.seed = std::stoull(next_value(i));
             else if (arg == "--threads") options.threads = std::stoul(next_value(i));
             else if (arg == "--qp-backend") options.backend = qp_backend_from_string(next_value(i));
+            else if (arg == "--json") options.json_path = next_value(i);
+            else if (arg == "--cache-max-bytes") options.cache_max_bytes = std::stoull(next_value(i));
+            else if (arg == "--stop-when-converged") options.stop_when_converged = true;
+            else if (arg == "--coef-tol") options.convergence.coefficient_tol = std::stod(next_value(i));
+            else if (arg == "--score-tol") options.convergence.score_tol = std::stod(next_value(i));
+            else if (arg == "--stable-updates") options.convergence.stable_updates = std::stoul(next_value(i));
+            else if (arg == "--min-observed") options.convergence.min_observed = std::stoul(next_value(i));
             else usage_error("unknown option '" + arg + "'");
         } catch (const std::exception& e) {
             // stoul/stod throw invalid_argument or out_of_range; both are
@@ -214,6 +252,42 @@ Constraint_options constraints_from(const Cli_options& cli) {
     constraints.conservation = cli.conservation;
     constraints.rate_continuity = cli.rate_continuity;
     return constraints;
+}
+
+Kernel_cache_limits cache_limits_from(const Cli_options& cli) {
+    Kernel_cache_limits limits;
+    limits.max_disk_bytes = cli.cache_max_bytes;
+    return limits;
+}
+
+/// Write a profile table prefixed with `# lambda:<gene>=<value>` comment
+/// lines (skipped by the CSV reader; parsed by `report --json`), so the
+/// smoothness weight each profile was estimated with travels with it.
+void write_profiles_with_lambdas(const std::string& path, const Table& table,
+                                 const std::vector<std::pair<std::string, double>>& lambdas) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+    for (const auto& [gene, lambda] : lambdas) {
+        char buffer[48];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", lambda);
+        out << "# lambda:" << gene << "=" << buffer << "\n";
+    }
+    write_csv(out, table);
+    if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
 }
 
 /// Time grid for the kernel subcommands: LO:HI:N or a CSV's time column.
@@ -270,7 +344,7 @@ int run_single(const Cli_options& cli) {
         std::printf("kernel: loaded from %s (%zu times x %zu bins)\n",
                     cli.kernel_path.c_str(), kernel->time_count(), kernel->bin_count());
     } else if (!cli.cache_dir.empty()) {
-        Kernel_cache cache(cli.cache_dir);
+        Kernel_cache cache(cli.cache_dir, cache_limits_from(cli));
         kernel = *cache.get_or_build(config, *volume, data.times, kernel_options_from(cli));
         const Kernel_cache_stats stats = cache.stats();
         std::printf("kernel: %s via cache %s\n",
@@ -370,8 +444,11 @@ int run_experiment_mode(const Cli_options& cli) {
 
     const std::unique_ptr<Volume_model> volume = volume_from(cli);
     std::unique_ptr<Kernel_cache> cache;
-    if (!cli.cache_dir.empty()) cache = std::make_unique<Kernel_cache>(cli.cache_dir);
-    else cache = std::make_unique<Kernel_cache>();
+    if (!cli.cache_dir.empty()) {
+        cache = std::make_unique<Kernel_cache>(cli.cache_dir, cache_limits_from(cli));
+    } else {
+        cache = std::make_unique<Kernel_cache>();
+    }
 
     const Experiment_result result = run_experiment(spec, *volume, *cache);
     std::printf("kernels: %zu simulated, %zu from disk, %zu from memory%s%s\n",
@@ -390,6 +467,7 @@ int run_experiment_mode(const Cli_options& cli) {
         std::printf("  %-16s %-10s %-8s %-8s %-8s\n", "gene", "lambda", "order", "entropy",
                     "peak");
         Series_writer writer("phi", grid);
+        std::vector<std::pair<std::string, double>> lambdas;
         auto scores = condition.synchrony.begin();
         for (const Batch_entry& gene : condition.genes) {
             if (!gene.estimate.has_value()) {
@@ -398,6 +476,7 @@ int run_experiment_mode(const Cli_options& cli) {
                 continue;
             }
             writer.add(gene.label, gene.estimate->sample(grid));
+            lambdas.emplace_back(gene.label, gene.lambda);
             if (scores != condition.synchrony.end() && scores->label == gene.label) {
                 std::printf("  %-16s %-10.3e %-8.3f %-8.3f %-8.3f\n", gene.label.c_str(),
                             gene.lambda, scores->order_parameter, scores->entropy,
@@ -409,7 +488,7 @@ int run_experiment_mode(const Cli_options& cli) {
             }
         }
         const std::string path = stem + "." + condition.name + ".csv";
-        writer.write(path);
+        write_profiles_with_lambdas(path, writer.table(), lambdas);
         std::printf("  wrote %s\n", path.c_str());
     }
     return failures == 0 ? 0 : 1;
@@ -444,6 +523,128 @@ int cmd_run(const Cli_options& cli) {
 }
 
 // ---------------------------------------------------------------------------
+// stream: incremental deconvolution of an append-only record log
+// ---------------------------------------------------------------------------
+
+int cmd_stream(const Cli_options& cli) {
+    if (cli.input.empty()) {
+        usage_error("stream needs --input records.csv (append-only "
+                    "time,gene,value[,sigma] log)");
+    }
+    if (cli.bootstrap > 0) usage_error("--bootstrap applies to single-series runs only");
+    if (!cli.kernel_path.empty() || !cli.save_kernel_path.empty()) {
+        // Streaming kernels go through the cache; silently re-simulating
+        // past a user-supplied kernel file would mislead.
+        usage_error("--kernel/--save-kernel apply to single-series runs only; "
+                    "use --cache-dir for streaming");
+    }
+    if (cli.backend != Qp_backend::automatic) {
+        usage_error("--qp-backend does not apply to stream (the streaming engine always "
+                    "solves through the prepared dual / warm-start path)");
+    }
+    const Vector times = resolve_times(cli);
+
+    Stream_session_options session_options;
+    session_options.basis_size = cli.basis;
+    session_options.threads = cli.threads;
+    session_options.constraints = constraints_from(cli);
+    session_options.kernel = kernel_options_from(cli);
+    session_options.stream.lambda = cli.lambda.value_or(1e-3);
+    session_options.stream.warm_start = cli.warm_start;
+    session_options.stream.convergence = cli.convergence;
+
+    const std::unique_ptr<Volume_model> volume = volume_from(cli);
+    std::unique_ptr<Kernel_cache> cache;
+    if (!cli.cache_dir.empty()) {
+        cache = std::make_unique<Kernel_cache>(cli.cache_dir, cache_limits_from(cli));
+    } else {
+        cache = std::make_unique<Kernel_cache>();
+    }
+    Stream_session session(config_from(cli), *volume, times, *cache, session_options);
+    const Kernel_cache_stats cache_stats = cache->stats();
+    std::printf("session: %zu-point grid (t = %.0f..%.0f min), kernel %s, lambda %.3e, "
+                "%zu worker threads\n",
+                times.size(), times.front(), times.back(),
+                cache_stats.builds > 0 ? "simulated" : "from cache",
+                session_options.stream.lambda, session.thread_count());
+
+    std::ifstream in(cli.input);
+    if (!in) {
+        std::fprintf(stderr, "cellsync_deconvolve: cannot open '%s'\n", cli.input.c_str());
+        return 1;
+    }
+    Record_stream records(in);
+
+    int failures = 0;
+    bool stopped_early = false;
+    std::size_t timepoints = 0;
+    for (;;) {
+        const std::vector<Expression_record> batch = records.next_timepoint();
+        if (batch.empty()) break;
+        const double t = batch.front().time;
+        std::vector<Stream_record> updates_in;
+        updates_in.reserve(batch.size());
+        for (const Expression_record& record : batch) {
+            updates_in.push_back({record.gene, record.value, record.sigma});
+        }
+        const std::vector<Stream_update> updates = session.append_timepoint(t, updates_in);
+        ++timepoints;
+
+        double max_delta = 0.0;
+        std::size_t converged = 0;
+        for (const Stream_update& update : updates) {
+            if (!update.error.empty()) {
+                ++failures;
+                std::printf("  t=%-6.0f %s\n", t, update.error.c_str());
+                continue;
+            }
+            max_delta = std::max(max_delta, update.coefficient_delta);
+            if (update.converged) ++converged;
+        }
+        std::printf("t=%-6.0f %zu genes updated, %zu/%zu converged, max coef delta %.3e\n",
+                    t, updates.size(), converged, updates.size(),
+                    max_delta);
+        if (cli.stop_when_converged && session.all_converged()) {
+            stopped_early = true;
+            break;
+        }
+    }
+    if (timepoints == 0) {
+        std::fprintf(stderr, "cellsync_deconvolve: '%s' holds no records\n",
+                     cli.input.c_str());
+        return 1;
+    }
+    const Stream_solve_stats solve_stats = session.total_stats();
+    std::printf("%s after %zu timepoints (%zu records): %zu updates, %zu warm, %zu cold\n",
+                stopped_early ? "stopped early (all genes converged)" : "stream drained",
+                timepoints, records.record_count(), solve_stats.updates,
+                solve_stats.warm_accepts, solve_stats.cold_solves);
+
+    // Final per-gene summary + profile CSV (lambda comments included, so
+    // `report --json` can carry the smoothness weight forward).
+    const Vector grid = linspace(0.0, 1.0, 201);
+    Series_writer writer("phi", grid);
+    std::vector<std::pair<std::string, double>> lambdas;
+    std::printf("  %-16s %-9s %-10s %-8s %-10s\n", "gene", "observed", "converged",
+                "order", "lambda");
+    for (const std::string& label : session.labels()) {
+        const Streaming_deconvolver& stream = *session.find_stream(label);
+        if (!stream.has_estimate()) continue;
+        std::printf("  %-16s %zu/%-7zu %-10s %-8.3f %-10.3e\n", label.c_str(),
+                    stream.observed(), times.size(), stream.converged() ? "yes" : "no",
+                    stream.order_parameter(), stream.options().lambda);
+        writer.add(label, stream.current().sample(grid));
+        lambdas.emplace_back(label, stream.options().lambda);
+    }
+    const std::string output = cli.output.empty() ? "streamed.csv" : cli.output;
+    if (!lambdas.empty()) {
+        write_profiles_with_lambdas(output, writer.table(), lambdas);
+        std::printf("wrote %s\n", output.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
 // kernel build / kernel cache
 // ---------------------------------------------------------------------------
 
@@ -459,17 +660,49 @@ int cmd_kernel_build(const Cli_options& cli) {
     return 0;
 }
 
+void print_manifest(const Kernel_cache& cache) {
+    const Kernel_cache_manifest manifest = cache.manifest();
+    if (manifest.max_bytes > 0) {
+        std::printf("manifest: %zu entries, %.1f KiB of %.1f KiB cap\n",
+                    manifest.entries.size(),
+                    static_cast<double>(manifest.total_bytes) / 1024.0,
+                    static_cast<double>(manifest.max_bytes) / 1024.0);
+    } else {
+        std::printf("manifest: %zu entries, %.1f KiB (no size cap)\n",
+                    manifest.entries.size(),
+                    static_cast<double>(manifest.total_bytes) / 1024.0);
+    }
+    std::printf("  %-18s %10s %8s  %s\n", "entry", "bytes", "last-use", "provenance");
+    for (const Kernel_cache_entry_info& entry : manifest.entries) {
+        std::string provenance = entry.key;
+        if (const auto times = provenance.find("times="); times != std::string::npos) {
+            provenance = provenance.substr(0, times) + "times=...";
+        }
+        std::printf("  %-18s %10llu %8llu  %s\n", entry.hash.c_str(),
+                    static_cast<unsigned long long>(entry.bytes),
+                    static_cast<unsigned long long>(entry.last_use), provenance.c_str());
+    }
+}
+
 int cmd_kernel_cache(const Cli_options& cli) {
     if (cli.cache_dir.empty()) usage_error("kernel cache needs --cache-dir DIR");
+    Kernel_cache cache(cli.cache_dir, cache_limits_from(cli));
+    if (cli.times_spec.empty() && cli.times_from.empty()) {
+        // Stats-only mode: inspect the cache without touching any entry.
+        print_manifest(cache);
+        return 0;
+    }
     const Vector times = resolve_times(cli);
     const std::unique_ptr<Volume_model> volume = volume_from(cli);
-    Kernel_cache cache(cli.cache_dir);
     const auto kernel =
         cache.get_or_build(config_from(cli), *volume, times, kernel_options_from(cli));
     const Kernel_cache_stats stats = cache.stats();
     const char* source = stats.builds > 0 ? "simulated (cache miss)" : "reused from disk";
-    std::printf("%s: %zu times x %zu bins in %s\n", source, kernel->time_count(),
+    std::printf("%s: %zu times x %zu bins in %s", source, kernel->time_count(),
                 kernel->bin_count(), cli.cache_dir.c_str());
+    if (stats.evictions > 0) std::printf(" (%zu LRU evictions)", stats.evictions);
+    std::printf("\n");
+    print_manifest(cache);
     return 0;
 }
 
@@ -477,12 +710,81 @@ int cmd_kernel_cache(const Cli_options& cli) {
 // report: synchrony scores for saved profile CSVs
 // ---------------------------------------------------------------------------
 
+/// One profile's scores, as shared by the text and JSON report outputs.
+struct Profile_report {
+    std::string name;
+    bool positive_mass = false;
+    double order_parameter = 0.0;
+    double entropy = 0.0;
+    double peak_phi = 0.0;
+    std::optional<double> lambda;  ///< from the CSV's `# lambda:` comments
+};
+
+/// The `# lambda:<gene>=<value>` comment lines written by `run` and
+/// `stream` profile CSVs (absent in hand-made files — lambda is then
+/// simply omitted from the JSON).
+std::vector<std::pair<std::string, double>> read_lambda_comments(const std::string& path) {
+    std::vector<std::pair<std::string, double>> lambdas;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        constexpr const char* prefix = "# lambda:";
+        if (line.rfind(prefix, 0) != 0) continue;
+        const std::string body = line.substr(std::strlen(prefix));
+        const auto eq = body.find('=');
+        if (eq == std::string::npos || eq == 0) continue;
+        try {
+            lambdas.emplace_back(body.substr(0, eq), std::stod(body.substr(eq + 1)));
+        } catch (const std::exception&) {
+            // malformed comment: ignore, the numeric table is unaffected
+        }
+    }
+    return lambdas;
+}
+
+void write_json_report(
+    const std::string& json_path,
+    const std::vector<std::pair<std::string, std::vector<Profile_report>>>& files) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot open '" + json_path + "' for writing");
+    char buffer[48];
+    out << "{\n  \"report\": [";
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        out << (f ? ",\n    {" : "\n    {");
+        out << "\"file\": \"" << json_escape(files[f].first) << "\", \"profiles\": [";
+        const std::vector<Profile_report>& profiles = files[f].second;
+        for (std::size_t p = 0; p < profiles.size(); ++p) {
+            const Profile_report& profile = profiles[p];
+            out << (p ? ",\n      {" : "\n      {");
+            out << "\"name\": \"" << json_escape(profile.name) << "\"";
+            out << ", \"positive_mass\": " << (profile.positive_mass ? "true" : "false");
+            if (profile.positive_mass) {
+                std::snprintf(buffer, sizeof(buffer), "%.12g", profile.order_parameter);
+                out << ", \"order_parameter\": " << buffer;
+                std::snprintf(buffer, sizeof(buffer), "%.12g", profile.entropy);
+                out << ", \"entropy\": " << buffer;
+                std::snprintf(buffer, sizeof(buffer), "%.12g", profile.peak_phi);
+                out << ", \"peak_phi\": " << buffer;
+            }
+            if (profile.lambda.has_value()) {
+                std::snprintf(buffer, sizeof(buffer), "%.17g", *profile.lambda);
+                out << ", \"lambda\": " << buffer;
+            }
+            out << "}";
+        }
+        out << "\n    ]}";
+    }
+    out << "\n  ]\n}\n";
+    if (!out) throw std::runtime_error("write failed for '" + json_path + "'");
+}
+
 int cmd_report(const Cli_options& cli, const std::vector<std::string>& inputs) {
     if (inputs.empty() && cli.input.empty()) {
         usage_error("report needs profile CSVs (--input or positional paths)");
     }
     std::vector<std::string> paths = inputs;
     if (!cli.input.empty()) paths.insert(paths.begin(), cli.input);
+    std::vector<std::pair<std::string, std::vector<Profile_report>>> json_files;
     for (const std::string& path : paths) {
         const Table table = read_csv_file(path);
         if (!table.has_column("phi")) {
@@ -497,6 +799,9 @@ int cmd_report(const Cli_options& cli, const std::vector<std::string>& inputs) {
         const bool closed_grid =
             phi.size() > 2 && phi.front() == 0.0 && phi.back() == 1.0;
         if (closed_grid) phi.pop_back();
+        const std::vector<std::pair<std::string, double>> lambdas =
+            read_lambda_comments(path);
+        std::vector<Profile_report> profiles;
         std::printf("%s\n  %-16s %-8s %-8s %-8s\n", path.c_str(), "profile", "order",
                     "entropy", "peak");
         for (std::size_t c = 0; c < table.column_count(); ++c) {
@@ -504,19 +809,32 @@ int cmd_report(const Cli_options& cli, const std::vector<std::string>& inputs) {
             if (name == "phi") continue;
             Vector values = table.column(c);
             if (closed_grid) values.pop_back();
+            Profile_report profile;
+            profile.name = name;
+            for (const auto& [gene, lambda] : lambdas) {
+                if (gene == name) profile.lambda = lambda;
+            }
             try {
-                const double order = profile_order_parameter(phi, values);
-                const double entropy = profile_entropy(values);
+                profile.order_parameter = profile_order_parameter(phi, values);
+                profile.entropy = profile_entropy(values);
+                profile.positive_mass = true;
                 std::size_t peak = 0;
                 for (std::size_t i = 1; i < values.size(); ++i) {
                     if (values[i] > values[peak]) peak = i;
                 }
-                std::printf("  %-16s %-8.3f %-8.3f %-8.3f\n", name.c_str(), order, entropy,
-                            phi[peak]);
+                profile.peak_phi = phi[peak];
+                std::printf("  %-16s %-8.3f %-8.3f %-8.3f\n", name.c_str(),
+                            profile.order_parameter, profile.entropy, profile.peak_phi);
             } catch (const std::invalid_argument&) {
                 std::printf("  %-16s (no positive mass)\n", name.c_str());
             }
+            profiles.push_back(std::move(profile));
         }
+        json_files.emplace_back(path, std::move(profiles));
+    }
+    if (!cli.json_path.empty()) {
+        write_json_report(cli.json_path, json_files);
+        std::printf("wrote %s\n", cli.json_path.c_str());
     }
     return 0;
 }
@@ -524,7 +842,9 @@ int cmd_report(const Cli_options& cli, const std::vector<std::string>& inputs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) usage_error("missing subcommand (run, kernel build, kernel cache, report)");
+    if (argc < 2) {
+        usage_error("missing subcommand (run, stream, kernel build, kernel cache, report)");
+    }
     std::string command = argv[1];
     int first = 2;
     if (command.rfind("--", 0) == 0) {
@@ -534,6 +854,9 @@ int main(int argc, char** argv) {
     try {
         if (command == "run") {
             return cmd_run(parse_args(argc, argv, first));
+        }
+        if (command == "stream") {
+            return cmd_stream(parse_args(argc, argv, first));
         }
         if (command == "kernel") {
             if (argc < 3) usage_error("kernel needs a mode: build or cache");
