@@ -1,12 +1,22 @@
-// Performance: the multi-condition experiment runner with a cold vs warm
-// kernel cache. The headline comparison runs one 3-condition experiment
-// twice against the same disk cache directory: the cold pass simulates
-// every kernel, the warm pass (a fresh cache instance, so no memory
-// entries) must serve all of them from disk — zero population simulations
-// — and reproduce every per-gene coefficient bit-for-bit.
+// Performance: the multi-condition experiment runner, two headline
+// comparisons.
+//
+// 1. Cold vs warm kernel cache: one 3-condition experiment run twice
+//    against the same disk cache directory — the cold pass simulates
+//    every kernel, the warm pass (a fresh cache instance, so no memory
+//    entries) must serve all of them from disk — zero population
+//    simulations — and reproduce every per-gene coefficient bit-for-bit.
+// 2. Sequential vs pipelined schedule on a cold cache: the task-graph
+//    schedule overlaps condition k+1's kernel simulation with condition
+//    k's solves, so the pipelined wall time must come in measurably
+//    below the sequential reference while every per-gene estimate stays
+//    bit-identical (asserted by CI from this harness's JSON).
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <thread>
+#include <utility>
 
 #include "biology/gene_profiles.h"
 #include "core/experiment_runner.h"
@@ -19,15 +29,17 @@ using namespace cellsync;
 
 constexpr std::size_t conditions_count = 3;
 
-Experiment_spec make_experiment() {
+Experiment_spec make_experiment(std::size_t n_cells = 150000) {
     const Vector times = linspace(0.0, 180.0, 13);
     Experiment_spec spec;
-    spec.kernel.n_cells = 150000;
+    spec.kernel.n_cells = n_cells;
     spec.kernel.n_bins = 200;
     spec.kernel.seed = 20110605;
     spec.basis_size = 18;
     spec.batch.lambda_grid = default_lambda_grid(7, 1e-6, 1e-1);
-    spec.threads = 4;
+    // Hardware concurrency: honest scaling on any host (a fixed count
+    // oversubscribes small boxes and undersells large ones).
+    spec.threads = 0;
 
     // Three strains differing in cycle speed and transition phase, each
     // with a 4-gene panel generated through its own kernel (generation
@@ -57,6 +69,32 @@ Experiment_spec make_experiment() {
     return spec;
 }
 
+/// Count bit-identical per-gene estimates between two runs of the same
+/// spec and track the worst coefficient divergence. Scans every
+/// coefficient: max |diff| must reflect the worst divergence, not just
+/// the first one.
+void compare_genes(const Experiment_result& a, const Experiment_result& b,
+                   std::size_t& genes, std::size_t& identical, double& max_diff) {
+    for (std::size_t c = 0; c < a.conditions.size(); ++c) {
+        for (std::size_t g = 0; g < a.conditions[c].genes.size(); ++g) {
+            const Batch_entry& x = a.conditions[c].genes[g];
+            const Batch_entry& y = b.conditions[c].genes[g];
+            if (!x.estimate.has_value() || !y.estimate.has_value()) continue;
+            ++genes;
+            const Vector& cx = x.estimate->coefficients();
+            const Vector& cy = y.estimate->coefficients();
+            bool same = cx.size() == cy.size() && x.lambda == y.lambda;
+            if (cx.size() == cy.size()) {
+                for (std::size_t i = 0; i < cx.size(); ++i) {
+                    max_diff = std::max(max_diff, std::abs(cx[i] - cy[i]));
+                    if (cx[i] != cy[i]) same = false;
+                }
+            }
+            if (same) ++identical;
+        }
+    }
+}
+
 void run_cache_comparison(cellsync::bench::Bench_json& json) {
     using clock = std::chrono::steady_clock;
     const std::string dir =
@@ -84,26 +122,7 @@ void run_cache_comparison(cellsync::bench::Bench_json& json) {
     std::size_t genes = 0;
     std::size_t identical = 0;
     double max_diff = 0.0;
-    for (std::size_t c = 0; c < cold.conditions.size(); ++c) {
-        for (std::size_t g = 0; g < cold.conditions[c].genes.size(); ++g) {
-            const Batch_entry& a = cold.conditions[c].genes[g];
-            const Batch_entry& b = warm.conditions[c].genes[g];
-            if (!a.estimate.has_value() || !b.estimate.has_value()) continue;
-            ++genes;
-            const Vector& ca = a.estimate->coefficients();
-            const Vector& cb = b.estimate->coefficients();
-            bool same = ca.size() == cb.size() && a.lambda == b.lambda;
-            if (ca.size() == cb.size()) {
-                // Scan every coefficient: max |diff| must reflect the worst
-                // divergence, not just the first one.
-                for (std::size_t i = 0; i < ca.size(); ++i) {
-                    max_diff = std::max(max_diff, std::abs(ca[i] - cb[i]));
-                    if (ca[i] != cb[i]) same = false;
-                }
-            }
-            if (same) ++identical;
-        }
-    }
+    compare_genes(cold, warm, genes, identical, max_diff);
     const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
 
     std::printf("experiment: %zu conditions x 4 genes, %zu-cell kernels\n",
@@ -129,6 +148,78 @@ void run_cache_comparison(cellsync::bench::Bench_json& json) {
     json.add("experiment_max_coefficient_diff", max_diff);
 
     std::filesystem::remove_all(dir);
+}
+
+/// Sequential vs pipelined schedule on cold in-memory caches: every
+/// kernel must be simulated in both runs, so the pipelined saving is
+/// exactly the overlap of condition k+1's simulation with condition k's
+/// solves. Both schedules use hardware concurrency — the overlap is real
+/// parallelism, so on a single-core host the two times converge (the
+/// scheduler must not cost anything) while every additional core widens
+/// the gap. Min-of-`repeats` runs absorbs timer noise, and smaller kernels
+/// than the cache comparison keep this cheap enough for CI to run and
+/// assert bit-identity on every push.
+void run_schedule_comparison(cellsync::bench::Bench_json& json) {
+    using clock = std::chrono::steady_clock;
+    constexpr int repeats = 5;
+    const Smooth_volume_model volume;
+    const std::size_t cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+    Experiment_spec spec = make_experiment(60000);
+
+    Experiment_result sequential;
+    double sequential_ms = 0.0;
+    Experiment_result pipelined;
+    double pipelined_ms = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+        spec.schedule = Experiment_schedule::sequential;
+        Kernel_cache sequential_cache;
+        auto start = clock::now();
+        Experiment_result result = run_experiment(spec, volume, sequential_cache);
+        const double seq_ms =
+            std::chrono::duration<double, std::milli>(clock::now() - start).count();
+        if (rep == 0 || seq_ms < sequential_ms) sequential_ms = seq_ms;
+        if (rep == 0) sequential = std::move(result);
+
+        spec.schedule = Experiment_schedule::pipelined;
+        Kernel_cache pipelined_cache;
+        start = clock::now();
+        result = run_experiment(spec, volume, pipelined_cache);
+        const double pipe_ms =
+            std::chrono::duration<double, std::milli>(clock::now() - start).count();
+        if (rep == 0 || pipe_ms < pipelined_ms) pipelined_ms = pipe_ms;
+        if (rep == 0) pipelined = std::move(result);
+    }
+
+    std::size_t genes = 0;
+    std::size_t identical = 0;
+    double max_diff = 0.0;
+    compare_genes(sequential, pipelined, genes, identical, max_diff);
+    const double speedup = pipelined_ms > 0.0 ? sequential_ms / pipelined_ms : 0.0;
+
+    std::printf("schedule: %zu conditions x 4 genes, cold caches, %zu hardware threads, "
+                "min of %d\n",
+                conditions_count, cores, repeats);
+    std::printf("  sequential (reference) : %9.1f ms (%zu kernel builds)\n", sequential_ms,
+                sequential.cache_stats.builds);
+    std::printf("  pipelined (task graph) : %9.1f ms (%zu kernel builds)\n", pipelined_ms,
+                pipelined.cache_stats.builds);
+    std::printf("  speedup                : %9.2fx\n", speedup);
+    if (cores == 1) {
+        std::printf("  (single-core host: kernel/solve overlap needs a second core; "
+                    "expect parity here and a widening gap per added core)\n");
+    }
+    std::printf("  identical genes        : %zu/%zu (max |diff| %.3e)\n\n", identical,
+                genes, max_diff);
+
+    json.add("pipeline_sequential_cold_ms", sequential_ms);
+    json.add("pipeline_pipelined_cold_ms", pipelined_ms);
+    json.add("pipeline_speedup", speedup);
+    json.add("pipeline_hardware_threads", static_cast<double>(cores));
+    json.add("pipeline_builds", static_cast<double>(pipelined.cache_stats.builds));
+    json.add("pipeline_identical_genes", static_cast<double>(identical));
+    json.add("pipeline_total_genes", static_cast<double>(genes));
+    json.add("pipeline_max_coefficient_diff", max_diff);
 }
 
 Kernel_build_options micro_options() {
@@ -186,16 +277,24 @@ BENCHMARK(bm_cache_cold_build)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
     cellsync::bench::Bench_json json("experiment");
-    // The cache comparison is the expensive part; skip it when the caller
-    // narrowed the run to micro-benchmarks.
-    bool want_comparison = true;
+    // The comparisons are the expensive part; a --benchmark_filter
+    // narrows the run: one lacking "experiment" skips the cache
+    // comparison, one lacking "pipeline" skips the schedule comparison
+    // (CI uses 'bm_cache_memory_hit' for micro-only smoke and
+    // 'pipeline_comparison_only' for the schedule bit-identity smoke).
+    bool want_cache_comparison = true;
+    bool want_schedule_comparison = true;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--benchmark_filter", 0) == 0 &&
-            arg.find("experiment") == std::string::npos) {
-            want_comparison = false;
+        if (arg.rfind("--benchmark_filter", 0) == 0) {
+            want_cache_comparison = arg.find("experiment") != std::string::npos;
+            want_schedule_comparison = arg.find("pipeline") != std::string::npos;
         }
     }
-    if (want_comparison) run_cache_comparison(json);
+    // Schedule comparison first: it is the tighter measurement (min of
+    // repeats on ~100 ms runs) and deserves the fresh process, before the
+    // 150k-cell cache comparison grows the allocator.
+    if (want_schedule_comparison) run_schedule_comparison(json);
+    if (want_cache_comparison) run_cache_comparison(json);
     return cellsync::bench::run_perf_harness(argc, argv, std::move(json));
 }

@@ -49,6 +49,16 @@ std::string exception_type_name(const std::exception& e);
 /// failure string stored in Batch_entry::error and Stream_update::error.
 std::string labeled_task_error(const std::string& label, const std::exception& e);
 
+/// Normalize batch options against a design: pin the constraint geometry
+/// to the artifacts' (so the design's cached constraint blocks are always
+/// the ones used) and resolve an empty lambda_grid to
+/// default_lambda_grid(). Batch_engine::run_with_grids and the pipelined
+/// experiment runner both normalize through this before spawning per-gene
+/// tasks, so their per-gene inputs — and therefore results — are
+/// identical by construction.
+Batch_options resolve_batch_options(const Design_artifacts& artifacts,
+                                    const Batch_options& options);
+
 /// Deconvolve one series: per-gene lambda CV (when enabled) plus the
 /// constrained estimate. Failures land in the entry's `error` instead of
 /// throwing — this is the task the serial runner and the parallel engine

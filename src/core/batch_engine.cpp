@@ -34,16 +34,16 @@ std::vector<Batch_entry> Batch_engine::run_with_grids(
     if (grids.size() != panel.size()) {
         throw std::invalid_argument("Batch_engine: one lambda grid per series required");
     }
-    Batch_options effective = options;
-    effective.deconvolution = aligned(options.deconvolution);
-    const Vector shared_grid =
-        effective.lambda_grid.empty() ? default_lambda_grid() : effective.lambda_grid;
+    // The same normalization + per-gene task the pipelined experiment
+    // runner spawns as task-graph nodes: results are identical by
+    // construction whichever pool executes them.
+    const Batch_options resolved = resolve_batch_options(artifacts(), options);
 
     std::vector<Batch_entry> out(panel.size());
     const std::lock_guard<std::mutex> run_lock(run_mutex_);
     pool_.parallel_for(panel.size(), [&](std::size_t g) {
-        const Vector& grid = grids[g].empty() ? shared_grid : grids[g];
-        out[g] = deconvolve_one(deconvolver_, panel[g], grid, effective);
+        const Vector& grid = grids[g].empty() ? resolved.lambda_grid : grids[g];
+        out[g] = deconvolve_one(deconvolver_, panel[g], grid, resolved);
     });
     return out;
 }

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 
+#include "core/batch.h"
+#include "core/task_graph.h"
+#include "core/worker_pool.h"
 #include "population/synchrony.h"
 #include "spline/spline_basis.h"
 
@@ -68,20 +72,76 @@ Vector warm_grid(double center, std::size_t points, double decades) {
                                center * std::pow(10.0, decades));
 }
 
-}  // namespace
-
-Experiment_result run_experiment(const Experiment_spec& spec,
-                                 const Volume_model& volume_model, Kernel_cache& cache) {
-    validate_spec(spec);
-
-    // Profiles are scored on the first 200 points of the standard 201-point
-    // output grid — phi = 0, 0.005, ..., 0.995. Dropping the phi = 1
-    // sample keeps the grid circularly open (phi = 0 and 1 are the same
-    // angle and must not be double-counted), and using the output grid's
-    // own points lets `cellsync_deconvolve report` reproduce these scores
-    // exactly from a saved profile CSV.
+/// Profiles are scored on the first 200 points of the standard 201-point
+/// output grid — phi = 0, 0.005, ..., 0.995. Dropping the phi = 1 sample
+/// keeps the grid circularly open (phi = 0 and 1 are the same angle and
+/// must not be double-counted), and using the output grid's own points
+/// lets `cellsync_deconvolve report` reproduce these scores exactly from
+/// a saved profile CSV.
+Vector make_score_phi() {
     Vector score_phi = linspace(0.0, 1.0, 201);
     score_phi.pop_back();
+    return score_phi;
+}
+
+/// Per-gene warm-started lambda grids for condition `c`: narrowed around
+/// each gene's selection in the most recent condition where it succeeded
+/// (empty grid = fall back to the shared grid). Shared verbatim by both
+/// schedules so their per-gene inputs are identical.
+std::vector<Vector> warm_grids_for(const Experiment_spec& spec, std::size_t c,
+                                   const std::map<std::string, double>& previous_lambda) {
+    const Experiment_condition& condition = spec.conditions[c];
+    std::vector<Vector> grids(condition.panel.size());
+    if (spec.warm_start_lambda && spec.batch.select_lambda && c > 0) {
+        for (std::size_t g = 0; g < condition.panel.size(); ++g) {
+            const auto it = previous_lambda.find(condition.panel[g].label);
+            if (it != previous_lambda.end()) {
+                grids[g] = warm_grid(it->second, spec.warm_grid_points,
+                                     spec.warm_grid_decades);
+            }
+        }
+    }
+    return grids;
+}
+
+/// Record the condition's selected lambdas (feeding later conditions'
+/// warm starts) and score every successful profile's synchrony.
+void score_condition(Condition_result& out, const Vector& score_phi,
+                     std::map<std::string, double>& previous_lambda) {
+    for (const Batch_entry& entry : out.genes) {
+        if (entry.estimate.has_value()) previous_lambda[entry.label] = entry.lambda;
+    }
+
+    for (const Batch_entry& entry : out.genes) {
+        if (!entry.estimate.has_value()) continue;
+        const Vector values = entry.estimate->sample(score_phi);
+        Gene_synchrony scores;
+        scores.label = entry.label;
+        try {
+            scores.order_parameter = profile_order_parameter(score_phi, values);
+            scores.entropy = profile_entropy(values);
+        } catch (const std::invalid_argument&) {
+            continue;  // no positive mass: synchrony is undefined, skip
+        }
+        const auto peak = std::max_element(values.begin(), values.end());
+        scores.peak_phi = score_phi[static_cast<std::size_t>(peak - values.begin())];
+        out.synchrony.push_back(std::move(scores));
+    }
+    if (!out.synchrony.empty()) {
+        for (const Gene_synchrony& s : out.synchrony) {
+            out.mean_order_parameter += s.order_parameter;
+            out.mean_entropy += s.entropy;
+        }
+        const double n = static_cast<double>(out.synchrony.size());
+        out.mean_order_parameter /= n;
+        out.mean_entropy /= n;
+    }
+}
+
+/// The reference schedule: condition k completes before k+1 starts.
+Experiment_result run_sequential(const Experiment_spec& spec,
+                                 const Volume_model& volume_model, Kernel_cache& cache) {
+    const Vector score_phi = make_score_phi();
 
     Experiment_result result;
     result.conditions.reserve(spec.conditions.size());
@@ -114,51 +174,138 @@ Experiment_result run_experiment(const Experiment_spec& spec,
         }
         const Batch_engine& engine = *engine_slot;
 
-        std::vector<Vector> grids(condition.panel.size());
-        if (spec.warm_start_lambda && spec.batch.select_lambda && c > 0) {
-            for (std::size_t g = 0; g < condition.panel.size(); ++g) {
-                const auto it = previous_lambda.find(condition.panel[g].label);
-                if (it != previous_lambda.end()) {
-                    grids[g] = warm_grid(it->second, spec.warm_grid_points,
-                                         spec.warm_grid_decades);
-                }
-            }
-        }
-        out.genes = engine.run_with_grids(condition.panel, grids, spec.batch);
-
-        for (const Batch_entry& entry : out.genes) {
-            if (entry.estimate.has_value()) previous_lambda[entry.label] = entry.lambda;
-        }
-
-        for (const Batch_entry& entry : out.genes) {
-            if (!entry.estimate.has_value()) continue;
-            const Vector values = entry.estimate->sample(score_phi);
-            Gene_synchrony scores;
-            scores.label = entry.label;
-            try {
-                scores.order_parameter = profile_order_parameter(score_phi, values);
-                scores.entropy = profile_entropy(values);
-            } catch (const std::invalid_argument&) {
-                continue;  // no positive mass: synchrony is undefined, skip
-            }
-            const auto peak = std::max_element(values.begin(), values.end());
-            scores.peak_phi = score_phi[static_cast<std::size_t>(peak - values.begin())];
-            out.synchrony.push_back(std::move(scores));
-        }
-        if (!out.synchrony.empty()) {
-            for (const Gene_synchrony& s : out.synchrony) {
-                out.mean_order_parameter += s.order_parameter;
-                out.mean_entropy += s.entropy;
-            }
-            const double n = static_cast<double>(out.synchrony.size());
-            out.mean_order_parameter /= n;
-            out.mean_entropy /= n;
-        }
-
+        out.genes = engine.run_with_grids(condition.panel,
+                                          warm_grids_for(spec, c, previous_lambda),
+                                          spec.batch);
+        score_condition(out, score_phi, previous_lambda);
         result.conditions.push_back(std::move(out));
     }
+    return result;
+}
 
-    result.cache_stats = cache.stats();
+/// The pipelined schedule: one Task_graph per run, executed by one
+/// Worker_pool. Per condition c —
+///
+///   kernel_c ──► prep_c ──► solve_c (one task per gene) ──► score_c
+///                  ▲                                           │
+///                  └──────────── score_{c-1} ◄─────────────────┘
+///
+/// Every kernel node is a root (async cache requests were issued up
+/// front, duplicates already joined in flight), so kernel simulation of
+/// condition k+1 runs while condition k's solves drain. The prep/score
+/// chain carries the warm-start state exactly as the sequential
+/// schedule does, which is why the two are bit-identical.
+Experiment_result run_pipelined(const Experiment_spec& spec,
+                                const Volume_model& volume_model, Kernel_cache& cache) {
+    const std::size_t n = spec.conditions.size();
+    const Vector score_phi = make_score_phi();
+
+    Experiment_result result;
+    result.conditions.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        result.conditions[c].name = resolved_condition_name(spec.conditions[c], c);
+    }
+
+    // Issue every condition's kernel request up front, in condition order
+    // on this thread: distinct keys become independently runnable build
+    // nodes, repeated keys join the first request's in-flight resolution
+    // — so the cache counters match the sequential schedule exactly.
+    std::vector<Kernel_cache::Async_request> requests;
+    requests.reserve(n);
+    for (const Experiment_condition& condition : spec.conditions) {
+        requests.push_back(cache.get_or_build_async(condition.cell_cycle, volume_model,
+                                                    condition.panel.front().times,
+                                                    spec.kernel));
+    }
+
+    /// Solve inputs produced by prep_c, consumed by solve_c's gene tasks.
+    struct Condition_work {
+        std::shared_ptr<const Deconvolver> deconvolver;
+        Batch_options resolved;
+        std::vector<Vector> grids;
+    };
+    std::vector<Condition_work> work(n);
+    std::map<std::string, double> previous_lambda;
+    // Same design sharing as the sequential engines map; only prep nodes
+    // touch it, and those are chained, so no synchronization is needed.
+    std::map<const Kernel_grid*, std::shared_ptr<const Design_artifacts>> designs;
+
+    Task_graph graph;
+    std::vector<Task_graph::Node_id> kernel_nodes(n);
+    std::vector<Task_graph::Node_id> score_nodes(n);
+    // Kernel nodes first: they get threads first when several nodes are
+    // ready, which is right — they are the long poles being hidden.
+    for (std::size_t c = 0; c < n; ++c) {
+        kernel_nodes[c] = graph.add_node(
+            "kernel:" + result.conditions[c].name, 1,
+            [&result, &requests, c](std::size_t) {
+                result.conditions[c].kernel = requests[c].get();
+            });
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+        std::vector<Task_graph::Node_id> prep_deps = {kernel_nodes[c]};
+        if (c > 0) prep_deps.push_back(score_nodes[c - 1]);
+        const Task_graph::Node_id prep = graph.add_node(
+            "prep:" + result.conditions[c].name, 1,
+            [&spec, &result, &work, &designs, &previous_lambda, c](std::size_t) {
+                Condition_result& out = result.conditions[c];
+                std::shared_ptr<const Design_artifacts>& design =
+                    designs[out.kernel.get()];
+                if (!design) {
+                    design = make_design_artifacts(
+                        std::make_shared<Natural_spline_basis>(spec.basis_size),
+                        *out.kernel, spec.conditions[c].cell_cycle,
+                        spec.batch.deconvolution.constraints);
+                }
+                work[c].deconvolver = std::make_shared<const Deconvolver>(design);
+                work[c].resolved = resolve_batch_options(*design, spec.batch);
+                work[c].grids = warm_grids_for(spec, c, previous_lambda);
+                out.genes.resize(spec.conditions[c].panel.size());
+            },
+            std::move(prep_deps));
+        const Task_graph::Node_id solve = graph.add_node(
+            "solve:" + result.conditions[c].name, spec.conditions[c].panel.size(),
+            [&spec, &result, &work, c](std::size_t g) {
+                const Condition_work& w = work[c];
+                const Vector& grid =
+                    w.grids[g].empty() ? w.resolved.lambda_grid : w.grids[g];
+                result.conditions[c].genes[g] = deconvolve_one(
+                    *w.deconvolver, spec.conditions[c].panel[g], grid, w.resolved);
+            },
+            {prep});
+        score_nodes[c] = graph.add_node(
+            "score:" + result.conditions[c].name, 1,
+            [&result, &score_phi, &previous_lambda, c](std::size_t) {
+                score_condition(result.conditions[c], score_phi, previous_lambda);
+            },
+            {solve});
+    }
+
+    Worker_pool pool(spec.threads);
+    pool.run(graph);
+    return result;
+}
+
+/// FNV-1a 64-bit over a gene label — the shard assignment hash.
+std::uint64_t label_hash(const std::string& label) {
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const unsigned char c : label) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+}  // namespace
+
+Experiment_result run_experiment(const Experiment_spec& spec,
+                                 const Volume_model& volume_model, Kernel_cache& cache) {
+    validate_spec(spec);
+    const Kernel_cache_stats before = cache.stats();
+    Experiment_result result = spec.schedule == Experiment_schedule::sequential
+                                   ? run_sequential(spec, volume_model, cache)
+                                   : run_pipelined(spec, volume_model, cache);
+    result.cache_stats = cache.stats() - before;
     return result;
 }
 
@@ -166,6 +313,38 @@ Experiment_result run_experiment(const Experiment_spec& spec,
                                  const Volume_model& volume_model) {
     Kernel_cache cache;
     return run_experiment(spec, volume_model, cache);
+}
+
+Experiment_spec shard_experiment(const Experiment_spec& spec, std::size_t shards,
+                                 std::size_t shard_index) {
+    if (shards == 0) {
+        throw std::invalid_argument("shard_experiment: shards must be >= 1");
+    }
+    if (shard_index >= shards) {
+        throw std::invalid_argument("shard_experiment: shard_index " +
+                                    std::to_string(shard_index) + " out of range for " +
+                                    std::to_string(shards) + " shards");
+    }
+    if (shards == 1) return spec;
+    Experiment_spec out = spec;
+    out.conditions.clear();
+    for (std::size_t c = 0; c < spec.conditions.size(); ++c) {
+        const Experiment_condition& condition = spec.conditions[c];
+        Experiment_condition kept = condition;
+        // Pin the unsharded run's resolved name: dropping a fully
+        // filtered condition shifts positions, and a positional
+        // "conditionN" label that differed between shards would let
+        // merge-results silently combine two different conditions.
+        kept.name = resolved_condition_name(condition, c);
+        kept.panel.clear();
+        for (const Measurement_series& series : condition.panel) {
+            if (label_hash(series.label) % shards == shard_index) {
+                kept.panel.push_back(series);
+            }
+        }
+        if (!kept.panel.empty()) out.conditions.push_back(std::move(kept));
+    }
+    return out;
 }
 
 }  // namespace cellsync

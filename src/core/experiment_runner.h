@@ -7,13 +7,26 @@
 // orchestration layer for that workload: per condition it obtains the
 // kernel through a Kernel_cache (simulation is skipped whenever the
 // (config, volume model, times, options) tuple was seen before, in memory
-// or on disk), fans every (condition x gene) solve onto a Batch_engine
-// sharing one Design_artifacts per kernel, warm-starts lambda selection
-// from the previous condition's per-gene choices, and scores each
-// reconstructed profile's synchrony (order parameter / entropy).
+// or on disk), fans every (condition x gene) solve over one shared
+// Design_artifacts per kernel, warm-starts lambda selection from the
+// previous condition's per-gene choices, and scores each reconstructed
+// profile's synchrony (order parameter / entropy).
+//
+// Two schedules produce bit-identical results. The sequential schedule
+// finishes condition k entirely before touching k+1. The pipelined
+// schedule (default) expresses the run as a Task_graph on one
+// Worker_pool — per condition a kernel node, a prep node (warm grids),
+// a per-gene solve batch, and a scoring node — where only the stages
+// that truly depend on each other are ordered: kernel simulation of
+// condition k+1 (an async Kernel_cache request) overlaps the solves of
+// condition k, which is where a cold multi-condition run spends its
+// serial time. For panels too large for one machine, shard_experiment
+// splits the gene panels deterministically across processes; per-shard
+// outputs merge losslessly (`cellsync_deconvolve merge-results`).
 //
 // Results are deterministic for a fixed spec: identical whether kernels
-// were simulated or served from cache, and for any thread count.
+// were simulated or served from cache, for any thread count, and for
+// either schedule.
 #ifndef CELLSYNC_CORE_EXPERIMENT_RUNNER_H
 #define CELLSYNC_CORE_EXPERIMENT_RUNNER_H
 
@@ -35,13 +48,28 @@ struct Experiment_condition {
     std::vector<Measurement_series> panel;
 };
 
+/// How run_experiment orders the work. Both schedules are bit-identical;
+/// they differ only in wall-clock shape.
+enum class Experiment_schedule {
+    /// Condition k completes (kernel, solves, scores) before condition
+    /// k+1 starts — the historical path, kept as the reference.
+    sequential,
+    /// Task-graph execution on one worker pool: all conditions' kernel
+    /// resolutions start immediately (deduplicated via
+    /// Kernel_cache::get_or_build_async), overlapping the per-gene solve
+    /// chain, which stays ordered only by its true dependencies (warm
+    /// starts flow from condition k to k+1).
+    pipelined,
+};
+
 /// Complete description of a multi-condition experiment.
 struct Experiment_spec {
     std::vector<Experiment_condition> conditions;
     Kernel_build_options kernel;  ///< Monte-Carlo controls shared by all conditions
     std::size_t basis_size = 18;  ///< Nc natural-spline knots
     Batch_options batch;          ///< deconvolution, lambda grid, CV controls
-    std::size_t threads = 0;      ///< Batch_engine parallelism (0 = hardware)
+    std::size_t threads = 0;      ///< worker parallelism (0 = hardware)
+    Experiment_schedule schedule = Experiment_schedule::pipelined;
     /// Narrow each gene's lambda grid around the same gene's selection in
     /// the previous condition (adjacent conditions share biology, so the
     /// optimal smoothness rarely moves far). Genes absent or failed in the
@@ -76,8 +104,9 @@ struct Condition_result {
 /// Whole-experiment outcome.
 struct Experiment_result {
     std::vector<Condition_result> conditions;
-    /// The cache's counters after the run (cumulative over the cache's
-    /// lifetime; diff against a pre-run snapshot for per-run numbers).
+    /// Cache activity attributable to this run: the runner snapshots the
+    /// cache's counters on entry and reports the difference, so reusing
+    /// one long-lived cache across runs never inflates a run's numbers.
     Kernel_cache_stats cache_stats;
 };
 
@@ -95,6 +124,20 @@ Experiment_result run_experiment(const Experiment_spec& spec,
 /// sharing a configuration still share one simulation within the run).
 Experiment_result run_experiment(const Experiment_spec& spec,
                                  const Volume_model& volume_model);
+
+/// Deterministic gene-level shard of an experiment for process-level
+/// fan-out (`run --shards N --shard-index i` on the CLI): keeps, in
+/// every condition, exactly the genes whose label hashes (FNV-1a) to
+/// `shard_index` modulo `shards`, and drops conditions left with an
+/// empty panel. The same label lands in the same shard in every
+/// condition, so each gene's lambda warm-start chain is preserved
+/// intact — every kept gene's estimate is bit-identical to its estimate
+/// in the unsharded run, and per-shard outputs merge losslessly. A
+/// shard may end up with zero conditions (more shards than genes);
+/// callers should treat that as "nothing to do", not an error. Throws
+/// std::invalid_argument if shards == 0 or shard_index >= shards.
+Experiment_spec shard_experiment(const Experiment_spec& spec, std::size_t shards,
+                                 std::size_t shard_index);
 
 }  // namespace cellsync
 

@@ -1,0 +1,31 @@
+#include "core/task_graph.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cellsync {
+
+Task_graph::Node_id Task_graph::add_node(std::string name, std::size_t count, Task task,
+                                         std::vector<Node_id> deps) {
+    const Node_id id = nodes_.size();
+    for (const Node_id dep : deps) {
+        if (dep >= id) {
+            throw std::invalid_argument("Task_graph: node '" + name +
+                                        "' depends on node " + std::to_string(dep) +
+                                        " which has not been added yet (dependencies "
+                                        "must point backwards)");
+        }
+    }
+    Node node;
+    node.name = std::move(name);
+    node.count = count;
+    node.task = std::move(task);
+    node.deps = std::move(deps);
+    nodes_.push_back(std::move(node));
+    for (const Node_id dep : nodes_.back().deps) {
+        nodes_[dep].dependents.push_back(id);
+    }
+    return id;
+}
+
+}  // namespace cellsync

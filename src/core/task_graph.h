@@ -1,0 +1,62 @@
+// A small dependency graph of batched tasks for the worker pool.
+//
+// The pool's original primitive — one blocking parallel_for at a time —
+// bakes a strictly sequential phase structure into every layer above it:
+// an experiment cannot start simulating condition k+1's kernel while
+// condition k's solves are still draining, even though the two touch
+// disjoint state. A Task_graph removes that constraint without giving up
+// the pool's determinism contract: a graph is a set of *nodes*, each an
+// indexed batch of `count` tasks (the same unit parallel_for runs), with
+// edges declaring which nodes must fully complete before another may
+// start. Worker_pool::run executes every node whose dependencies are
+// satisfied, claiming (node, index) pairs with the same index-slotted
+// scheme as parallel_for — task(i) writes into slot i of pre-sized
+// storage — so results are bit-identical for any thread count and any
+// interleaving of ready nodes.
+//
+// Cycles are impossible by construction: a node may only depend on nodes
+// that were added before it (add_node returns ids in insertion order and
+// validates every edge points backwards).
+#ifndef CELLSYNC_CORE_TASK_GRAPH_H
+#define CELLSYNC_CORE_TASK_GRAPH_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cellsync {
+
+class Task_graph {
+  public:
+    /// One indexed task of a node; i is in [0, count) and the body must be
+    /// deterministic given i (write only into slot i of pre-sized state).
+    using Task = std::function<void(std::size_t)>;
+    using Node_id = std::size_t;
+
+    /// Add a node of `count` indexed tasks that may start once every node
+    /// in `deps` has completed. `count` 0 is a valid pure barrier (no
+    /// tasks, completes as soon as its dependencies do). Throws
+    /// std::invalid_argument if a dependency id has not been added yet —
+    /// which also makes cycles unrepresentable. Returns the node's id.
+    Node_id add_node(std::string name, std::size_t count, Task task,
+                     std::vector<Node_id> deps = {});
+
+    std::size_t node_count() const { return nodes_.size(); }
+    const std::string& name(Node_id id) const { return nodes_[id].name; }
+
+  private:
+    friend class Worker_pool;
+    struct Node {
+        std::string name;
+        std::size_t count = 0;
+        Task task;
+        std::vector<Node_id> deps;
+        std::vector<Node_id> dependents;  ///< reverse edges, filled by add_node
+    };
+    std::vector<Node> nodes_;
+};
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_CORE_TASK_GRAPH_H

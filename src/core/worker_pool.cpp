@@ -20,80 +20,148 @@ Worker_pool::~Worker_pool() {
         stopping_ = true;
     }
     start_cv_.notify_all();
+    work_cv_.notify_all();
     for (std::thread& worker : workers_) worker.join();
 }
 
 void Worker_pool::worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
-        const std::function<void(std::size_t)>* task = nullptr;
-        std::size_t count = 0;
+        const Task_graph* graph = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
             if (stopping_) return;
             seen = generation_;
-            task = task_;
-            count = count_;
+            graph = graph_;
         }
-        // task_ is cleared once its batch fully drained; a worker waking
-        // that late just goes back to sleep until the next batch.
-        if (task == nullptr) continue;
-        drain(*task, count, seen);
+        // graph_ is cleared once its run fully drained; a worker waking
+        // that late just goes back to sleep until the next run.
+        if (graph == nullptr) continue;
+        drain(*graph, seen);
     }
 }
 
-void Worker_pool::drain(const std::function<void(std::size_t)>& task, std::size_t count,
-                        std::uint64_t generation) {
-    for (;;) {
-        std::size_t index = 0;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            // The generation check guards against a worker that observed
-            // this batch but was descheduled until after the batch drained
-            // and a new one started: its task reference is dangling and
-            // next_/completed_ belong to the new batch.
-            if (generation_ != generation || next_ >= count) return;
-            index = next_++;
-        }
-        try {
-            task(index);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!first_error_) first_error_ = std::current_exception();
-        }
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (++completed_ == count) done_cv_.notify_all();
+void Worker_pool::make_ready(const Task_graph& graph, std::size_t id) {
+    states_[id].ready = true;
+    // A pure barrier has no indices to claim; it completes the moment its
+    // dependencies do (resolve_node cascades to its dependents).
+    if (graph.nodes_[id].count == 0) resolve_node(graph, id);
+}
+
+void Worker_pool::resolve_node(const Task_graph& graph, std::size_t id) {
+    Node_state& state = states_[id];
+    state.resolved = true;
+    ++resolved_count_;
+    const bool poisons = state.failed || state.cancelled;
+    for (const std::size_t dependent : graph.nodes_[id].dependents) {
+        Node_state& ds = states_[dependent];
+        if (poisons) ds.cancelled = true;
+        if (--ds.waiting_deps == 0) {
+            if (ds.cancelled) {
+                // Cancelled nodes never run: resolve immediately so the
+                // poison propagates transitively and the run can finish.
+                resolve_node(graph, dependent);
+            } else {
+                make_ready(graph, dependent);
+            }
         }
     }
+    if (resolved_count_ == states_.size()) done_cv_.notify_all();
+    // New ready nodes (or run completion) may unblock waiting drainers.
+    work_cv_.notify_all();
+}
+
+void Worker_pool::drain(const Task_graph& graph, std::uint64_t generation) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // The generation check guards against a worker that observed this
+        // run but was descheduled until after it drained and a new one
+        // started: its graph reference is dangling and states_ belong to
+        // the new run. (When the generation still matches and nodes remain
+        // unresolved, the run is live and the graph is valid.)
+        if (generation_ != generation || stopping_) return;
+        if (resolved_count_ == states_.size()) return;
+
+        // Claim lowest-node-id first among ready nodes with unclaimed
+        // indices. Results never depend on the claim order — every index
+        // writes its own slot — only wall-clock does.
+        std::size_t id = states_.size();
+        for (std::size_t n = 0; n < states_.size(); ++n) {
+            if (states_[n].ready && !states_[n].resolved &&
+                states_[n].next < graph.nodes_[n].count) {
+                id = n;
+                break;
+            }
+        }
+        if (id == states_.size()) {
+            // Nothing claimable right now: wait for a node to become
+            // ready or the run to finish (the loop re-checks both).
+            work_cv_.wait(lock);
+            continue;
+        }
+
+        const std::size_t index = states_[id].next++;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            graph.nodes_[id].task(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error) {
+            if (!first_error_) first_error_ = error;
+            states_[id].failed = true;
+        }
+        if (++states_[id].completed == graph.nodes_[id].count) {
+            resolve_node(graph, id);
+        }
+    }
+}
+
+void Worker_pool::run(const Task_graph& graph) {
+    if (graph.node_count() == 0) return;
+    std::uint64_t generation = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        graph_ = &graph;
+        states_.assign(graph.node_count(), Node_state{});
+        resolved_count_ = 0;
+        first_error_ = nullptr;
+        generation = ++generation_;
+        for (std::size_t id = 0; id < graph.nodes_.size(); ++id) {
+            states_[id].waiting_deps = graph.nodes_[id].deps.size();
+        }
+        // Roots are ready immediately. make_ready may cascade through
+        // barrier chains, so seed waiting_deps for every node first.
+        for (std::size_t id = 0; id < graph.nodes_.size(); ++id) {
+            if (graph.nodes_[id].deps.empty() && !states_[id].ready &&
+                !states_[id].resolved) {
+                make_ready(graph, id);
+            }
+        }
+    }
+    start_cv_.notify_all();
+    drain(graph, generation);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return resolved_count_ == states_.size(); });
+        error = first_error_;
+        first_error_ = nullptr;
+        graph_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
 }
 
 void Worker_pool::parallel_for(std::size_t count,
                                const std::function<void(std::size_t)>& task) {
     if (count == 0) return;
-    std::uint64_t generation = 0;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        task_ = &task;
-        count_ = count;
-        next_ = 0;
-        completed_ = 0;
-        first_error_ = nullptr;
-        generation = ++generation_;
-    }
-    start_cv_.notify_all();
-    drain(task, count, generation);
-
-    std::exception_ptr error;
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] { return completed_ == count_; });
-        error = first_error_;
-        first_error_ = nullptr;
-        task_ = nullptr;
-    }
-    if (error) std::rethrow_exception(error);
+    Task_graph graph;
+    graph.add_node("parallel_for", count, [&task](std::size_t i) { task(i); });
+    run(graph);
 }
 
 }  // namespace cellsync

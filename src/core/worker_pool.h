@@ -1,10 +1,15 @@
-// A small std::thread worker pool for the batch deconvolution engine.
+// A std::thread worker pool executing task graphs deterministically.
 //
-// The engine's units of work (genes, lambda grid points, bootstrap
-// replicates) are independent and deterministic given their index, so the
-// pool only needs one primitive: parallel_for over an index range, with
-// results written into pre-sized slots by index. That makes every run
-// reproducible bit-for-bit regardless of thread count or scheduling.
+// The pool's unit of work is an indexed batch: task(i) for i in
+// [0, count), each index deterministic given i and writing only into its
+// own pre-sized slot, which makes every run reproducible bit-for-bit
+// regardless of thread count or scheduling. Historically the pool offered
+// exactly one such batch at a time (parallel_for); it now executes whole
+// Task_graphs — batches with declared dependencies — claiming (node,
+// index) pairs from whichever nodes are ready, so independent phases
+// (say, simulating condition k+1's kernel while condition k's solves
+// drain) overlap instead of serializing. parallel_for remains as the
+// single-node special case of run().
 #ifndef CELLSYNC_CORE_WORKER_POOL_H
 #define CELLSYNC_CORE_WORKER_POOL_H
 
@@ -17,12 +22,14 @@
 #include <thread>
 #include <vector>
 
+#include "core/task_graph.h"
+
 namespace cellsync {
 
 class Worker_pool {
   public:
     /// `threads` is the total parallelism (the calling thread participates
-    /// in every parallel_for, so `threads - 1` workers are spawned).
+    /// in every run, so `threads - 1` workers are spawned).
     /// 0 means std::thread::hardware_concurrency().
     explicit Worker_pool(std::size_t threads = 0);
     ~Worker_pool();
@@ -33,32 +40,60 @@ class Worker_pool {
     /// Total parallelism (workers + calling thread).
     std::size_t thread_count() const { return workers_.size() + 1; }
 
-    /// Run task(i) for every i in [0, count), distributing indices across
-    /// the pool; blocks until all tasks finished. If any task throws, the
-    /// first exception is rethrown after the batch drains (remaining tasks
-    /// still run). Not reentrant: one parallel_for at a time.
+    /// Execute the graph; blocks until every node has either completed or
+    /// been cancelled. Ready nodes' indices are claimed lowest-node-id
+    /// first, so earlier-added nodes get threads first when several are
+    /// ready. If any task throws, its node still drains its remaining
+    /// indices (so slot-writers never leave holes), but the node is
+    /// marked failed and its transitive dependents are cancelled — their
+    /// tasks never run. The first exception recorded anywhere in the run
+    /// is rethrown after the graph drains. Not reentrant: one run (or
+    /// parallel_for) at a time, and graph tasks must not call back into
+    /// the same pool.
+    void run(const Task_graph& graph);
+
+    /// Run task(i) for every i in [0, count) — run() on a single-node
+    /// graph. Same contract as always: blocks until the batch drains,
+    /// first exception rethrown, remaining tasks still run after a throw.
     void parallel_for(std::size_t count, const std::function<void(std::size_t)>& task);
 
   private:
+    /// Per-node execution state for the active run.
+    struct Node_state {
+        std::size_t waiting_deps = 0;  ///< unresolved dependencies
+        bool ready = false;            ///< dependencies satisfied, may claim
+        bool resolved = false;         ///< done, failed, or cancelled
+        bool failed = false;           ///< a task of this node threw
+        bool cancelled = false;        ///< an upstream node failed/cancelled
+        std::size_t next = 0;          ///< next unclaimed index
+        std::size_t completed = 0;     ///< finished indices
+    };
+
     void worker_loop();
     /// Claim-and-run loop shared by workers and the calling thread. Claims
-    /// are tagged with the batch generation: a worker descheduled between
-    /// waking and claiming must not touch a later batch's counters (or the
-    /// by-then-destroyed task of its own batch).
-    void drain(const std::function<void(std::size_t)>& task, std::size_t count,
-               std::uint64_t generation);
+    /// are tagged with the run generation: a worker descheduled between
+    /// waking and claiming must not touch a later run's state (or the
+    /// by-then-destroyed graph of its own run).
+    void drain(const Task_graph& graph, std::uint64_t generation);
+    /// Mark `id` ready; immediately resolves pure barriers (count 0).
+    /// Requires mutex_ held.
+    void make_ready(const Task_graph& graph, std::size_t id);
+    /// Mark `id` resolved and propagate to dependents: failed/cancelled
+    /// nodes cancel theirs transitively, completed nodes unblock theirs.
+    /// Requires mutex_ held.
+    void resolve_node(const Task_graph& graph, std::size_t id);
 
     std::vector<std::thread> workers_;
 
     std::mutex mutex_;
-    std::condition_variable start_cv_;
-    std::condition_variable done_cv_;
+    std::condition_variable start_cv_;  ///< wakes idle workers for a new run
+    std::condition_variable work_cv_;   ///< wakes drainers on new ready nodes / run end
+    std::condition_variable done_cv_;   ///< wakes the caller when the run ends
     std::uint64_t generation_ = 0;
     bool stopping_ = false;
-    const std::function<void(std::size_t)>* task_ = nullptr;
-    std::size_t count_ = 0;
-    std::size_t next_ = 0;
-    std::size_t completed_ = 0;
+    const Task_graph* graph_ = nullptr;
+    std::vector<Node_state> states_;
+    std::size_t resolved_count_ = 0;
     std::exception_ptr first_error_;
 };
 

@@ -1,6 +1,7 @@
 #include "population/kernel_cache.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -128,6 +129,23 @@ void save_manifest(const std::string& manifest_file,
 
 }  // namespace
 
+/// The completion latch and result shared by every Async_request that
+/// joined one key's resolution. Deliberately holds no build inputs:
+/// each request carries its own copies, so a request abandoned without
+/// get() leaves nothing dangling for a later joiner to dereference —
+/// that joiner claims the execution and uses its own (live) inputs.
+struct Kernel_cache_request_state {
+    Kernel_cache* cache = nullptr;
+    std::string key;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool started = false;  ///< a get() caller claimed the execution
+    bool done = false;
+    std::shared_ptr<const Kernel_grid> result;
+    std::exception_ptr error;
+};
+
 Kernel_cache::Kernel_cache(std::string directory, Kernel_cache_limits limits)
     : directory_(std::move(directory)), limits_(limits) {
     if (directory_.empty()) {
@@ -136,7 +154,9 @@ Kernel_cache::Kernel_cache(std::string directory, Kernel_cache_limits limits)
     }
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
-    if (ec) {
+    // Read-only mode tolerates an uncreatable directory (e.g. a read-only
+    // mount whose path the owner has not populated yet): lookups miss.
+    if (ec && !limits_.read_only) {
         throw std::runtime_error("Kernel_cache: cannot create directory '" + directory_ +
                                  "': " + ec.message());
     }
@@ -203,7 +223,7 @@ Kernel_cache_manifest Kernel_cache::manifest() const {
 
 void Kernel_cache::touch_manifest(const std::string& hash, const std::string& key,
                                   bool stored) {
-    if (directory_.empty()) return;
+    if (directory_.empty() || limits_.read_only) return;
     std::size_t evicted = 0;
     try {
         const std::lock_guard<std::mutex> lock(manifest_mutex_);
@@ -265,66 +285,138 @@ void Kernel_cache::touch_manifest(const std::string& hash, const std::string& ke
     }
 }
 
+Kernel_cache::Async_request Kernel_cache::get_or_build_async(
+    const Cell_cycle_config& config, const Volume_model& volume_model, const Vector& times,
+    const Kernel_build_options& options) {
+    std::string key = cache_key(config, volume_model, times, options);
+    Async_request request;
+    request.config_ = config;
+    request.volume_ = &volume_model;
+    request.times_ = times;
+    request.options_ = options;
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = memory_.find(key); it != memory_.end()) {
+        ++stats_.memory_hits;
+        auto state = std::make_shared<Kernel_cache_request_state>();
+        state->done = true;
+        state->result = it->second;
+        request.state_ = std::move(state);
+        return request;
+    }
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+        // Joining a resolution already in flight counts as a memory hit:
+        // the shared grid is served from the in-memory map the moment the
+        // executing caller publishes it. Counting at call time keeps the
+        // stats deterministic when requests are issued from one thread.
+        ++stats_.memory_hits;
+        request.state_ = it->second;
+        return request;
+    }
+    auto state = std::make_shared<Kernel_cache_request_state>();
+    state->cache = this;
+    state->key = key;
+    inflight_.emplace(std::move(key), state);
+    request.state_ = std::move(state);
+    return request;
+}
+
+std::shared_ptr<const Kernel_grid> Kernel_cache::Async_request::get() {
+    if (!state_) {
+        throw std::logic_error("Kernel_cache::Async_request: get() on an empty request");
+    }
+    bool execute = false;
+    {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        if (!state_->done && !state_->started) {
+            state_->started = true;
+            execute = true;
+        }
+    }
+    if (execute) state_->cache->resolve_request(state_, config_, *volume_, times_, options_);
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (state_->error) std::rethrow_exception(state_->error);
+    return state_->result;
+}
+
+void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_state>& state,
+                                   const Cell_cycle_config& config,
+                                   const Volume_model& volume_model, const Vector& times,
+                                   const Kernel_build_options& options) {
+    // Disk I/O and simulation run outside the cache mutex so a long build
+    // never blocks unrelated lookups; waiters block only on this
+    // request's own latch.
+    std::shared_ptr<const Kernel_grid> kernel;
+    std::exception_ptr error;
+    bool from_disk = false;
+    const std::string& key = state->key;
+    const std::string hash = key_hash(key);
+    try {
+        if (!directory_.empty() && read_text_file(sidecar_path(hash)) == key) {
+            // The sidecar is written after the kernel CSV, so a matching
+            // key promises a complete entry; a corrupt or
+            // invariant-violating CSV still only costs a rebuild.
+            try {
+                kernel =
+                    std::make_shared<const Kernel_grid>(read_kernel_file(entry_path(hash)));
+                from_disk = true;
+                touch_manifest(hash, key, /*stored=*/false);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "Kernel_cache: discarding unreadable entry %s (%s)\n",
+                             entry_path(hash).c_str(), e.what());
+            }
+        }
+        if (!kernel) {
+            kernel = std::make_shared<const Kernel_grid>(
+                build_kernel(config, volume_model, times, options));
+            if (!directory_.empty() && !limits_.read_only) {
+                // A full disk or unwritable directory degrades to
+                // memory-only caching instead of sinking the run.
+                try {
+                    write_kernel_file(entry_path(hash), *kernel);
+                    std::ofstream sidecar(sidecar_path(hash),
+                                          std::ios::binary | std::ios::trunc);
+                    sidecar << key;
+                    if (!sidecar) {
+                        throw std::runtime_error("cannot write '" + sidecar_path(hash) +
+                                                 "'");
+                    }
+                    touch_manifest(hash, key, /*stored=*/true);
+                } catch (const std::exception& e) {
+                    std::fprintf(stderr, "Kernel_cache: could not persist entry: %s\n",
+                                 e.what());
+                }
+            }
+        }
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (kernel) {
+            if (from_disk) ++stats_.disk_hits;
+            else ++stats_.builds;
+            // emplace keeps an entry another resolution may have inserted
+            // first; publish the map's copy so all callers share one grid.
+            kernel = memory_.emplace(key, std::move(kernel)).first->second;
+        }
+        inflight_.erase(key);
+    }
+    {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->result = std::move(kernel);
+        state->error = error;
+        state->done = true;
+    }
+    state->cv.notify_all();
+}
+
 std::shared_ptr<const Kernel_grid> Kernel_cache::get_or_build(
     const Cell_cycle_config& config, const Volume_model& volume_model, const Vector& times,
     const Kernel_build_options& options) {
-    const std::string key = cache_key(config, volume_model, times, options);
-    {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (const auto it = memory_.find(key); it != memory_.end()) {
-            ++stats_.memory_hits;
-            return it->second;
-        }
-    }
-
-    // Disk I/O and simulation run outside the mutex so a long build never
-    // blocks unrelated lookups. Two threads racing on the same uncached
-    // key may both simulate (identical, seeded results); the map keeps the
-    // first insertion and both callers share it.
-    std::shared_ptr<const Kernel_grid> kernel;
-    bool from_disk = false;
-    const std::string hash = key_hash(key);
-    if (!directory_.empty() && read_text_file(sidecar_path(hash)) == key) {
-        // The sidecar is written after the kernel CSV, so a matching key
-        // promises a complete entry; a corrupt or invariant-violating CSV
-        // still only costs a rebuild.
-        try {
-            kernel = std::make_shared<const Kernel_grid>(read_kernel_file(entry_path(hash)));
-            from_disk = true;
-            touch_manifest(hash, key, /*stored=*/false);
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "Kernel_cache: discarding unreadable entry %s (%s)\n",
-                         entry_path(hash).c_str(), e.what());
-        }
-    }
-    if (!kernel) {
-        kernel = std::make_shared<const Kernel_grid>(
-            build_kernel(config, volume_model, times, options));
-        if (!directory_.empty()) {
-            // A full disk or read-only directory degrades to memory-only
-            // caching instead of sinking the run.
-            try {
-                write_kernel_file(entry_path(hash), *kernel);
-                std::ofstream sidecar(sidecar_path(hash),
-                                      std::ios::binary | std::ios::trunc);
-                sidecar << key;
-                if (!sidecar) {
-                    throw std::runtime_error("cannot write '" + sidecar_path(hash) + "'");
-                }
-                touch_manifest(hash, key, /*stored=*/true);
-            } catch (const std::exception& e) {
-                std::fprintf(stderr, "Kernel_cache: could not persist entry: %s\n",
-                             e.what());
-            }
-        }
-    }
-
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (from_disk) ++stats_.disk_hits;
-    else ++stats_.builds;
-    // emplace keeps an entry a racing thread may have inserted first;
-    // return the map's copy so all callers share one grid.
-    return memory_.emplace(key, std::move(kernel)).first->second;
+    return get_or_build_async(config, volume_model, times, options).get();
 }
 
 Kernel_cache_stats Kernel_cache::stats() const {

@@ -31,6 +31,9 @@
 namespace cellsync {
 
 /// Aggregate counters describing how get_or_build calls were served.
+/// memory_hits includes requests that joined a resolution already in
+/// flight for the same key (they are served from the in-memory map the
+/// moment it lands there).
 struct Kernel_cache_stats {
     std::size_t memory_hits = 0;  ///< served from the in-memory map
     std::size_t disk_hits = 0;    ///< deserialized from the cache directory
@@ -38,13 +41,37 @@ struct Kernel_cache_stats {
     std::size_t evictions = 0;    ///< disk entries removed by the LRU policy
 };
 
+/// Component-wise difference of two counter snapshots (later - earlier):
+/// how a caller turns the cache's lifetime totals into per-run deltas.
+inline Kernel_cache_stats operator-(const Kernel_cache_stats& later,
+                                    const Kernel_cache_stats& earlier) {
+    Kernel_cache_stats delta;
+    delta.memory_hits = later.memory_hits - earlier.memory_hits;
+    delta.disk_hits = later.disk_hits - earlier.disk_hits;
+    delta.builds = later.builds - earlier.builds;
+    delta.evictions = later.evictions - earlier.evictions;
+    return delta;
+}
+
 /// Disk-usage policy for a directory-backed cache.
 struct Kernel_cache_limits {
     /// Size cap for the cache directory's entries (kernel CSV + sidecar),
     /// enforced after every store by evicting least-recently-used entries.
     /// 0 = unbounded (the pre-LRU behavior).
     std::uint64_t max_disk_bytes = 0;
+    /// Shared-directory fleet mode: serve disk entries but never write —
+    /// no new entries, no manifest updates, no LRU eviction. The
+    /// manifest's single-writer assumption then holds trivially, so any
+    /// number of shard processes can point at one pre-warmed cache
+    /// directory (NFS, object-store mount) while at most one owner
+    /// maintains it. Misses still simulate; the result stays in memory
+    /// only.
+    bool read_only = false;
 };
+
+/// Shared state of one in-flight get_or_build resolution (opaque;
+/// defined in kernel_cache.cpp).
+struct Kernel_cache_request_state;
 
 /// One manifest row: a disk entry with its provenance and recency.
 struct Kernel_cache_entry_info {
@@ -71,8 +98,9 @@ struct Kernel_cache_manifest {
 /// scanning the directory's sidecar files, never trusted over them.
 /// Recency uses a persisted monotone counter rather than wall-clock
 /// time, so eviction order is deterministic and clock-skew-proof. The
-/// policy assumes one writer process per directory (the ROADMAP's
-/// shared read-only fleet mode remains open).
+/// policy assumes one writer process per directory; fleets sharing a
+/// pre-warmed directory should open it with Kernel_cache_limits::
+/// read_only, which disables every write path.
 class Kernel_cache {
   public:
     /// Memory-only cache (entries live as long as the cache).
@@ -80,22 +108,66 @@ class Kernel_cache {
 
     /// Disk-backed cache rooted at `directory` (created, with parents, on
     /// first store), with an optional LRU size cap. Throws
-    /// std::runtime_error if the directory cannot be created.
+    /// std::runtime_error if the directory cannot be created — unless
+    /// `limits.read_only` is set, in which case a missing or uncreatable
+    /// directory simply means every lookup misses.
     explicit Kernel_cache(std::string directory, Kernel_cache_limits limits = {});
+
+    /// Deferred, deduplicated handle to one kernel resolution, returned
+    /// by get_or_build_async. The request does no work until get(): the
+    /// first caller to get() performs the disk load / simulation on its
+    /// own thread; every concurrent request for the same key shares that
+    /// one resolution — get() blocks until it lands and returns the same
+    /// grid (or rethrows the resolution's exception). This is what lets
+    /// a task scheduler start condition k+1's kernel while condition k
+    /// solves, without two nodes ever running the same simulation twice.
+    class Async_request {
+      public:
+        Async_request() = default;
+
+        /// Resolve (first caller) or wait for the shared resolution.
+        /// The cache and the volume model passed to get_or_build_async
+        /// must outlive this call. Each request carries its own copy of
+        /// the build inputs (equal keys imply equal inputs), so a
+        /// request that is dropped without get() is inert — it can
+        /// never be dereferenced by a later request joining the same
+        /// key, which simply performs the resolution itself.
+        std::shared_ptr<const Kernel_grid> get();
+
+        bool valid() const { return state_ != nullptr; }
+
+      private:
+        friend class Kernel_cache;
+        std::shared_ptr<Kernel_cache_request_state> state_;
+        /// This request's own build inputs, used only if its get() ends
+        /// up executing the resolution (volume is borrowed until then).
+        Cell_cycle_config config_;
+        const Volume_model* volume_ = nullptr;
+        Vector times_;
+        Kernel_build_options options_;
+    };
 
     /// The kernel for the given inputs: in-memory entry if present, else a
     /// disk entry whose stored key matches exactly, else a fresh
-    /// build_kernel run (persisted to disk when a directory is
+    /// build_kernel run (persisted to disk when a writable directory is
     /// configured). The returned grid is immutable and shared; callers may
     /// keep it beyond the cache's lifetime. Simulation and disk I/O happen
     /// outside the cache lock, so a long build never blocks unrelated
-    /// lookups; two threads racing on the same uncached key may both
-    /// simulate (identical, seeded results) and end up sharing the first
-    /// insertion.
+    /// lookups; threads racing on the same uncached key share one
+    /// in-flight resolution (get_or_build is get_or_build_async().get()).
     std::shared_ptr<const Kernel_grid> get_or_build(const Cell_cycle_config& config,
                                                     const Volume_model& volume_model,
                                                     const Vector& times,
                                                     const Kernel_build_options& options = {});
+
+    /// Asynchronous form of get_or_build: returns immediately with a
+    /// deferred request (see Async_request). Requests for a key already
+    /// in flight or in memory are served from the shared state and
+    /// counted as memory hits, deterministically at call time.
+    /// `volume_model` is borrowed and must stay alive until get().
+    Async_request get_or_build_async(const Cell_cycle_config& config,
+                                     const Volume_model& volume_model, const Vector& times,
+                                     const Kernel_build_options& options = {});
 
     /// Counters since construction.
     Kernel_cache_stats stats() const;
@@ -129,13 +201,22 @@ class Kernel_cache {
     static std::string key_hash(const std::string& key);
 
   private:
+    friend struct Kernel_cache_request_state;
+
     std::string entry_path(const std::string& hash) const;
     std::string sidecar_path(const std::string& hash) const;
     /// Record a use (disk hit) or a fresh store of `hash` in the manifest,
     /// then enforce the size cap by evicting LRU entries (never the entry
     /// just touched). Never throws: manifest I/O failures degrade to a
-    /// stale manifest, not a failed lookup.
+    /// stale manifest, not a failed lookup. No-op in read-only mode.
     void touch_manifest(const std::string& hash, const std::string& key, bool stored);
+    /// Execute a deferred request's disk load / simulation with the
+    /// executing request's own inputs, publish the grid into the memory
+    /// map, update the counters, and wake every waiter sharing the
+    /// request state.
+    void resolve_request(const std::shared_ptr<Kernel_cache_request_state>& state,
+                         const Cell_cycle_config& config, const Volume_model& volume_model,
+                         const Vector& times, const Kernel_build_options& options);
 
     std::string directory_;
     Kernel_cache_limits limits_;
@@ -144,6 +225,8 @@ class Kernel_cache {
     // never blocks in-memory lookups.
     mutable std::mutex manifest_mutex_;
     std::map<std::string, std::shared_ptr<const Kernel_grid>> memory_;
+    /// key -> state of the resolution currently in flight for it.
+    std::map<std::string, std::shared_ptr<Kernel_cache_request_state>> inflight_;
     Kernel_cache_stats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "io/kernel_io.h"
 
@@ -273,6 +274,137 @@ TEST(KernelCache, OversizedEntryStillCachesBestEffort) {
     reader.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
     EXPECT_EQ(reader.stats().disk_hits, 1u);
     std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, ReadOnlyModeServesDiskWithoutWriting) {
+    const std::string dir = fresh_dir("readonly");
+    const Smooth_volume_model vm;
+    Cell_cycle_config config;
+    {
+        Kernel_cache owner(dir);
+        owner.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    }
+    const auto manifest_before = std::filesystem::last_write_time(
+        Kernel_cache::manifest_path(dir));
+    std::size_t files_before = 0;
+    for ([[maybe_unused]] const auto& entry : std::filesystem::directory_iterator(dir)) {
+        ++files_before;
+    }
+
+    Kernel_cache_limits limits;
+    limits.read_only = true;
+    limits.max_disk_bytes = 1;  // would evict everything if enforced
+    Kernel_cache fleet(dir, limits);
+
+    // A cached tuple is served from disk...
+    fleet.get_or_build(config, vm, {0.0, 30.0}, tiny_options());
+    EXPECT_EQ(fleet.stats().disk_hits, 1u);
+    EXPECT_EQ(fleet.stats().builds, 0u);
+
+    // ...a miss simulates but is not persisted...
+    Cell_cycle_config other = config;
+    other.mu_sst = 0.25;
+    fleet.get_or_build(other, vm, {0.0, 30.0}, tiny_options());
+    EXPECT_EQ(fleet.stats().builds, 1u);
+    EXPECT_EQ(fleet.stats().evictions, 0u);
+
+    // ...and the directory is untouched: same files, manifest unmodified.
+    std::size_t files_after = 0;
+    for ([[maybe_unused]] const auto& entry : std::filesystem::directory_iterator(dir)) {
+        ++files_after;
+    }
+    EXPECT_EQ(files_after, files_before);
+    EXPECT_EQ(std::filesystem::last_write_time(Kernel_cache::manifest_path(dir)),
+              manifest_before);
+
+    // The unpersisted miss still memoizes in memory.
+    fleet.get_or_build(other, vm, {0.0, 30.0}, tiny_options());
+    EXPECT_EQ(fleet.stats().memory_hits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, ReadOnlyModeToleratesMissingDirectory) {
+    const std::string dir = fresh_dir("readonly_missing") + "/nested/absent";
+    Kernel_cache_limits limits;
+    limits.read_only = true;
+    // A writable cache would create the directory; read-only must accept
+    // whatever is (not) there and fall back to simulation.
+    Kernel_cache cache(dir, limits);
+    const Smooth_volume_model vm;
+    const auto kernel = cache.get_or_build(Cell_cycle_config{}, vm, {0.0, 30.0},
+                                           tiny_options());
+    EXPECT_EQ(kernel->time_count(), 2u);
+    EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+TEST(KernelCache, AsyncRequestsForOneKeyShareOneResolution) {
+    Kernel_cache cache;
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+
+    // Issue two requests before resolving either: the second joins the
+    // first's in-flight state (counted as a memory hit at call time).
+    Kernel_cache::Async_request first =
+        cache.get_or_build_async(config, vm, times, tiny_options());
+    Kernel_cache::Async_request second =
+        cache.get_or_build_async(config, vm, times, tiny_options());
+    ASSERT_TRUE(first.valid());
+    ASSERT_TRUE(second.valid());
+    EXPECT_EQ(cache.stats().builds, 0u);  // deferred: nothing ran yet
+
+    const auto from_second = second.get();  // whoever calls get() first executes
+    const auto from_first = first.get();
+    EXPECT_EQ(from_first.get(), from_second.get());
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_EQ(cache.stats().memory_hits, 1u);
+
+    // A request issued after completion is an ordinary memory hit.
+    const auto third = cache.get_or_build_async(config, vm, times, tiny_options()).get();
+    EXPECT_EQ(third.get(), from_first.get());
+    EXPECT_EQ(cache.stats().memory_hits, 2u);
+    EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+TEST(KernelCache, DroppedAsyncRequestDoesNotPoisonLaterLookups) {
+    Kernel_cache cache;
+    const Vector times{0.0, 30.0};
+    {
+        // Issue a request and abandon it without get(); its volume model
+        // goes out of scope. The abandoned in-flight entry must stay
+        // inert: requests carry their own inputs, so nothing dangles.
+        const Smooth_volume_model ephemeral;
+        Kernel_cache::Async_request dropped = cache.get_or_build_async(
+            Cell_cycle_config{}, ephemeral, times, tiny_options());
+        EXPECT_TRUE(dropped.valid());
+    }
+    const Smooth_volume_model vm;
+    const auto kernel = cache.get_or_build(Cell_cycle_config{}, vm, times, tiny_options());
+    EXPECT_EQ(kernel->time_count(), 2u);
+    EXPECT_EQ(cache.stats().builds, 1u);
+    // The later caller joined the abandoned entry (counted as a memory
+    // hit at call time) and then performed the resolution itself with
+    // its own, live inputs.
+    EXPECT_EQ(cache.stats().memory_hits, 1u);
+}
+
+TEST(KernelCache, AsyncGetBlocksJoinersUntilTheExecutorFinishes) {
+    Kernel_cache cache;
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0, 60.0};
+    Kernel_build_options options = tiny_options();
+    options.n_cells = 20000;  // big enough that the join genuinely waits
+
+    Kernel_cache::Async_request a = cache.get_or_build_async(config, vm, times, options);
+    Kernel_cache::Async_request b = cache.get_or_build_async(config, vm, times, options);
+    std::shared_ptr<const Kernel_grid> from_thread;
+    std::thread joiner([&] { from_thread = b.get(); });
+    const auto direct = a.get();
+    joiner.join();
+    ASSERT_NE(from_thread, nullptr);
+    EXPECT_EQ(direct.get(), from_thread.get());
+    EXPECT_EQ(cache.stats().builds, 1u);
 }
 
 TEST(KernelCache, MissingManifestIsRebuiltFromSidecars) {

@@ -1,0 +1,202 @@
+// The task-graph scheduler's contract: dependency ordering, deterministic
+// slot-writes for any thread count, exception propagation with transitive
+// cancellation of dependents, and pool reusability afterwards — the
+// invariants the pipelined experiment runner builds on.
+#include "core/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.h"
+
+namespace cellsync {
+namespace {
+
+TEST(TaskGraph, DependenciesMustPointBackwards) {
+    Task_graph graph;
+    const auto a = graph.add_node("a", 1, [](std::size_t) {});
+    EXPECT_EQ(a, 0u);
+    EXPECT_THROW(graph.add_node("b", 1, [](std::size_t) {}, {5}), std::invalid_argument);
+    // Self-dependency is forward-pointing too (id == own id): rejected.
+    EXPECT_THROW(graph.add_node("c", 1, [](std::size_t) {}, {1}), std::invalid_argument);
+}
+
+TEST(TaskGraph, DiamondRespectsDependencyOrdering) {
+    // a -> {b, c} -> d: every task stamps a global sequence number; b and
+    // c must observe a finished, d must observe both. Repeat across
+    // thread counts — ordering comes from the graph, not luck.
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        Worker_pool pool(threads);
+        Task_graph graph;
+        std::atomic<int> sequence{0};
+        std::vector<int> stamp(4, -1);
+        const auto a = graph.add_node("a", 1, [&](std::size_t) { stamp[0] = sequence++; });
+        const auto b =
+            graph.add_node("b", 1, [&](std::size_t) { stamp[1] = sequence++; }, {a});
+        const auto c =
+            graph.add_node("c", 1, [&](std::size_t) { stamp[2] = sequence++; }, {a});
+        graph.add_node("d", 1, [&](std::size_t) { stamp[3] = sequence++; }, {b, c});
+        pool.run(graph);
+        EXPECT_EQ(sequence.load(), 4);
+        EXPECT_LT(stamp[0], stamp[1]);
+        EXPECT_LT(stamp[0], stamp[2]);
+        EXPECT_GT(stamp[3], stamp[1]);
+        EXPECT_GT(stamp[3], stamp[2]);
+    }
+}
+
+TEST(TaskGraph, BatchNodeDrainsEveryIndexBeforeDependentsStart) {
+    Worker_pool pool(4);
+    Task_graph graph;
+    std::vector<std::atomic<int>> hits(97);
+    std::atomic<std::size_t> seen_by_dependent{0};
+    const auto batch = graph.add_node("batch", hits.size(), [&](std::size_t i) {
+        ++hits[i];
+    });
+    graph.add_node(
+        "after", 1,
+        [&](std::size_t) {
+            std::size_t done = 0;
+            for (const auto& h : hits) done += static_cast<std::size_t>(h.load());
+            seen_by_dependent = done;
+        },
+        {batch});
+    pool.run(graph);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_EQ(seen_by_dependent.load(), hits.size());
+}
+
+TEST(TaskGraph, IndependentNodesOverlap) {
+    // Two root nodes, two threads: a slow node must not serialize ahead
+    // of an independent fast one. The fast node finishing while the slow
+    // one still runs is exactly the kernel-build/solve overlap the
+    // experiment runner relies on.
+    Worker_pool pool(2);
+    Task_graph graph;
+    std::atomic<bool> slow_done{false};
+    std::atomic<bool> fast_saw_slow_running{false};
+    graph.add_node("slow", 1, [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        slow_done = true;
+    });
+    graph.add_node("fast", 1, [&](std::size_t) {
+        if (!slow_done.load()) fast_saw_slow_running = true;
+    });
+    pool.run(graph);
+    EXPECT_TRUE(fast_saw_slow_running.load());
+}
+
+TEST(TaskGraph, SlotWritesAreBitIdenticalAcrossThreadCounts) {
+    auto run = [](std::size_t threads) {
+        Worker_pool pool(threads);
+        Task_graph graph;
+        std::vector<double> stage1(64), stage2(64);
+        const auto first = graph.add_node("stage1", stage1.size(), [&](std::size_t i) {
+            stage1[i] = static_cast<double>(i * i) + 0.25;
+        });
+        graph.add_node(
+            "stage2", stage2.size(),
+            [&](std::size_t i) { stage2[i] = stage1[i] * 3.0 + stage1[(i + 1) % 64]; },
+            {first});
+        pool.run(graph);
+        return stage2;
+    };
+    const std::vector<double> serial = run(1);
+    EXPECT_EQ(serial, run(4));
+    EXPECT_EQ(serial, run(8));
+}
+
+TEST(TaskGraph, MidGraphExceptionCancelsDependentsAndPropagates) {
+    Worker_pool pool(3);
+    Task_graph graph;
+    std::atomic<int> upstream_ran{0};
+    std::atomic<int> downstream_ran{0};
+    std::atomic<int> independent_ran{0};
+    std::vector<std::atomic<int>> failing_hits(16);
+    const auto up = graph.add_node("up", 1, [&](std::size_t) { ++upstream_ran; });
+    const auto failing = graph.add_node(
+        "failing", failing_hits.size(),
+        [&](std::size_t i) {
+            ++failing_hits[i];
+            if (i == 5) throw std::runtime_error("node failure at index 5");
+        },
+        {up});
+    const auto down =
+        graph.add_node("down", 4, [&](std::size_t) { ++downstream_ran; }, {failing});
+    graph.add_node("transitive", 2, [&](std::size_t) { ++downstream_ran; }, {down});
+    graph.add_node("independent", 8, [&](std::size_t) { ++independent_ran; });
+
+    EXPECT_THROW(pool.run(graph), std::runtime_error);
+    EXPECT_EQ(upstream_ran.load(), 1);
+    // The failing node still drains its own indices (slot-writers never
+    // leave holes)...
+    for (const auto& h : failing_hits) EXPECT_EQ(h.load(), 1);
+    // ...but nothing downstream of it ever runs, transitively.
+    EXPECT_EQ(downstream_ran.load(), 0);
+    // Nodes not depending on the failure are unaffected.
+    EXPECT_EQ(independent_ran.load(), 8);
+
+    // The pool survives a failed graph.
+    std::atomic<int> ok{0};
+    pool.parallel_for(10, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(TaskGraph, BarrierNodesCompleteWithoutTasks) {
+    Worker_pool pool(2);
+    Task_graph graph;
+    std::vector<int> order;
+    std::mutex order_mutex;
+    auto record = [&](int id) {
+        const std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(id);
+    };
+    const auto a = graph.add_node("a", 1, [&](std::size_t) { record(0); });
+    const auto b = graph.add_node("b", 1, [&](std::size_t) { record(1); });
+    // Pure barrier joining a and b; c runs only after both.
+    const auto barrier = graph.add_node("barrier", 0, {}, {a, b});
+    graph.add_node("c", 1, [&](std::size_t) { record(2); }, {barrier});
+    pool.run(graph);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.back(), 2);
+}
+
+TEST(TaskGraph, EmptyGraphAndReuseAreNoOps) {
+    Worker_pool pool(2);
+    const Task_graph empty;
+    pool.run(empty);  // no nodes: returns immediately
+
+    // The same graph object can be run repeatedly.
+    Task_graph graph;
+    std::atomic<int> runs{0};
+    graph.add_node("count", 5, [&](std::size_t) { ++runs; });
+    pool.run(graph);
+    pool.run(graph);
+    EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(TaskGraph, RapidSmallGraphsNeverLeakAcrossGenerations) {
+    // Stress the stale-generation guard with many tiny graphs posted
+    // back-to-back, mirroring the worker-pool test that hardened
+    // parallel_for.
+    Worker_pool pool(4);
+    for (int round = 0; round < 1000; ++round) {
+        Task_graph graph;
+        std::atomic<std::size_t> ran{0};
+        const auto a =
+            graph.add_node("a", 1 + static_cast<std::size_t>(round % 3),
+                           [&](std::size_t) { ++ran; });
+        graph.add_node("b", 1, [&](std::size_t) { ++ran; }, {a});
+        pool.run(graph);
+        ASSERT_EQ(ran.load(), 2 + static_cast<std::size_t>(round % 3)) << "round " << round;
+    }
+}
+
+}  // namespace
+}  // namespace cellsync

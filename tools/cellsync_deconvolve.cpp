@@ -39,6 +39,21 @@
 //            --json PATH additionally writes a machine-readable report
 //            (per-gene scores plus the lambda recorded in the profile
 //            CSV's `# lambda:` comments).
+//   merge-results
+//            Merge per-shard profile CSVs of one condition (written by
+//            `run --shards N --shard-index i`) into a single profile
+//            CSV: phi grids must agree exactly, gene columns must be
+//            disjoint, and `# lambda:` comments are carried over. The
+//            merged per-gene values are bit-identical to an unsharded
+//            run's.
+//
+// Sharded experiments: `run --shards N --shard-index i` deconvolves only
+// the genes whose label hashes to shard i (deterministic, label-stable
+// across conditions, so lambda warm-start chains are preserved). Launch
+// one process per shard — on one machine or many, optionally against a
+// shared `--cache-dir` opened with `--cache-read-only` — then combine
+// each condition's `<stem>.<condition>.shard<i>of<N>.csv` outputs with
+// `merge-results`.
 //
 // Legacy compatibility: invoking with options only (first argument starts
 // with `--`) behaves as `run`.
@@ -47,6 +62,14 @@
 //   --output PATH       profile CSV / kernel CSV destination
 //   --cache-dir DIR     disk-backed kernel cache (run, stream, kernel cache)
 //   --cache-max-bytes N LRU size cap for --cache-dir (0 = unbounded)
+//   --cache-read-only   serve --cache-dir without ever writing (no new
+//                       entries, no manifest updates, no eviction) —
+//                       safe for many processes sharing one directory
+//   --shards N --shard-index I   experiment runs: keep only shard I of
+//                       the gene panels (see "Sharded experiments")
+//   --sequential        experiment runs: condition-by-condition schedule
+//                       instead of the pipelined task graph (results are
+//                       bit-identical; this is the debugging reference)
 //   --kernel PATH       reuse a saved kernel (single-series run)
 //   --save-kernel PATH  persist the simulated kernel (single-series run)
 //   --cells N --bins N --seed N     simulation controls
@@ -125,6 +148,10 @@ struct Cli_options {
     Qp_backend backend = Qp_backend::automatic;
     std::string json_path;                ///< report --json destination
     std::uint64_t cache_max_bytes = 0;    ///< LRU cap for --cache-dir
+    bool cache_read_only = false;         ///< shared-directory fleet mode
+    std::size_t shards = 1;               ///< experiment gene-panel shards
+    std::size_t shard_index = 0;          ///< this process's shard
+    bool sequential = false;              ///< experiment: reference schedule
     bool stop_when_converged = false;     ///< stream: end once all genes stabilize
     Stream_convergence convergence;       ///< stream thresholds
 };
@@ -203,6 +230,10 @@ Cli_options parse_args(int argc, char** argv, int first) {
             else if (arg == "--qp-backend") options.backend = qp_backend_from_string(next_value(i));
             else if (arg == "--json") options.json_path = next_value(i);
             else if (arg == "--cache-max-bytes") options.cache_max_bytes = std::stoull(next_value(i));
+            else if (arg == "--cache-read-only") options.cache_read_only = true;
+            else if (arg == "--shards") options.shards = std::stoul(next_value(i));
+            else if (arg == "--shard-index") options.shard_index = std::stoul(next_value(i));
+            else if (arg == "--sequential") options.sequential = true;
             else if (arg == "--stop-when-converged") options.stop_when_converged = true;
             else if (arg == "--coef-tol") options.convergence.coefficient_tol = std::stod(next_value(i));
             else if (arg == "--score-tol") options.convergence.score_tol = std::stod(next_value(i));
@@ -257,6 +288,7 @@ Constraint_options constraints_from(const Cli_options& cli) {
 Kernel_cache_limits cache_limits_from(const Cli_options& cli) {
     Kernel_cache_limits limits;
     limits.max_disk_bytes = cli.cache_max_bytes;
+    limits.read_only = cli.cache_read_only;
     return limits;
 }
 
@@ -418,6 +450,8 @@ int run_experiment_mode(const Cli_options& cli) {
     spec.kernel = kernel_options_from(cli);
     spec.basis_size = cli.basis;
     spec.threads = cli.threads;
+    spec.schedule = cli.sequential ? Experiment_schedule::sequential
+                                   : Experiment_schedule::pipelined;
     spec.warm_start_lambda = cli.warm_start;
     spec.batch.deconvolution.constraints = constraints_from(cli);
     spec.batch.deconvolution.backend = cli.backend;
@@ -440,6 +474,20 @@ int run_experiment_mode(const Cli_options& cli) {
                     condition.name.c_str(), condition.panel.size(),
                     condition.panel.front().size(), request.panel_path.c_str());
         spec.conditions.push_back(std::move(condition));
+    }
+
+    if (cli.shards > 1) {
+        spec = shard_experiment(spec, cli.shards, cli.shard_index);
+        std::size_t kept = 0;
+        for (const Experiment_condition& condition : spec.conditions) {
+            kept += condition.panel.size();
+        }
+        std::printf("shard %zu of %zu: %zu genes across %zu conditions\n", cli.shard_index,
+                    cli.shards, kept, spec.conditions.size());
+        if (spec.conditions.empty()) {
+            std::printf("shard %zu holds no genes; nothing to do\n", cli.shard_index);
+            return 0;
+        }
     }
 
     const std::unique_ptr<Volume_model> volume = volume_from(cli);
@@ -487,7 +535,12 @@ int run_experiment_mode(const Cli_options& cli) {
                             gene.lambda);
             }
         }
-        const std::string path = stem + "." + condition.name + ".csv";
+        std::string path = stem + "." + condition.name;
+        if (cli.shards > 1) {
+            path += ".shard" + std::to_string(cli.shard_index) + "of" +
+                    std::to_string(cli.shards);
+        }
+        path += ".csv";
         write_profiles_with_lambdas(path, writer.table(), lambdas);
         std::printf("  wrote %s\n", path.c_str());
     }
@@ -503,6 +556,13 @@ int cmd_run(const Cli_options& cli) {
     }
     if (!cli.conditions.empty() && cli.bootstrap > 0) {
         usage_error("--bootstrap applies to single-series runs only");
+    }
+    if (cli.shards == 0) usage_error("--shards must be >= 1");
+    if (cli.shard_index >= cli.shards) {
+        usage_error("--shard-index must be < --shards");
+    }
+    if (cli.shards > 1 && cli.conditions.empty()) {
+        usage_error("--shards applies to experiment runs (--condition)");
     }
     if (!cli.conditions.empty() &&
         (!cli.kernel_path.empty() || !cli.save_kernel_path.empty())) {
@@ -532,6 +592,7 @@ int cmd_stream(const Cli_options& cli) {
                     "time,gene,value[,sigma] log)");
     }
     if (cli.bootstrap > 0) usage_error("--bootstrap applies to single-series runs only");
+    if (cli.shards > 1) usage_error("--shards applies to experiment runs (--condition)");
     if (!cli.kernel_path.empty() || !cli.save_kernel_path.empty()) {
         // Streaming kernels go through the cache; silently re-simulating
         // past a user-supplied kernel file would mislead.
@@ -839,11 +900,63 @@ int cmd_report(const Cli_options& cli, const std::vector<std::string>& inputs) {
     return 0;
 }
 
+// ---------------------------------------------------------------------------
+// merge-results: combine per-shard profile CSVs of one condition
+// ---------------------------------------------------------------------------
+
+int cmd_merge_results(const Cli_options& cli, const std::vector<std::string>& inputs) {
+    std::vector<std::string> paths = inputs;
+    if (!cli.input.empty()) paths.insert(paths.begin(), cli.input);
+    if (paths.empty()) {
+        usage_error("merge-results needs per-shard profile CSVs (positional paths)");
+    }
+    // A single path is the identity merge — legitimate when a condition's
+    // genes all hashed into one shard — so launchers can always pass
+    // whatever shard files exist without special-casing.
+    if (cli.output.empty()) usage_error("merge-results needs --output PATH");
+
+    // The shard CSVs round-trip doubles exactly (written at full
+    // precision), so the merged per-gene columns are bit-identical to an
+    // unsharded run's; only the column order differs (shard-file order).
+    std::optional<Series_writer> writer;
+    std::vector<std::pair<std::string, double>> lambdas;
+    std::size_t genes = 0;
+    for (const std::string& path : paths) {
+        const Table table = read_csv_file(path);
+        if (!table.has_column("phi")) {
+            usage_error("merge-results: '" + path + "' has no 'phi' column");
+        }
+        const Vector phi = table.column("phi");
+        if (!writer) {
+            writer.emplace("phi", phi);
+        } else if (writer->table().column(0) != phi) {
+            usage_error("merge-results: '" + path +
+                        "' is on a different phi grid than the first shard");
+        }
+        for (std::size_t c = 0; c < table.column_count(); ++c) {
+            const std::string& name = table.names()[c];
+            if (name == "phi") continue;
+            if (writer->table().has_column(name)) {
+                usage_error("merge-results: profile '" + name + "' appears in '" + path +
+                            "' and an earlier shard (shards must be disjoint)");
+            }
+            writer->add(name, table.column(c));
+            ++genes;
+        }
+        for (const auto& lambda : read_lambda_comments(path)) lambdas.push_back(lambda);
+    }
+    write_profiles_with_lambdas(cli.output, writer->table(), lambdas);
+    std::printf("merged %zu profiles from %zu shards into %s\n", genes, paths.size(),
+                cli.output.c_str());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) {
-        usage_error("missing subcommand (run, stream, kernel build, kernel cache, report)");
+        usage_error("missing subcommand (run, stream, kernel build, kernel cache, report, "
+                    "merge-results)");
     }
     std::string command = argv[1];
     int first = 2;
@@ -872,6 +985,12 @@ int main(int argc, char** argv) {
             int i = first;
             for (; i < argc && argv[i][0] != '-'; ++i) inputs.emplace_back(argv[i]);
             return cmd_report(parse_args(argc, argv, i), inputs);
+        }
+        if (command == "merge-results") {
+            std::vector<std::string> inputs;
+            int i = first;
+            for (; i < argc && argv[i][0] != '-'; ++i) inputs.emplace_back(argv[i]);
+            return cmd_merge_results(parse_args(argc, argv, i), inputs);
         }
         usage_error("unknown subcommand '" + command + "'");
     } catch (const std::exception& e) {
