@@ -9,6 +9,7 @@
 #include "core/batch.h"
 #include "core/task_graph.h"
 #include "core/worker_pool.h"
+#include "numerics/fnv.h"
 #include "population/synchrony.h"
 #include "spline/spline_basis.h"
 
@@ -287,14 +288,7 @@ Experiment_result run_pipelined(const Experiment_spec& spec,
 }
 
 /// FNV-1a 64-bit over a gene label — the shard assignment hash.
-std::uint64_t label_hash(const std::string& label) {
-    std::uint64_t hash = 14695981039346656037ull;
-    for (const unsigned char c : label) {
-        hash ^= c;
-        hash *= 1099511628211ull;
-    }
-    return hash;
-}
+std::uint64_t label_hash(const std::string& label) { return fnv1a64(label); }
 
 }  // namespace
 

@@ -132,6 +132,12 @@ void write_csv_file(const std::string& path, const Table& table) {
     std::ofstream out(path);
     if (!out) throw std::runtime_error("CSV: cannot open '" + path + "' for writing");
     write_csv(out, table);
+    // A full disk fails the buffered writes only at flush time; without
+    // this check a truncated table would be reported as success.
+    out.flush();
+    if (!out) {
+        throw std::runtime_error("CSV: write failed for '" + path + "' (disk full?)");
+    }
 }
 
 }  // namespace cellsync

@@ -40,7 +40,9 @@ double csv_parse_field(const std::string& field, std::size_t line_number);
 /// Write a table as CSV (header + rows, '\n' line endings, max precision).
 void write_csv(std::ostream& out, const Table& table);
 
-/// Write a table to a file. Throws std::runtime_error on open failure.
+/// Write a table to a file. Throws std::runtime_error on open failure
+/// and — after flushing — on any write failure, so a full disk surfaces
+/// as an error instead of a silently truncated file.
 void write_csv_file(const std::string& path, const Table& table);
 
 }  // namespace cellsync

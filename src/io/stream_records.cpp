@@ -33,18 +33,30 @@ Record_stream::Record_stream(std::istream& in) : in_(in) {
         throw std::runtime_error("record stream: empty or missing header");
     }
     bool has_time = false, has_gene = false, has_value = false;
+    // A repeated column is ambiguous (which copy holds the data?); the old
+    // last-one-wins behavior silently read the wrong field, so reject.
+    const auto reject_duplicate = [&](bool seen, const std::string& name) {
+        if (seen) {
+            throw std::runtime_error("record stream line " + std::to_string(line_number_) +
+                                     ": duplicate column '" + name + "'");
+        }
+    };
     for (std::size_t c = 0; c < header.size(); ++c) {
         const std::string& name = header[c];
         if (name == "time") {
+            reject_duplicate(has_time, name);
             time_col_ = c;
             has_time = true;
         } else if (name == "gene") {
+            reject_duplicate(has_gene, name);
             gene_col_ = c;
             has_gene = true;
         } else if (name == "value") {
+            reject_duplicate(has_value, name);
             value_col_ = c;
             has_value = true;
         } else if (name == "sigma") {
+            reject_duplicate(has_sigma_, name);
             sigma_col_ = c;
             has_sigma_ = true;
         } else {

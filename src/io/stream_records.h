@@ -39,7 +39,9 @@ struct Expression_record {
 class Record_stream {
   public:
     /// Reads and validates the header: `time`, `gene`, and `value`
-    /// columns required (any order), `sigma` optional, nothing else.
+    /// columns required (any order), `sigma` optional, nothing else —
+    /// and no column twice (a duplicate is ambiguous about which copy
+    /// holds the data, so it is rejected with the header's line number).
     explicit Record_stream(std::istream& in);
 
     /// Next record, or std::nullopt once the stream is exhausted.

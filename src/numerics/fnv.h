@@ -1,0 +1,29 @@
+// FNV-1a 64-bit hashing — the repo's one non-cryptographic hash.
+//
+// Three subsystems rely on the same function: kernel cache entry stems
+// (key -> hex file name), experiment gene-shard assignment (label -> shard
+// index), and the binary kernel format's trailing checksum. One shared
+// definition keeps them from drifting: the cache stems and the shard
+// assignment are persisted / cross-process contracts, so the constants
+// below must never change for v1 artifacts.
+#ifndef CELLSYNC_NUMERICS_FNV_H
+#define CELLSYNC_NUMERICS_FNV_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace cellsync {
+
+/// FNV-1a 64-bit hash of a byte sequence.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+    std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 1099511628211ull;  // FNV prime
+    }
+    return hash;
+}
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_FNV_H

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "io/kernel_io.h"
+#include "numerics/fnv.h"
 
 namespace cellsync {
 
@@ -90,9 +91,13 @@ std::vector<Kernel_cache_entry_info> scan_directory(const std::string& directory
                                  name.size() - std::strlen(prefix) - 4);
         entry.key = read_text_file(item.path().string());
         entry.bytes = file_bytes(item.path().string());
-        const std::string csv =
-            (item.path().parent_path() / ("kernel_" + entry.hash + ".csv")).string();
-        entry.bytes += file_bytes(csv);
+        // Entries may be binary (current), legacy CSV, or mid-migration
+        // (both); account whatever is on disk.
+        for (const char* extension : {".bin", ".csv"}) {
+            entry.bytes += file_bytes(
+                (item.path().parent_path() / ("kernel_" + entry.hash + extension))
+                    .string());
+        }
         entries.push_back(std::move(entry));
     }
     std::sort(entries.begin(), entries.end(),
@@ -185,22 +190,47 @@ std::string Kernel_cache::cache_key(const Cell_cycle_config& config,
 }
 
 std::string Kernel_cache::key_hash(const std::string& key) {
-    std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
-    for (unsigned char c : key) {
-        hash ^= c;
-        hash *= 1099511628211ull;  // FNV prime
-    }
+    const std::uint64_t hash = fnv1a64(key);
     char buffer[24];
     std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(hash));
     return buffer;
 }
 
-std::string Kernel_cache::entry_path(const std::string& hash) const {
+std::string Kernel_cache::binary_entry_path(const std::string& hash) const {
+    return directory_ + "/kernel_" + hash + ".bin";
+}
+
+std::string Kernel_cache::legacy_entry_path(const std::string& hash) const {
     return directory_ + "/kernel_" + hash + ".csv";
 }
 
 std::string Kernel_cache::sidecar_path(const std::string& hash) const {
     return directory_ + "/kernel_" + hash + ".key";
+}
+
+std::uint64_t Kernel_cache::entry_bytes(const std::string& hash) const {
+    return file_bytes(binary_entry_path(hash)) + file_bytes(legacy_entry_path(hash)) +
+           file_bytes(sidecar_path(hash));
+}
+
+bool Kernel_cache::migrate_legacy_entry(const std::string& hash, const Kernel_grid& kernel) {
+    // Best-effort: the CSV stays authoritative until the binary lands
+    // completely (write_kernel_file verifies the flush), so an
+    // interrupted migration leaves a servable entry either way. The
+    // sidecar is untouched — the key, and therefore the entry's
+    // identity, does not change.
+    try {
+        write_kernel_file(binary_entry_path(hash), kernel, Kernel_format::binary);
+    } catch (const std::exception& e) {
+        std::error_code ec;
+        std::filesystem::remove(binary_entry_path(hash), ec);
+        std::fprintf(stderr, "Kernel_cache: could not migrate legacy entry %s (%s)\n",
+                     legacy_entry_path(hash).c_str(), e.what());
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::remove(legacy_entry_path(hash), ec);
+    return true;
 }
 
 std::string Kernel_cache::manifest_path(const std::string& directory) {
@@ -246,7 +276,7 @@ void Kernel_cache::touch_manifest(const std::string& hash, const std::string& ke
         self->key = key;
         self->last_use = next_use;
         if (stored || self->bytes == 0) {
-            self->bytes = file_bytes(entry_path(hash)) + file_bytes(sidecar_path(hash));
+            self->bytes = entry_bytes(hash);
         }
 
         if (limits_.max_disk_bytes > 0) {
@@ -266,10 +296,12 @@ void Kernel_cache::touch_manifest(const std::string& hash, const std::string& ke
                 }
                 if (victim == entries.size()) break;
                 std::error_code ec;
-                // Sidecar first: without its key the CSV orphan can never
-                // be served, so a torn eviction degrades to a rebuild.
+                // Sidecar first: without its key the kernel orphan can
+                // never be served, so a torn eviction degrades to a
+                // rebuild. Entries may be binary, legacy CSV, or both.
                 std::filesystem::remove(sidecar_path(entries[victim].hash), ec);
-                std::filesystem::remove(entry_path(entries[victim].hash), ec);
+                std::filesystem::remove(binary_entry_path(entries[victim].hash), ec);
+                std::filesystem::remove(legacy_entry_path(entries[victim].hash), ec);
                 total -= std::min(total, entries[victim].bytes);
                 entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(victim));
                 ++evicted;
@@ -354,17 +386,55 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
     const std::string hash = key_hash(key);
     try {
         if (!directory_.empty() && read_text_file(sidecar_path(hash)) == key) {
-            // The sidecar is written after the kernel CSV, so a matching
+            // The sidecar is written after the kernel file, so a matching
             // key promises a complete entry; a corrupt or
-            // invariant-violating CSV still only costs a rebuild.
+            // invariant-violating file still only costs a rebuild. New
+            // entries are binary; legacy caches hold CSVs — serve either,
+            // preferring the binary when both exist (mid-migration).
+            std::error_code ec;
+            const std::string binary = binary_entry_path(hash);
+            bool is_legacy = !std::filesystem::exists(binary, ec);
+            std::string entry = is_legacy ? legacy_entry_path(hash) : binary;
             try {
-                kernel =
-                    std::make_shared<const Kernel_grid>(read_kernel_file(entry_path(hash)));
+                try {
+                    kernel = std::make_shared<const Kernel_grid>(read_kernel_file(entry));
+                } catch (const std::exception& e) {
+                    // A torn mid-migration binary (process killed between
+                    // opening the .bin and its flush) must not shadow the
+                    // still-valid CSV sitting next to it: fall back, and
+                    // let the migration below overwrite the torn file.
+                    if (is_legacy || !std::filesystem::exists(legacy_entry_path(hash), ec)) {
+                        throw;
+                    }
+                    std::fprintf(stderr,
+                                 "Kernel_cache: unreadable binary entry %s (%s); falling "
+                                 "back to the legacy CSV\n",
+                                 entry.c_str(), e.what());
+                    is_legacy = true;
+                    entry = legacy_entry_path(hash);
+                    kernel = std::make_shared<const Kernel_grid>(read_kernel_file(entry));
+                }
                 from_disk = true;
-                touch_manifest(hash, key, /*stored=*/false);
+                bool stored = false;
+                if (!limits_.read_only) {
+                    if (is_legacy) {
+                        // Opportunistic upgrade: a writable owner rewrites
+                        // a legacy entry in the binary format the first
+                        // time it is touched, so old caches converge
+                        // without a separate migration pass.
+                        stored = migrate_legacy_entry(hash, *kernel);
+                    } else if (std::filesystem::exists(legacy_entry_path(hash), ec)) {
+                        // A migration that died between writing the binary
+                        // and dropping the CSV left both behind; the
+                        // binary just read fine, so finish the job.
+                        std::filesystem::remove(legacy_entry_path(hash), ec);
+                        stored = true;  // re-account the shrunken footprint
+                    }
+                }
+                touch_manifest(hash, key, stored);
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "Kernel_cache: discarding unreadable entry %s (%s)\n",
-                             entry_path(hash).c_str(), e.what());
+                             entry.c_str(), e.what());
             }
         }
         if (!kernel) {
@@ -372,18 +442,28 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
                 build_kernel(config, volume_model, times, options));
             if (!directory_.empty() && !limits_.read_only) {
                 // A full disk or unwritable directory degrades to
-                // memory-only caching instead of sinking the run.
+                // memory-only caching instead of sinking the run. The
+                // sidecar commit marker is only written after the kernel
+                // file lands completely, and a torn kernel file is
+                // removed, so no failure mode publishes a corrupt entry.
                 try {
-                    write_kernel_file(entry_path(hash), *kernel);
-                    std::ofstream sidecar(sidecar_path(hash),
-                                          std::ios::binary | std::ios::trunc);
-                    sidecar << key;
-                    if (!sidecar) {
-                        throw std::runtime_error("cannot write '" + sidecar_path(hash) +
-                                                 "'");
+                    write_kernel_file(binary_entry_path(hash), *kernel,
+                                      Kernel_format::binary);
+                    {
+                        std::ofstream sidecar(sidecar_path(hash),
+                                              std::ios::binary | std::ios::trunc);
+                        sidecar << key;
+                        sidecar.flush();
+                        if (!sidecar) {
+                            throw std::runtime_error("cannot write '" +
+                                                     sidecar_path(hash) + "'");
+                        }
                     }
                     touch_manifest(hash, key, /*stored=*/true);
                 } catch (const std::exception& e) {
+                    std::error_code ec;
+                    std::filesystem::remove(sidecar_path(hash), ec);
+                    std::filesystem::remove(binary_entry_path(hash), ec);
                     std::fprintf(stderr, "Kernel_cache: could not persist entry: %s\n",
                                  e.what());
                 }

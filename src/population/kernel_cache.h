@@ -11,10 +11,14 @@
 //
 // Layering: in-memory map first (shared_ptr hand-out, so concurrent users
 // share one grid), then the on-disk store when a directory is configured.
-// Disk entries are a kernel CSV plus a sidecar `.key` file holding the
+// Disk entries are a kernel file plus a sidecar `.key` file holding the
 // canonical key string; the sidecar is written last (commit marker) and
 // compared on load, so torn writes and hash collisions degrade to a
-// rebuild, never to a wrong kernel.
+// rebuild, never to a wrong kernel. New entries are stored in the
+// cellsync-kernel-bin-v1 binary format (`.bin`, smaller and much faster
+// to parse); legacy `.csv` entries from older caches keep serving hits
+// transparently — read-only fleets leave them as-is, a writable owner
+// migrates an entry to binary the first time it is touched.
 #ifndef CELLSYNC_POPULATION_KERNEL_CACHE_H
 #define CELLSYNC_POPULATION_KERNEL_CACHE_H
 
@@ -55,9 +59,10 @@ inline Kernel_cache_stats operator-(const Kernel_cache_stats& later,
 
 /// Disk-usage policy for a directory-backed cache.
 struct Kernel_cache_limits {
-    /// Size cap for the cache directory's entries (kernel CSV + sidecar),
-    /// enforced after every store by evicting least-recently-used entries.
-    /// 0 = unbounded (the pre-LRU behavior).
+    /// Size cap for the cache directory's entries (kernel file — binary
+    /// or legacy CSV — plus sidecar), enforced after every store by
+    /// evicting least-recently-used entries. 0 = unbounded (the pre-LRU
+    /// behavior).
     std::uint64_t max_disk_bytes = 0;
     /// Shared-directory fleet mode: serve disk entries but never write —
     /// no new entries, no manifest updates, no LRU eviction. The
@@ -76,7 +81,7 @@ struct Kernel_cache_request_state;
 /// One manifest row: a disk entry with its provenance and recency.
 struct Kernel_cache_entry_info {
     std::string hash;          ///< fixed-width hex file stem
-    std::uint64_t bytes = 0;   ///< kernel CSV + sidecar size on disk
+    std::uint64_t bytes = 0;   ///< kernel file(s) + sidecar size on disk
     std::uint64_t last_use = 0;///< monotone use sequence (higher = more recent)
     std::string key;           ///< full config provenance (cache_key string)
 };
@@ -203,8 +208,16 @@ class Kernel_cache {
   private:
     friend struct Kernel_cache_request_state;
 
-    std::string entry_path(const std::string& hash) const;
+    std::string binary_entry_path(const std::string& hash) const;
+    std::string legacy_entry_path(const std::string& hash) const;
     std::string sidecar_path(const std::string& hash) const;
+    /// Combined on-disk footprint of one entry (binary and/or legacy
+    /// kernel file, plus the sidecar).
+    std::uint64_t entry_bytes(const std::string& hash) const;
+    /// Rewrite a legacy CSV entry in the binary format and drop the CSV
+    /// (writable caches only; best-effort — a failure keeps the CSV).
+    /// Returns true when the entry's files changed.
+    bool migrate_legacy_entry(const std::string& hash, const Kernel_grid& kernel);
     /// Record a use (disk hit) or a fresh store of `hash` in the manifest,
     /// then enforce the size cap by evicting LRU entries (never the entry
     /// just touched). Never throws: manifest I/O failures degrade to a

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -126,6 +127,16 @@ TEST(Csv, FileRoundTrip) {
     const Table back = read_csv_file(path);
     EXPECT_DOUBLE_EQ(back.column("x")[1], 2.0);
     std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFailureIsReportedNotSwallowed) {
+    if (!std::filesystem::exists("/dev/full")) GTEST_SKIP() << "no /dev/full";
+    Table t;
+    t.add_column("x", {1.0, 2.0});
+    // /dev/full opens fine but every flushed write fails with ENOSPC;
+    // without the post-flush stream check a truncated file was reported
+    // as success.
+    EXPECT_THROW(write_csv_file("/dev/full", t), std::runtime_error);
 }
 
 }  // namespace

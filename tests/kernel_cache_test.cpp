@@ -142,10 +142,10 @@ TEST(KernelCache, CorruptDiskEntryDegradesToRebuild) {
         Kernel_cache cache(dir);
         cache.get_or_build(config, vm, times, tiny_options());
     }
-    // Truncate the kernel CSV (sidecar stays valid) — the loader must
+    // Truncate the kernel file (sidecar stays valid) — the loader must
     // reject it and rebuild instead of throwing or serving garbage.
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-        if (entry.path().extension() == ".csv") {
+        if (entry.path().extension() == ".bin" || entry.path().extension() == ".csv") {
             std::ofstream truncate(entry.path(), std::ios::trunc);
             truncate << "phi,t0\nnot,a,kernel\n";
         }
@@ -405,6 +405,186 @@ TEST(KernelCache, AsyncGetBlocksJoinersUntilTheExecutorFinishes) {
     ASSERT_NE(from_thread, nullptr);
     EXPECT_EQ(direct.get(), from_thread.get());
     EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+// A pre-upgrade cache directory: kernel CSVs + sidecars, as written by
+// the versions that stored entries in the CSV format.
+std::string make_legacy_entry(const std::string& dir, const Cell_cycle_config& config,
+                              const Volume_model& vm, const Vector& times,
+                              const Kernel_build_options& options) {
+    std::filesystem::create_directories(dir);
+    const std::string key = Kernel_cache::cache_key(config, vm, times, options);
+    const std::string hash = Kernel_cache::key_hash(key);
+    const Kernel_grid kernel = build_kernel(config, vm, times, options);
+    write_kernel_file(dir + "/kernel_" + hash + ".csv", kernel, Kernel_format::csv);
+    std::ofstream sidecar(dir + "/kernel_" + hash + ".key", std::ios::binary);
+    sidecar << key;
+    return hash;
+}
+
+TEST(KernelCache, LegacyCsvEntryServedAndMigratedToBinary) {
+    const std::string dir = fresh_dir("legacy_migrate");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    const std::string hash = make_legacy_entry(dir, config, vm, times, tiny_options());
+    const Kernel_grid reference = build_kernel(config, vm, times, tiny_options());
+
+    Kernel_cache cache(dir);
+    const auto served = cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_EQ(cache.stats().builds, 0u);
+    expect_bit_identical(*served, reference);
+
+    // The touch migrated the entry: binary in place, CSV gone, same
+    // sidecar, and the manifest accounts the new (smaller) footprint.
+    EXPECT_TRUE(std::filesystem::exists(dir + "/kernel_" + hash + ".bin"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/kernel_" + hash + ".csv"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/kernel_" + hash + ".key"));
+    const Kernel_cache_manifest manifest = cache.manifest();
+    ASSERT_EQ(manifest.entries.size(), 1u);
+    std::uint64_t on_disk = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().filename().string().rfind("kernel_", 0) == 0) {
+            on_disk += std::filesystem::file_size(entry.path());
+        }
+    }
+    EXPECT_EQ(manifest.entries[0].bytes, on_disk);
+
+    // The migrated entry keeps serving from a fresh instance.
+    Kernel_cache reader(dir);
+    const auto reloaded = reader.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+    expect_bit_identical(*reloaded, reference);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, TornMigrationBinaryFallsBackToLegacyCsv) {
+    const std::string dir = fresh_dir("torn_migration");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    const std::string hash = make_legacy_entry(dir, config, vm, times, tiny_options());
+    // A migration killed mid-write leaves a truncated .bin next to the
+    // still-valid CSV; the cache must serve the CSV (no rebuild) and
+    // complete the migration over the torn file.
+    {
+        std::ofstream torn(dir + "/kernel_" + hash + ".bin", std::ios::binary);
+        torn << "cellsync-kernel-bin-v1\n\x01";
+    }
+
+    Kernel_cache cache(dir);
+    const auto served = cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_EQ(cache.stats().builds, 0u);
+    expect_bit_identical(*served, build_kernel(config, vm, times, tiny_options()));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/kernel_" + hash + ".csv"));
+
+    // The rewritten binary is complete: a fresh instance loads it.
+    Kernel_cache reader(dir);
+    reader.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+    EXPECT_EQ(reader.stats().builds, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, InterruptedMigrationLeftoverCsvIsCleanedUp) {
+    const std::string dir = fresh_dir("leftover_csv");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    const std::string hash = make_legacy_entry(dir, config, vm, times, tiny_options());
+    // A migration killed after the binary landed but before the CSV was
+    // removed leaves both files; the next writable touch must finish the
+    // cleanup (and re-account the entry's bytes), not carry the orphan
+    // forever.
+    write_kernel_file(dir + "/kernel_" + hash + ".bin",
+                      build_kernel(config, vm, times, tiny_options()),
+                      Kernel_format::binary);
+
+    Kernel_cache cache(dir);
+    cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/kernel_" + hash + ".bin"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/kernel_" + hash + ".csv"));
+    const Kernel_cache_manifest manifest = cache.manifest();
+    ASSERT_EQ(manifest.entries.size(), 1u);
+    EXPECT_EQ(manifest.entries[0].bytes,
+              std::filesystem::file_size(dir + "/kernel_" + hash + ".bin") +
+                  std::filesystem::file_size(dir + "/kernel_" + hash + ".key"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, ReadOnlyCacheServesLegacyCsvWithoutMigrating) {
+    const std::string dir = fresh_dir("legacy_readonly");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    const std::string hash = make_legacy_entry(dir, config, vm, times, tiny_options());
+
+    Kernel_cache_limits limits;
+    limits.read_only = true;
+    Kernel_cache fleet(dir, limits);
+    const auto served = fleet.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(fleet.stats().disk_hits, 1u);
+    EXPECT_EQ(fleet.stats().builds, 0u);
+    expect_bit_identical(*served, build_kernel(config, vm, times, tiny_options()));
+
+    // Fleet mode never writes: the CSV entry stays, nothing binary
+    // appears, no manifest is created.
+    EXPECT_TRUE(std::filesystem::exists(dir + "/kernel_" + hash + ".csv"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/kernel_" + hash + ".bin"));
+    EXPECT_FALSE(std::filesystem::exists(Kernel_cache::manifest_path(dir)));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, LruEvictionRemovesLegacyCsvEntries) {
+    const std::string dir = fresh_dir("legacy_evict");
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    Cell_cycle_config old_config;
+    old_config.mu_sst = 0.25;
+    const std::string legacy_hash =
+        make_legacy_entry(dir, old_config, vm, times, tiny_options());
+
+    // A tight cap forces the never-touched legacy entry out when a new
+    // (binary) entry lands; both of its files must disappear.
+    Kernel_cache_limits limits;
+    limits.max_disk_bytes = 1;
+    Kernel_cache cache(dir, limits);
+    cache.get_or_build(Cell_cycle_config{}, vm, times, tiny_options());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(std::filesystem::exists(dir + "/kernel_" + legacy_hash + ".csv"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/kernel_" + legacy_hash + ".key"));
+    EXPECT_EQ(cache.manifest().entries.size(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(KernelCache, EntryWriteFailureSkipsTheSidecar) {
+    const std::string dir = fresh_dir("write_failure");
+    const Cell_cycle_config config;
+    const Smooth_volume_model vm;
+    const Vector times{0.0, 30.0};
+    const std::string key = Kernel_cache::cache_key(config, vm, times, tiny_options());
+    const std::string hash = Kernel_cache::key_hash(key);
+    // A directory squatting on the entry path makes the kernel write fail
+    // (stands in for a full disk). The cache must degrade to memory-only
+    // for this entry — in particular it must NOT write the sidecar commit
+    // marker, which would publish a corrupt/absent kernel as valid.
+    std::filesystem::create_directories(dir + "/kernel_" + hash + ".bin");
+
+    Kernel_cache cache(dir);
+    const auto kernel = cache.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(kernel->time_count(), 2u);
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_FALSE(std::filesystem::exists(dir + "/kernel_" + hash + ".key"));
+
+    // A fresh instance sees no committed entry and rebuilds.
+    Kernel_cache reader(dir);
+    reader.get_or_build(config, vm, times, tiny_options());
+    EXPECT_EQ(reader.stats().builds, 1u);
+    EXPECT_EQ(reader.stats().disk_hits, 0u);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(KernelCache, MissingManifestIsRebuiltFromSidecars) {

@@ -106,6 +106,40 @@ TEST(RecordStream, HeaderValidation) {
     }
 }
 
+TEST(RecordStream, DuplicateColumnsRejectedWithLineNumber) {
+    // Regression: 'time,time,gene,value' used to silently bind the
+    // second copy (last wins), reading values from the wrong field.
+    const char* duplicated[] = {
+        "time,time,gene,value\n0,0,ftsZ,1\n",
+        "time,gene,gene,value\n0,ftsZ,ftsZ,1\n",
+        "time,gene,value,value\n0,ftsZ,1,1\n",
+        "time,gene,value,sigma,sigma\n0,ftsZ,1,0.5,0.5\n",
+    };
+    for (const char* text : duplicated) {
+        std::istringstream in(text);
+        try {
+            Record_stream stream(in);
+            FAIL() << "accepted duplicate header: " << text;
+        } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("duplicate column"), std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos) << e.what();
+        }
+    }
+}
+
+TEST(RecordStream, DuplicateColumnErrorNamesTheHeaderLine) {
+    // Comments shift the header off line 1; the error must name the
+    // actual header line.
+    std::istringstream in("# appended by sensor rig\n\ntime,gene,value,time\n");
+    try {
+        Record_stream stream(in);
+        FAIL() << "accepted duplicate header";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    }
+}
+
 TEST(RecordStream, RecordValidationNamesTheLine) {
     {
         std::istringstream in("time,gene,value\n0,ftsZ\n");  // ragged

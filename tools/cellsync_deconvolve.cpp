@@ -28,12 +28,20 @@
 //            --times-from) because the kernel is simulated for the whole
 //            protocol. The final profile CSV matches a batch `run` with
 //            the same fixed --lambda bit for bit.
-//   kernel   build: simulate a kernel and write it to --output.
+//   kernel   build: simulate a kernel and write it to --output, as CSV or
+//            in the cellsync-kernel-bin-v1 binary format (--kernel-format,
+//            default from the output extension: `.bin` is binary,
+//            anything else CSV).
 //            cache: resolve a kernel through --cache-dir (build on miss,
 //            reuse on hit) — use it to pre-warm a cache shared by later
 //            runs — then print the cache manifest (entries, bytes,
 //            recency). Without --times/--times-from, just prints the
 //            manifest.
+//            convert: re-encode a saved kernel between the CSV and binary
+//            formats (--input -> --output). The input format is
+//            auto-detected; the output format is --kernel-format when
+//            given, else follows a `.bin`/`.csv` output extension, else
+//            is the opposite of the input's. Round-trips bit-exactly.
 //   report   Recompute synchrony scores (order parameter, entropy, peak
 //            phase) for profile CSVs produced by `run` / `stream`;
 //            --json PATH additionally writes a machine-readable report
@@ -70,8 +78,10 @@
 //   --sequential        experiment runs: condition-by-condition schedule
 //                       instead of the pipelined task graph (results are
 //                       bit-identical; this is the debugging reference)
-//   --kernel PATH       reuse a saved kernel (single-series run)
+//   --kernel PATH       reuse a saved kernel (single-series run; CSV or
+//                       binary, auto-detected)
 //   --save-kernel PATH  persist the simulated kernel (single-series run)
+//   --kernel-format F   csv | bin | binary (kernel build / kernel convert)
 //   --cells N --bins N --seed N     simulation controls
 //   --basis N           spline knots Nc             (default 18)
 //   --lambda X          fixed smoothness weight     (default: 5-fold CV
@@ -91,6 +101,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
@@ -129,6 +140,7 @@ struct Cli_options {
     std::string cache_dir;
     std::string kernel_path;
     std::string save_kernel_path;
+    std::optional<Kernel_format> kernel_format;  ///< kernel build/convert output
     std::string times_spec;
     std::string times_from;
     std::size_t cells = 100000;
@@ -211,6 +223,8 @@ Cli_options parse_args(int argc, char** argv, int first) {
             else if (arg == "--cache-dir") options.cache_dir = next_value(i);
             else if (arg == "--kernel") options.kernel_path = next_value(i);
             else if (arg == "--save-kernel") options.save_kernel_path = next_value(i);
+            else if (arg == "--kernel-format")
+                options.kernel_format = kernel_format_from_string(next_value(i));
             else if (arg == "--times") options.times_spec = next_value(i);
             else if (arg == "--times-from") options.times_from = next_value(i);
             else if (arg == "--cells") options.cells = std::stoul(next_value(i));
@@ -357,6 +371,13 @@ std::string output_stem(const std::string& output) {
     return dot == output.size() - 4 ? output.substr(0, dot) : output;
 }
 
+/// `.bin` paths default to the binary format, everything else to CSV —
+/// an explicit --kernel-format always wins.
+Kernel_format format_for_output(const Cli_options& cli, const std::string& path) {
+    if (cli.kernel_format.has_value()) return *cli.kernel_format;
+    return path.ends_with(".bin") ? Kernel_format::binary : Kernel_format::csv;
+}
+
 // ---------------------------------------------------------------------------
 // run: single series (the historical behavior).
 // ---------------------------------------------------------------------------
@@ -387,7 +408,8 @@ int run_single(const Cli_options& cli) {
                     volume->name().c_str());
     }
     if (!cli.save_kernel_path.empty()) {
-        write_kernel_file(cli.save_kernel_path, *kernel);
+        write_kernel_file(cli.save_kernel_path, *kernel,
+                          format_for_output(cli, cli.save_kernel_path));
         std::printf("kernel: saved to %s\n", cli.save_kernel_path.c_str());
     }
 
@@ -715,9 +737,49 @@ int cmd_kernel_build(const Cli_options& cli) {
     const std::unique_ptr<Volume_model> volume = volume_from(cli);
     const Kernel_grid kernel =
         build_kernel(config_from(cli), *volume, times, kernel_options_from(cli));
-    write_kernel_file(cli.output, kernel);
-    std::printf("simulated %zu cells -> %zu times x %zu bins, wrote %s\n", cli.cells,
-                kernel.time_count(), kernel.bin_count(), cli.output.c_str());
+    const Kernel_format format = format_for_output(cli, cli.output);
+    write_kernel_file(cli.output, kernel, format);
+    std::printf("simulated %zu cells -> %zu times x %zu bins, wrote %s (%s)\n", cli.cells,
+                kernel.time_count(), kernel.bin_count(), cli.output.c_str(),
+                to_string(format));
+    return 0;
+}
+
+int cmd_kernel_convert(const Cli_options& cli) {
+    if (cli.input.empty() || cli.output.empty()) {
+        usage_error("kernel convert needs --input PATH and --output PATH");
+    }
+    Kernel_format from = Kernel_format::csv;
+    const Kernel_grid kernel = read_kernel_file(cli.input, &from);
+    // Output format precedence: explicit --kernel-format, then a telling
+    // output extension (so `convert a.bin b.csv` re-encodes csv->csv if
+    // asked), and only with neither does convert mean "the other format".
+    Kernel_format to;
+    if (cli.kernel_format.has_value()) {
+        to = *cli.kernel_format;
+    } else if (cli.output.ends_with(".bin")) {
+        to = Kernel_format::binary;
+    } else if (cli.output.ends_with(".csv")) {
+        to = Kernel_format::csv;
+    } else {
+        to = from == Kernel_format::csv ? Kernel_format::binary : Kernel_format::csv;
+    }
+    write_kernel_file(cli.output, kernel, to);
+    const auto bytes = [](const std::string& path) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        return ec ? 0.0 : static_cast<double>(size);
+    };
+    const double in_bytes = bytes(cli.input), out_bytes = bytes(cli.output);
+    std::printf("%s (%s, %.1f KiB) -> %s (%s, %.1f KiB)", cli.input.c_str(),
+                to_string(from), in_bytes / 1024.0, cli.output.c_str(), to_string(to),
+                out_bytes / 1024.0);
+    if (in_bytes > 0 && out_bytes > 0) {
+        std::printf(out_bytes < in_bytes ? " — %.1fx smaller" : " — %.1fx larger",
+                    out_bytes < in_bytes ? in_bytes / out_bytes : out_bytes / in_bytes);
+    }
+    std::printf("\n%zu times x %zu bins, grid preserved bit-exactly\n",
+                kernel.time_count(), kernel.bin_count());
     return 0;
 }
 
@@ -972,12 +1034,13 @@ int main(int argc, char** argv) {
             return cmd_stream(parse_args(argc, argv, first));
         }
         if (command == "kernel") {
-            if (argc < 3) usage_error("kernel needs a mode: build or cache");
+            if (argc < 3) usage_error("kernel needs a mode: build, cache, or convert");
             const std::string mode = argv[2];
             const Cli_options cli = parse_args(argc, argv, 3);
             if (mode == "build") return cmd_kernel_build(cli);
             if (mode == "cache") return cmd_kernel_cache(cli);
-            usage_error("unknown kernel mode '" + mode + "' (build or cache)");
+            if (mode == "convert") return cmd_kernel_convert(cli);
+            usage_error("unknown kernel mode '" + mode + "' (build, cache, or convert)");
         }
         if (command == "report") {
             // Positional profile CSVs are allowed after `report`.
