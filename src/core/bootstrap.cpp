@@ -67,6 +67,12 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
     // Base fit and standardized residuals.
     const Single_cell_estimate base = deconvolver.estimate(series, options);
     const std::size_t m = series.size();
+
+    // Phase-grid design, built once and shared by every replicate: each
+    // replicate's profile sampling becomes one (banded) mat-vec instead of
+    // a per-point basis evaluation, bit-identical to estimate.sample()
+    // (same increasing-index accumulation per grid point).
+    const Banded_matrix phi_design = deconvolver.basis().design_matrix_banded(phi_grid);
     Vector std_residuals(m);
     for (std::size_t i = 0; i < m; ++i) {
         std_residuals[i] = (series.values[i] - base.fitted[i]) / series.sigmas[i];
@@ -88,7 +94,7 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
         }
         try {
             const Single_cell_estimate refit = deconvolver.estimate(resampled, options);
-            slots[rep] = refit.sample(phi_grid);
+            slots[rep] = phi_design * refit.coefficients();
         } catch (const std::runtime_error&) {
             // Failed refit: slot stays empty and is counted below.
         }
@@ -109,7 +115,7 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
 
     Confidence_band band;
     band.phi = phi_grid;
-    band.point = base.sample(phi_grid);
+    band.point = phi_design * base.coefficients();
     band.replicates_used = samples.size();
     band.lower.resize(phi_grid.size());
     band.median.resize(phi_grid.size());

@@ -40,7 +40,7 @@ double kfold_lambda_score(const Deconvolver& deconvolver, const Measurement_seri
         throw std::invalid_argument("kfold_lambda_score: permutation length mismatch");
     }
     const Vector weights = series.weights();
-    const Matrix& kernel = deconvolver.kernel_matrix();
+    const Banded_matrix& kernel = deconvolver.kernel_banded();
 
     Deconvolution_options options = base_options;
     options.lambda = lambda;
@@ -55,7 +55,9 @@ double kfold_lambda_score(const Deconvolver& deconvolver, const Measurement_seri
             const Single_cell_estimate fit =
                 deconvolver.estimate_on_rows(series, train, options);
             for (std::size_t idx : test) {
-                const double pred = dot(kernel.row(idx), fit.coefficients());
+                // Held-out prediction over the row's span, without the
+                // kernel.row() copy the dense path paid per test point.
+                const double pred = row_dot(kernel, idx, fit.coefficients());
                 const double r = series.values[idx] - pred;
                 score += weights[idx] * r * r;
             }

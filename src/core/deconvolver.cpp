@@ -68,7 +68,7 @@ Single_cell_estimate Deconvolver::package(Vector alpha, const Measurement_series
                                           double lambda) const {
     Single_cell_estimate est(artifacts_->basis, std::move(alpha));
     est.lambda = lambda;
-    est.fitted = artifacts_->kernel_matrix * est.coefficients();
+    est.fitted = artifacts_->kernel_banded * est.coefficients();
     const Vector w = series.weights();
     double chi2 = 0.0;
     for (std::size_t m = 0; m < series.size(); ++m) {
@@ -106,24 +106,24 @@ Single_cell_estimate Deconvolver::estimate_on_rows(const Measurement_series& ser
     }
 
     const std::size_t n = artifacts_->basis->size();
-    const Matrix& kernel_matrix = artifacts_->kernel_matrix;
+    const Banded_matrix& kernel = artifacts_->kernel_banded;
     const Vector w_full = series.weights();
 
-    // H = 2 (K'WK + lambda Omega + ridge I), g = -2 K'W G over selected rows.
-    Matrix k_sub(rows.size(), n);
+    // H = 2 (K'WK + lambda Omega + ridge I), g = -2 K'W G over selected
+    // rows, accumulated straight off the shared banded kernel: no k_sub
+    // copy, and structurally zero kernel blocks are skipped entirely.
     Vector g_sub(rows.size());
     Vector w_sub(rows.size());
     for (std::size_t r = 0; r < rows.size(); ++r) {
-        k_sub.set_row(r, kernel_matrix.row(rows[r]));
         g_sub[r] = series.values[rows[r]];
         w_sub[r] = w_full[rows[r]];
     }
 
-    Matrix hessian = 2.0 * (weighted_gram(k_sub, w_sub) + options.lambda * artifacts_->penalty);
+    Matrix hessian =
+        2.0 * (weighted_gram_rows(kernel, rows, w_sub) + options.lambda * artifacts_->penalty);
     for (std::size_t i = 0; i < n; ++i) hessian(i, i) += 2.0 * options.ridge;
     Vector gradient(n, 0.0);
-    const Vector wg = hadamard(w_sub, g_sub);
-    const Vector ktwg = transposed_times(k_sub, wg);
+    const Vector ktwg = weighted_transposed_times_rows(kernel, rows, w_sub, g_sub);
     for (std::size_t i = 0; i < n; ++i) gradient[i] = -2.0 * ktwg[i];
 
     // Constraint blocks: the design caches the blocks and their QP
@@ -177,11 +177,11 @@ Single_cell_estimate Deconvolver::estimate_unconstrained(const Measurement_serie
     // Normal equations (K'WK + lambda Omega + ridge I) alpha = K'W G through
     // the cached-block KKT object (Cholesky, LDLT on the semi-definite
     // corner).
-    Kkt_factorization kkt(weighted_gram(artifacts_->kernel_matrix, w), artifacts_->penalty,
+    Kkt_factorization kkt(weighted_gram(artifacts_->kernel_banded, w), artifacts_->penalty,
                           Matrix(0, n));
     kkt.factorize(lambda, ridge);
     const Vector rhs =
-        transposed_times(artifacts_->kernel_matrix, hadamard(w, series.values));
+        transposed_times(artifacts_->kernel_banded, hadamard(w, series.values));
     Vector alpha = kkt.solve(scaled(rhs, -1.0), Vector{});
     return package(std::move(alpha), series, lambda);
 }

@@ -14,6 +14,7 @@
 
 #include "biology/cell_cycle.h"
 #include "core/constraints.h"
+#include "numerics/banded.h"
 #include "numerics/qp_solver.h"
 #include "population/kernel_builder.h"
 #include "spline/basis.h"
@@ -28,6 +29,13 @@ struct Design_artifacts {
     Cell_cycle_config config;
     Vector times;          ///< kernel time grid (required measurement times)
     Matrix kernel_matrix;  ///< K(m, i) = integral Q(phi, t_m) psi_i(phi) dphi
+    /// kernel_matrix annotated with its per-row nonzero spans, detected
+    /// once here so every per-gene Gram / right-hand-side accumulation can
+    /// skip the structurally zero blocks (numerics/banded.h). For a
+    /// locally-supported basis over a concentrated kernel the spans are a
+    /// few columns wide; for a global basis they cover every column and
+    /// the banded kernels degrade gracefully to the dense work.
+    Banded_matrix kernel_banded;
     Matrix penalty;        ///< roughness Gram matrix Omega
 
     Constraint_options constraint_options;  ///< geometry the blocks were built for

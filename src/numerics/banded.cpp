@@ -1,0 +1,262 @@
+#include "numerics/banded.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numerics/simd.h"
+
+namespace cellsync {
+
+namespace {
+
+void require(bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("Banded_matrix: ") + what);
+}
+
+}  // namespace
+
+Banded_matrix::Banded_matrix(Matrix dense) : dense_(std::move(dense)) {
+    spans_.resize(dense_.rows());
+    const std::size_t cols = dense_.cols();
+    std::size_t inside = 0;
+    for (std::size_t i = 0; i < dense_.rows(); ++i) {
+        std::size_t begin = 0;
+        while (begin < cols && dense_(i, begin) == 0.0) ++begin;
+        if (begin == cols) {
+            spans_[i] = {0, 0};  // all-zero row
+            continue;
+        }
+        std::size_t end = cols;
+        while (end > begin && dense_(i, end - 1) == 0.0) --end;
+        spans_[i] = {begin, end};
+        inside += end - begin;
+        max_bandwidth_ = std::max(max_bandwidth_, end - begin);
+    }
+    const std::size_t total = dense_.rows() * cols;
+    occupancy_ =
+        total == 0 ? 1.0 : static_cast<double>(inside) / static_cast<double>(total);
+}
+
+Vector operator*(const Banded_matrix& a, const Vector& x) {
+    require(a.cols() == x.size(), "matrix-vector dimension mismatch");
+    const std::size_t cols = a.cols();
+    const double* ad = a.dense().data().data();
+    Vector y(a.rows(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const Row_span span = a.row_span(i);
+        const double* ri = ad + i * cols;
+        double s = 0.0;
+        for (std::size_t j = span.begin; j < span.end; ++j) s += ri[j] * x[j];
+        y[i] = s;
+    }
+    return y;
+}
+
+Vector transposed_times(const Banded_matrix& a, const Vector& x) {
+    require(a.rows() == x.size(), "transposed_times dimension mismatch");
+    const std::size_t cols = a.cols();
+    const double* ad = a.dense().data().data();
+    Vector y(cols, 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double xi = x[i];
+        const Row_span span = a.row_span(i);
+        const double* ri = ad + i * cols;
+        for (std::size_t j = span.begin; j < span.end; ++j) y[j] += ri[j] * xi;
+    }
+    return y;
+}
+
+namespace {
+
+// One row's rank-one contribution to the upper triangle of the Gram
+// accumulator: g(i, j) += (weight * row[i]) * row[j] for span-resident
+// i <= j. Same association and increasing-row order as the dense kernels,
+// so the assembled Gram is bit-identical to the dense result.
+void gram_rank_one_span(double* g, std::size_t n, const double* row, Row_span span,
+                        double weight) {
+    for (std::size_t i = span.begin; i < span.end; ++i) {
+        const double t = weight * row[i];
+        double* gi = g + i * n;
+        for (std::size_t j = i; j < span.end; ++j) gi[j] += t * row[j];
+    }
+}
+
+void gram_rank_one_span_unweighted(double* g, std::size_t n, const double* row,
+                                   Row_span span) {
+    for (std::size_t i = span.begin; i < span.end; ++i) {
+        const double t = row[i];
+        double* gi = g + i * n;
+        for (std::size_t j = i; j < span.end; ++j) gi[j] += t * row[j];
+    }
+}
+
+void mirror_upper(Matrix& g) {
+    for (std::size_t i = 1; i < g.rows(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+    }
+}
+
+// Dense-ish designs (occupancy above this) gain too little from the span
+// walk to pay for its per-row store traffic; they run the same j-blocked
+// shape as the dense dispatch kernels, indexing the rows indirectly. Both
+// paths are bit-identical (same per-output accumulation order; the span
+// walk only drops exact +/-0 terms), so the switch is purely a
+// performance heuristic.
+constexpr double dense_occupancy_threshold = 0.5;
+
+// Upper triangle of a(rows, :)' diag(w) a(rows, :) in j-blocked form: the
+// left-factor column t[r] = w[r] * a(rows[r], i) is hoisted once per i,
+// then simd_chunk_doubles output columns accumulate side by side, each
+// over r in increasing order (the reference order on the gathered
+// submatrix). Pass w == nullptr for the unweighted Gram.
+void gram_rows_blocked(double* gd, const Matrix& dense, const std::size_t* rows,
+                       std::size_t m, const double* w) {
+    const std::size_t n = dense.cols();
+    const double* ad = dense.data().data();
+    Vector t(m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t r = 0; r < m; ++r) {
+            const double v = ad[rows[r] * n + i];
+            t[r] = w ? w[r] * v : v;
+        }
+        double* gi = gd + i * n;
+        std::size_t j = i;
+        for (; j + simd_chunk_doubles <= n; j += simd_chunk_doubles) {
+            double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+            for (std::size_t r = 0; r < m; ++r) {
+                const double tr = t[r];
+                const double* rk = ad + rows[r] * n + j;
+                s0 += tr * rk[0];
+                s1 += tr * rk[1];
+                s2 += tr * rk[2];
+                s3 += tr * rk[3];
+            }
+            gi[j + 0] = s0;
+            gi[j + 1] = s1;
+            gi[j + 2] = s2;
+            gi[j + 3] = s3;
+        }
+        for (; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t r = 0; r < m; ++r) s += t[r] * ad[rows[r] * n + j];
+            gi[j] = s;
+        }
+    }
+}
+
+}  // namespace
+
+Matrix gram(const Banded_matrix& a) {
+    if (a.band_occupancy() > dense_occupancy_threshold) return gram(a.dense());
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    const double* ad = a.dense().data().data();
+    double* gd = &g(0, 0);
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        gram_rank_one_span_unweighted(gd, n, ad + k * n, a.row_span(k));
+    }
+    mirror_upper(g);
+    return g;
+}
+
+Matrix weighted_gram(const Banded_matrix& a, const Vector& w) {
+    require(a.rows() == w.size(), "weighted_gram weight length mismatch");
+    if (a.band_occupancy() > dense_occupancy_threshold) return weighted_gram(a.dense(), w);
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    const double* ad = a.dense().data().data();
+    double* gd = &g(0, 0);
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        gram_rank_one_span(gd, n, ad + k * n, a.row_span(k), w[k]);
+    }
+    mirror_upper(g);
+    return g;
+}
+
+Matrix weighted_gram_rows(const Banded_matrix& a, const std::vector<std::size_t>& rows,
+                          const Vector& w) {
+    require(rows.size() == w.size(), "weighted_gram_rows weight length mismatch");
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    for (std::size_t k : rows) {
+        require(k < a.rows(), "weighted_gram_rows row index out of range");
+    }
+    double* gd = &g(0, 0);
+    if (a.band_occupancy() > dense_occupancy_threshold) {
+        gram_rows_blocked(gd, a.dense(), rows.data(), rows.size(), w.data());
+    } else {
+        const double* ad = a.dense().data().data();
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            const std::size_t k = rows[r];
+            gram_rank_one_span(gd, n, ad + k * n, a.row_span(k), w[r]);
+        }
+    }
+    mirror_upper(g);
+    return g;
+}
+
+Vector transposed_times_rows(const Banded_matrix& a, const std::vector<std::size_t>& rows,
+                             const Vector& x) {
+    require(rows.size() == x.size(), "transposed_times_rows length mismatch");
+    const std::size_t cols = a.cols();
+    const double* ad = a.dense().data().data();
+    Vector y(cols, 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const std::size_t k = rows[r];
+        require(k < a.rows(), "transposed_times_rows row index out of range");
+        const double xr = x[r];
+        const Row_span span = a.row_span(k);
+        const double* rk = ad + k * cols;
+        for (std::size_t j = span.begin; j < span.end; ++j) y[j] += rk[j] * xr;
+    }
+    return y;
+}
+
+Vector weighted_transposed_times_rows(const Banded_matrix& a,
+                                      const std::vector<std::size_t>& rows, const Vector& w,
+                                      const Vector& x) {
+    require(rows.size() == w.size() && rows.size() == x.size(),
+            "weighted_transposed_times_rows length mismatch");
+    const std::size_t cols = a.cols();
+    const double* ad = a.dense().data().data();
+    Vector y(cols, 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const std::size_t k = rows[r];
+        require(k < a.rows(), "weighted_transposed_times_rows row index out of range");
+        const double xr = w[r] * x[r];
+        const Row_span span = a.row_span(k);
+        const double* rk = ad + k * cols;
+        for (std::size_t j = span.begin; j < span.end; ++j) y[j] += rk[j] * xr;
+    }
+    return y;
+}
+
+Vector transposed_times_span(const Matrix& a, const Vector& x, Row_span span) {
+    require(a.rows() == x.size(), "transposed_times_span dimension mismatch");
+    require(span.begin <= span.end && span.end <= a.rows(),
+            "transposed_times_span bad span");
+    const std::size_t cols = a.cols();
+    const double* ad = a.data().data();
+    Vector y(cols, 0.0);
+    for (std::size_t i = span.begin; i < span.end; ++i) {
+        const double xi = x[i];
+        const double* ri = ad + i * cols;
+        for (std::size_t j = 0; j < cols; ++j) y[j] += ri[j] * xi;
+    }
+    return y;
+}
+
+double row_dot(const Banded_matrix& a, std::size_t i, const Vector& x) {
+    require(i < a.rows(), "row_dot row index out of range");
+    require(a.cols() == x.size(), "row_dot dimension mismatch");
+    const Row_span span = a.row_span(i);
+    const double* ri = a.dense().data().data() + i * a.cols();
+    double s = 0.0;
+    for (std::size_t j = span.begin; j < span.end; ++j) s += ri[j] * x[j];
+    return s;
+}
+
+}  // namespace cellsync

@@ -1,0 +1,133 @@
+// Banded (per-row span) view of a dense matrix.
+//
+// The deconvolution design matrices are structurally sparse in a very
+// specific way: each *row* has one contiguous run of nonzero entries. A
+// B-spline design row touches at most degree+1 basis functions, and a
+// kernel row K(m, i) = integral Q(phi, t_m) psi_i(phi) dphi is nonzero
+// only for the basis functions whose support overlaps the population's
+// phase support at t_m. Banded_matrix stores the dense matrix plus one
+// half-open [begin, end) column span per row and gives the product
+// kernels (Gram, right-hand side, mat-vec) a license to skip the zero
+// blocks entirely.
+//
+// Bit-identity contract: the spans are detected from the stored values,
+// so every entry outside a span is exactly +/-0.0 and every skipped term
+// is an exact IEEE no-op (x + (+/-0.0 product) == x for every partial sum
+// these kernels can produce — partial sums are never -0.0 because they
+// start at +0.0 and +0.0 + -0.0 == +0.0). Combined with the matching
+// accumulation order (increasing row index per output element, exactly as
+// the dense kernels in numerics/matrix.cpp) the banded results are
+// bit-identical to the dense reference for finite inputs. Non-finite
+// entries are nonzero, land inside the band, and propagate (the shared
+// policy documented in matrix.h).
+#ifndef CELLSYNC_NUMERICS_BANDED_H
+#define CELLSYNC_NUMERICS_BANDED_H
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/matrix.h"
+#include "numerics/vector_ops.h"
+
+namespace cellsync {
+
+/// Half-open column span [begin, end) of a row's nonzero run. An all-zero
+/// row has begin == end == 0.
+struct Row_span {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t width() const { return end - begin; }
+    bool empty() const { return begin == end; }
+};
+
+/// A dense row-major matrix annotated with the per-row nonzero spans.
+///
+/// The dense storage is kept in full (problem sizes are tens by tens), so
+/// the view costs one span per row and never loses information: any
+/// consumer that wants the dense matrix reads dense().
+class Banded_matrix {
+  public:
+    Banded_matrix() = default;
+
+    /// Wrap a dense matrix, detecting each row's nonzero span by value
+    /// scan (first to one-past-last entry with a nonzero bit pattern other
+    /// than +/-0.0; NaN/Inf count as nonzero).
+    explicit Banded_matrix(Matrix dense);
+
+    std::size_t rows() const { return dense_.rows(); }
+    std::size_t cols() const { return dense_.cols(); }
+    bool empty() const { return dense_.empty(); }
+
+    const Matrix& dense() const { return dense_; }
+    const std::vector<Row_span>& spans() const { return spans_; }
+    Row_span row_span(std::size_t i) const { return spans_[i]; }
+
+    /// Fraction of stored entries inside the spans (1.0 = fully dense,
+    /// 0.0 = all-zero). This is the number a banded speedup is explained
+    /// by: the product kernels do occupancy * (dense work). Computed once
+    /// at construction (the product kernels branch on it per call).
+    double band_occupancy() const { return occupancy_; }
+
+    /// Widest row span.
+    std::size_t max_bandwidth() const { return max_bandwidth_; }
+
+  private:
+    Matrix dense_;
+    std::vector<Row_span> spans_;
+    double occupancy_ = 1.0;
+    std::size_t max_bandwidth_ = 0;
+};
+
+/// a * x skipping out-of-span columns; bit-identical to the dense product.
+Vector operator*(const Banded_matrix& a, const Vector& x);
+
+/// a^T * x skipping out-of-span columns; bit-identical to
+/// transposed_times(a.dense(), x).
+Vector transposed_times(const Banded_matrix& a, const Vector& x);
+
+/// a^T * a over the spans; bit-identical to gram(a.dense()).
+Matrix gram(const Banded_matrix& a);
+
+/// a^T diag(w) a over the spans; bit-identical to
+/// weighted_gram(a.dense(), w).
+Matrix weighted_gram(const Banded_matrix& a, const Vector& w);
+
+/// Row-subset Gram: a(rows, :)^T diag(w) a(rows, :) with w[r] weighting
+/// row rows[r] — the cross-validation fold kernel, bit-identical to
+/// copying the rows out and calling weighted_gram on the submatrix, with
+/// neither the copy nor the out-of-span work. Throws std::invalid_argument
+/// on a length mismatch or an out-of-range row index.
+Matrix weighted_gram_rows(const Banded_matrix& a, const std::vector<std::size_t>& rows,
+                          const Vector& w);
+
+/// Row-subset right-hand side: a(rows, :)^T x with x[r] paired with row
+/// rows[r]; bit-identical to the copy-out-and-multiply reference.
+Vector transposed_times_rows(const Banded_matrix& a, const std::vector<std::size_t>& rows,
+                             const Vector& x);
+
+/// Fused weighted row-subset right-hand side: a(rows, :)^T (w . x),
+/// forming each product w[r] * x[r] on the fly — bit-identical to
+/// transposed_times_rows(a, rows, hadamard(w, x)) without materializing
+/// the elementwise product. This is the K'W G gather of the per-gene
+/// normal equations.
+Vector weighted_transposed_times_rows(const Banded_matrix& a,
+                                      const std::vector<std::size_t>& rows, const Vector& w,
+                                      const Vector& x);
+
+/// a^T * x accumulating only the rows of `a` inside [span.begin,
+/// span.end), for callers that know x is structurally zero outside the
+/// span (the streaming rank-one update projecting a banded kernel row
+/// through the dense equality null-space basis). Bit-identical to the full
+/// transposed_times when the clipped x entries are exact zeros. Throws
+/// std::invalid_argument on mismatch or a span exceeding a.rows().
+Vector transposed_times_span(const Matrix& a, const Vector& x, Row_span span);
+
+/// <a.row(i), x> over row i's span, without materializing the row copy;
+/// bit-identical to dot(a.dense().row(i), x) when the skipped terms are
+/// exact zeros. Throws std::invalid_argument on mismatch.
+double row_dot(const Banded_matrix& a, std::size_t i, const Vector& x);
+
+}  // namespace cellsync
+
+#endif  // CELLSYNC_NUMERICS_BANDED_H

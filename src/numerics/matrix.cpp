@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "numerics/simd.h"
+
 namespace cellsync {
 
 namespace {
@@ -138,18 +140,21 @@ Matrix operator*(double alpha, const Matrix& a) {
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
     require_shape(a.cols() == b.rows(), "operator*: inner dimension mismatch");
+    // k-outer / j-inner: every r(i, j) accumulates over k in increasing
+    // order and the inner loop runs over independent outputs, so it
+    // vectorizes without changing any element's accumulation order. No
+    // value-based zero skip (see the non-finite policy in matrix.h).
     Matrix r(a.rows(), b.cols());
     for (std::size_t i = 0; i < a.rows(); ++i) {
         for (std::size_t k = 0; k < a.cols(); ++k) {
             const double aik = a(i, k);
-            if (aik == 0.0) continue;
             for (std::size_t j = 0; j < b.cols(); ++j) r(i, j) += aik * b(k, j);
         }
     }
     return r;
 }
 
-Vector operator*(const Matrix& a, const Vector& x) {
+Vector matvec_reference(const Matrix& a, const Vector& x) {
     require_shape(a.cols() == x.size(), "operator*: matrix-vector dimension mismatch");
     Vector y(a.rows(), 0.0);
     for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -160,18 +165,17 @@ Vector operator*(const Matrix& a, const Vector& x) {
     return y;
 }
 
-Vector transposed_times(const Matrix& a, const Vector& x) {
+Vector transposed_times_reference(const Matrix& a, const Vector& x) {
     require_shape(a.rows() == x.size(), "transposed_times: dimension mismatch");
     Vector y(a.cols(), 0.0);
     for (std::size_t i = 0; i < a.rows(); ++i) {
         const double xi = x[i];
-        if (xi == 0.0) continue;
         for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
     }
     return y;
 }
 
-Matrix gram(const Matrix& a) {
+Matrix gram_reference(const Matrix& a) {
     Matrix g(a.cols(), a.cols());
     for (std::size_t i = 0; i < a.cols(); ++i) {
         for (std::size_t j = i; j < a.cols(); ++j) {
@@ -184,7 +188,7 @@ Matrix gram(const Matrix& a) {
     return g;
 }
 
-Matrix weighted_gram(const Matrix& a, const Vector& w) {
+Matrix weighted_gram_reference(const Matrix& a, const Vector& w) {
     require_shape(a.rows() == w.size(), "weighted_gram: weight length mismatch");
     Matrix g(a.cols(), a.cols());
     for (std::size_t i = 0; i < a.cols(); ++i) {
@@ -197,5 +201,161 @@ Matrix weighted_gram(const Matrix& a, const Vector& w) {
     }
     return g;
 }
+
+#if CELLSYNC_SIMD
+
+// Chunked kernels: fixed-width blocks of simd_chunk_doubles independent
+// accumulator chains. Per output element the term order matches the
+// reference loops exactly (increasing reduction index), so results are
+// bit-identical — the win comes from breaking the loop-carried reduction
+// dependency and from contiguous stores the autovectorizer can widen.
+
+Vector operator*(const Matrix& a, const Vector& x) {
+    require_shape(a.cols() == x.size(), "operator*: matrix-vector dimension mismatch");
+    const std::size_t rows = a.rows();
+    const std::size_t cols = a.cols();
+    const double* ad = a.data().data();
+    Vector y(rows, 0.0);
+    std::size_t i = 0;
+    for (; i + simd_chunk_doubles <= rows; i += simd_chunk_doubles) {
+        const double* r0 = ad + (i + 0) * cols;
+        const double* r1 = ad + (i + 1) * cols;
+        const double* r2 = ad + (i + 2) * cols;
+        const double* r3 = ad + (i + 3) * cols;
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double xj = x[j];
+            s0 += r0[j] * xj;
+            s1 += r1[j] * xj;
+            s2 += r2[j] * xj;
+            s3 += r3[j] * xj;
+        }
+        y[i + 0] = s0;
+        y[i + 1] = s1;
+        y[i + 2] = s2;
+        y[i + 3] = s3;
+    }
+    for (; i < rows; ++i) {
+        const double* ri = ad + i * cols;
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) s += ri[j] * x[j];
+        y[i] = s;
+    }
+    return y;
+}
+
+Vector transposed_times(const Matrix& a, const Vector& x) {
+    require_shape(a.rows() == x.size(), "transposed_times: dimension mismatch");
+    const std::size_t rows = a.rows();
+    const std::size_t cols = a.cols();
+    const double* ad = a.data().data();
+    Vector y(cols, 0.0);
+    double* yd = y.data();
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double xi = x[i];
+        const double* ri = ad + i * cols;
+        std::size_t j = 0;
+        for (; j + simd_chunk_doubles <= cols; j += simd_chunk_doubles) {
+            yd[j + 0] += ri[j + 0] * xi;
+            yd[j + 1] += ri[j + 1] * xi;
+            yd[j + 2] += ri[j + 2] * xi;
+            yd[j + 3] += ri[j + 3] * xi;
+        }
+        for (; j < cols; ++j) yd[j] += ri[j] * xi;
+    }
+    return y;
+}
+
+namespace {
+
+void mirror_upper(Matrix& g) {
+    for (std::size_t i = 1; i < g.rows(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+    }
+}
+
+// Shared core of gram / weighted_gram. `t` holds the left factor column
+// t[k] = w[k] * a(k, i) (or a(k, i) unweighted), hoisted once per i; the
+// upper-triangle row i is then filled a block of simd_chunk_doubles output
+// columns at a time, each accumulating its own chain over k in increasing
+// order from contiguous loads a(k, j..j+3). Per output element the term
+// order and the ((w * a) * a) association match the reference loops
+// exactly, so the result is bit-identical; the blocks merely run
+// independent outputs side by side.
+void gram_row_blocked(double* gi, const double* ad, const Vector& t, std::size_t m,
+                      std::size_t n, std::size_t i) {
+    std::size_t j = i;
+    for (; j + simd_chunk_doubles <= n; j += simd_chunk_doubles) {
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (std::size_t k = 0; k < m; ++k) {
+            const double tk = t[k];
+            const double* rk = ad + k * n + j;
+            s0 += tk * rk[0];
+            s1 += tk * rk[1];
+            s2 += tk * rk[2];
+            s3 += tk * rk[3];
+        }
+        gi[j + 0] = s0;
+        gi[j + 1] = s1;
+        gi[j + 2] = s2;
+        gi[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < m; ++k) s += t[k] * ad[k * n + j];
+        gi[j] = s;
+    }
+}
+
+}  // namespace
+
+Matrix gram(const Matrix& a) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    const double* ad = a.data().data();
+    double* gd = &g(0, 0);
+    Vector t(m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < m; ++k) t[k] = ad[k * n + i];
+        gram_row_blocked(gd + i * n, ad, t, m, n, i);
+    }
+    mirror_upper(g);
+    return g;
+}
+
+Matrix weighted_gram(const Matrix& a, const Vector& w) {
+    require_shape(a.rows() == w.size(), "weighted_gram: weight length mismatch");
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    const double* ad = a.data().data();
+    double* gd = &g(0, 0);
+    Vector t(m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < m; ++k) t[k] = w[k] * ad[k * n + i];
+        gram_row_blocked(gd + i * n, ad, t, m, n, i);
+    }
+    mirror_upper(g);
+    return g;
+}
+
+#else  // !CELLSYNC_SIMD
+
+Vector operator*(const Matrix& a, const Vector& x) { return matvec_reference(a, x); }
+
+Vector transposed_times(const Matrix& a, const Vector& x) {
+    return transposed_times_reference(a, x);
+}
+
+Matrix gram(const Matrix& a) { return gram_reference(a); }
+
+Matrix weighted_gram(const Matrix& a, const Vector& w) {
+    return weighted_gram_reference(a, w);
+}
+
+#endif  // CELLSYNC_SIMD
 
 }  // namespace cellsync

@@ -100,6 +100,25 @@ Matrix operator*(double alpha, const Matrix& a);
 /// Matrix product; throws std::invalid_argument on inner-dimension mismatch.
 Matrix operator*(const Matrix& a, const Matrix& b);
 
+// ---------------------------------------------------------------------------
+// Dense product kernels.
+//
+// Non-finite policy (shared by operator*, transposed_times, gram and
+// weighted_gram, dense and chunked alike): no operand value is ever
+// inspected to skip work, so NaN and Inf propagate through every product
+// exactly as IEEE arithmetic dictates. Zero entries are exploited only
+// *structurally*, through numerics/banded.h, whose per-row spans are
+// detected from the stored values — a non-finite entry is "nonzero" and
+// therefore always lands inside the band and propagates there too.
+//
+// Accumulation order: every output element accumulates its terms in
+// increasing row index (for reductions over rows) or increasing column
+// index (for row-vector reductions). The CELLSYNC_SIMD chunked kernels
+// (see numerics/simd.h) vectorize across independent output elements only
+// and keep that per-element order, so chunked and reference results are
+// bit-identical.
+// ---------------------------------------------------------------------------
+
 /// Matrix-vector product; throws std::invalid_argument on mismatch.
 Vector operator*(const Matrix& a, const Vector& x);
 
@@ -111,6 +130,15 @@ Matrix gram(const Matrix& a);
 
 /// a^T * diag(w) * a with non-negative weights w (size = a.rows()).
 Matrix weighted_gram(const Matrix& a, const Vector& w);
+
+// Reference kernels: the plain scalar loops, always compiled regardless of
+// CELLSYNC_SIMD. They are the bit-level ground truth the chunked and
+// banded kernels are property-tested against, and the baseline the
+// perf_gram / perf_deconvolve benches time the fast paths over.
+Vector matvec_reference(const Matrix& a, const Vector& x);
+Vector transposed_times_reference(const Matrix& a, const Vector& x);
+Matrix gram_reference(const Matrix& a);
+Matrix weighted_gram_reference(const Matrix& a, const Vector& w);
 
 }  // namespace cellsync
 

@@ -1,5 +1,6 @@
 #include "spline/basis.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "numerics/quadrature.h"
@@ -23,16 +24,31 @@ Matrix Basis::penalty_matrix() const {
 
 Matrix Basis::design_matrix(const Vector& points) const {
     Matrix b(points.size(), size());
-    for (std::size_t p = 0; p < points.size(); ++p) {
-        for (std::size_t i = 0; i < size(); ++i) b(p, i) = value(i, points[p]);
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Basis_support sup = support(i);
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            // Clamp first so out-of-range points keep their pre-support
+            // behavior (value() clamps internally too).
+            const double x = std::clamp(points[p], 0.0, 1.0);
+            if (sup.contains(x)) b(p, i) = value(i, x);
+            // else: exact structural zero — b was zero-initialized.
+        }
     }
     return b;
 }
 
+Banded_matrix Basis::design_matrix_banded(const Vector& points) const {
+    return Banded_matrix(design_matrix(points));
+}
+
 Matrix Basis::derivative_matrix(const Vector& points) const {
     Matrix b(points.size(), size());
-    for (std::size_t p = 0; p < points.size(); ++p) {
-        for (std::size_t i = 0; i < size(); ++i) b(p, i) = derivative(i, points[p]);
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Basis_support sup = support(i);
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            const double x = std::clamp(points[p], 0.0, 1.0);
+            if (sup.contains(x)) b(p, i) = derivative(i, x);
+        }
     }
     return b;
 }

@@ -9,10 +9,21 @@
 
 #include <memory>
 
+#include "numerics/banded.h"
 #include "numerics/matrix.h"
 #include "numerics/vector_ops.h"
 
 namespace cellsync {
+
+/// Closed sub-interval of [0, 1] outside which a basis function is
+/// identically zero. A global basis reports {0, 1}.
+struct Basis_support {
+    double lo = 0.0;
+    double hi = 1.0;
+
+    bool contains(double x) const { return x >= lo && x <= hi; }
+    bool is_global() const { return lo <= 0.0 && hi >= 1.0; }
+};
 
 /// A finite family of C2 basis functions {psi_i} on the phase interval
 /// [0, 1].
@@ -32,6 +43,16 @@ class Basis {
     /// psi_i''(x).
     virtual double second_derivative(std::size_t i, double x) const = 0;
 
+    /// Support of psi_i: value/derivative/second_derivative are exactly
+    /// 0.0 outside it. The default is the whole interval (correct for any
+    /// basis); locally supported bases (B-splines) override it, which lets
+    /// design_matrix() skip the out-of-support evaluations entirely and
+    /// gives the banded product kernels their structure.
+    virtual Basis_support support(std::size_t i) const {
+        (void)i;
+        return {0.0, 1.0};
+    }
+
     /// Second-derivative penalty Gram matrix
     /// Omega_ij = integral_0^1 psi_i''(x) psi_j''(x) dx (paper Eq 5's
     /// regularizer in coefficient space). The default implementation uses
@@ -39,8 +60,15 @@ class Basis {
     /// derivatives override it with exact formulas.
     virtual Matrix penalty_matrix() const;
 
-    /// Design matrix B with B(p, i) = psi_i(points[p]).
+    /// Design matrix B with B(p, i) = psi_i(points[p]). Entries outside a
+    /// basis function's support are exact zeros written without evaluating
+    /// the function.
     Matrix design_matrix(const Vector& points) const;
+
+    /// design_matrix() annotated with each row's nonzero span — the input
+    /// the banded Gram/mat-vec kernels in numerics/banded.h consume. For a
+    /// cubic B-spline basis each row holds at most 4 nonzeros.
+    Banded_matrix design_matrix_banded(const Vector& points) const;
 
     /// Derivative design matrix B' with B'(p, i) = psi_i'(points[p]).
     Matrix derivative_matrix(const Vector& points) const;

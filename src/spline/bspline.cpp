@@ -41,6 +41,11 @@ double Bspline_basis::value(std::size_t i, double x) const {
     return basis_value(i, degree, std::clamp(x, 0.0, 1.0));
 }
 
+Basis_support Bspline_basis::support(std::size_t i) const {
+    if (i >= count_) throw std::out_of_range("Bspline_basis::support: bad index");
+    return {knots_[i], knots_[i + degree + 1]};
+}
+
 double Bspline_basis::derivative(std::size_t i, double x) const {
     if (i >= count_) throw std::out_of_range("Bspline_basis::derivative: bad index");
     x = std::clamp(x, 0.0, 1.0);

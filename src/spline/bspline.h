@@ -23,6 +23,11 @@ class Bspline_basis final : public Basis {
     double derivative(std::size_t i, double x) const override;
     double second_derivative(std::size_t i, double x) const override;
 
+    /// psi_i lives on [knots_[i], knots_[i + degree + 1]] — at most 4 knot
+    /// spans for the cubic basis, which is what makes the design matrices
+    /// banded.
+    Basis_support support(std::size_t i) const override;
+
     /// Full (padded) knot vector, length count + 4 + ... (clamped ends).
     const Vector& knot_vector() const { return knots_; }
 

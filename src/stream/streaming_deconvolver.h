@@ -155,8 +155,8 @@ class Streaming_deconvolver {
     std::size_t stable_count_ = 0;
     bool converged_ = false;
     Stream_solve_stats stats_;
-    Vector score_phi_;    // circularly-open scoring grid (see .cpp)
-    Matrix score_design_; // basis design matrix on score_phi_: scoring is one mat-vec
+    Vector score_phi_;           // circularly-open scoring grid (see .cpp)
+    Banded_matrix score_design_; // banded basis design on score_phi_: scoring is one mat-vec
 };
 
 }  // namespace cellsync

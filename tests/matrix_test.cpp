@@ -2,11 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
+#include "numerics/rng.h"
+
 namespace cellsync {
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(Matrix, DefaultIsEmpty) {
     const Matrix m;
@@ -151,6 +158,97 @@ TEST(Matrix, AllFiniteAndNormInf) {
 TEST(Matrix, ToStringRendersSomething) {
     const Matrix m{{1.0, 2.0}};
     EXPECT_NE(m.to_string().find("1"), std::string::npos);
+}
+
+// Non-finite policy (numerics/matrix.h): every product kernel follows IEEE
+// semantics — a NaN or Inf paired with any value, including an exact zero,
+// propagates. No kernel may skip terms based on runtime values.
+
+TEST(Matrix, MatrixProductPropagatesNonFinite) {
+    // NaN in A multiplied against a zero column of B: 0 * NaN = NaN.
+    const Matrix a{{kNan, 1.0}, {2.0, 3.0}};
+    const Matrix b{{0.0, 1.0}, {0.0, 1.0}};
+    const Matrix c = a * b;
+    EXPECT_TRUE(std::isnan(c(0, 0)));
+    EXPECT_TRUE(std::isnan(c(0, 1)));
+    EXPECT_DOUBLE_EQ(c(1, 0), 0.0);
+}
+
+TEST(Matrix, MatrixVectorProductPropagatesNonFinite) {
+    const Matrix a{{1.0, kInf}, {kNan, 2.0}};
+    const Vector y = a * Vector{1.0, 0.0};  // Inf * 0 = NaN, NaN * 1 = NaN
+    EXPECT_TRUE(std::isnan(y[0]));
+    EXPECT_TRUE(std::isnan(y[1]));
+}
+
+TEST(Matrix, TransposedTimesPropagatesNonFiniteAgainstZeroMultiplier) {
+    // x[0] == 0 must NOT shortcut past the NaN row of a.
+    const Matrix a{{kNan, 1.0}, {2.0, 3.0}};
+    const Vector y = transposed_times(a, Vector{0.0, 1.0});
+    EXPECT_TRUE(std::isnan(y[0]));
+    EXPECT_DOUBLE_EQ(y[1], 3.0);
+
+    // And a zero x entry against an Inf row: Inf * 0 = NaN.
+    const Matrix b{{kInf, kInf}};
+    const Vector z = transposed_times(b, Vector{0.0});
+    EXPECT_TRUE(std::isnan(z[0]));
+    EXPECT_TRUE(std::isnan(z[1]));
+}
+
+TEST(Matrix, WeightedGramPropagatesNonFinite) {
+    const Matrix a{{kNan, 0.0}, {1.0, 1.0}};
+    const Matrix g = weighted_gram(a, {1.0, 1.0});
+    EXPECT_TRUE(std::isnan(g(0, 0)));
+    EXPECT_TRUE(std::isnan(g(0, 1)));  // NaN * 0.0 = NaN
+    EXPECT_TRUE(std::isnan(g(1, 0)));  // mirrored
+
+    // A zero weight against a NaN row also propagates: w * NaN = NaN.
+    const Matrix h = weighted_gram(a, {0.0, 1.0});
+    EXPECT_TRUE(std::isnan(h(0, 0)));
+}
+
+// The compiled kernels (chunked when CELLSYNC_SIMD=1, the reference when
+// 0) must agree with the reference loops bit for bit — the dispatch only
+// reorders work across independent output elements, never within one
+// output's accumulation.
+
+void expect_bits_eq(const Vector& a, const Vector& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]), std::bit_cast<std::uint64_t>(b[i]));
+    }
+}
+
+void expect_bits_eq(const Matrix& a, const Matrix& b) {
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(a(i, j)),
+                      std::bit_cast<std::uint64_t>(b(i, j)));
+        }
+    }
+}
+
+TEST(Matrix, CompiledKernelsMatchReferenceBitwise) {
+    Rng rng(0xbead);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t rows = 1 + rng.index(33);  // odd sizes hit tail lanes
+        const std::size_t cols = 1 + rng.index(19);
+        Matrix a(rows, cols);
+        for (std::size_t i = 0; i < rows; ++i) {
+            for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+        }
+        Vector x(cols), z(rows), w(rows);
+        for (double& v : x) v = rng.uniform(-3.0, 3.0);
+        for (double& v : z) v = rng.uniform(-3.0, 3.0);
+        for (double& v : w) v = rng.uniform(0.1, 2.0);
+
+        expect_bits_eq(a * x, matvec_reference(a, x));
+        expect_bits_eq(transposed_times(a, z), transposed_times_reference(a, z));
+        expect_bits_eq(gram(a), gram_reference(a));
+        expect_bits_eq(weighted_gram(a, w), weighted_gram_reference(a, w));
+    }
 }
 
 }  // namespace
