@@ -14,7 +14,10 @@ Batch_engine::Batch_engine(std::shared_ptr<const Basis> basis, const Kernel_grid
 
 Batch_engine::Batch_engine(std::shared_ptr<const Design_artifacts> artifacts,
                            const Batch_engine_options& options)
-    : deconvolver_(std::move(artifacts)), pool_(options.threads) {}
+    : deconvolver_(std::move(artifacts)), pool_(options.threads) {
+    const Annotated_lock lock(run_mutex_);
+    thread_count_ = pool_.thread_count();
+}
 
 Deconvolution_options Batch_engine::aligned(const Deconvolution_options& options) const {
     Deconvolution_options out = options;
@@ -40,7 +43,7 @@ std::vector<Batch_entry> Batch_engine::run_with_grids(
     const Batch_options resolved = resolve_batch_options(artifacts(), options);
 
     std::vector<Batch_entry> out(panel.size());
-    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    const Annotated_lock run_lock(run_mutex_);
     pool_.parallel_for(panel.size(), [&](std::size_t g) {
         const Vector& grid = grids[g].empty() ? resolved.lambda_grid : grids[g];
         out[g] = deconvolve_one(deconvolver_, panel[g], grid, resolved);
@@ -64,7 +67,7 @@ Lambda_selection Batch_engine::cross_validate(const Measurement_series& series,
     sel.method = "kfold";
     sel.lambdas = lambda_grid;
     sel.scores.assign(lambda_grid.size(), 0.0);
-    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    const Annotated_lock run_lock(run_mutex_);
     pool_.parallel_for(lambda_grid.size(), [&](std::size_t li) {
         sel.scores[li] = kfold_lambda_score(deconvolver_, series, effective, perm, folds,
                                             lambda_grid[li]);
@@ -79,7 +82,7 @@ Confidence_band Batch_engine::bootstrap(const Measurement_series& series,
                                         const Deconvolution_options& options,
                                         const Vector& phi_grid,
                                         const Bootstrap_options& bootstrap_options) const {
-    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    const Annotated_lock run_lock(run_mutex_);
     return bootstrap_confidence_band(deconvolver_, series, aligned(options), phi_grid,
                                      bootstrap_options, pool_);
 }

@@ -11,7 +11,6 @@
 #define CELLSYNC_CORE_BATCH_ENGINE_H
 
 #include <memory>
-#include <mutex>
 
 #include "core/batch.h"
 #include "core/bootstrap.h"
@@ -48,7 +47,7 @@ class Batch_engine {
     /// through it (even outside the engine) reuses the same cached design.
     const Deconvolver& deconvolver() const { return deconvolver_; }
     const Design_artifacts& artifacts() const { return *deconvolver_.artifacts(); }
-    std::size_t thread_count() const { return pool_.thread_count(); }
+    std::size_t thread_count() const { return thread_count_; }
 
     /// Batch deconvolution with per-gene lambda CV, distributed over the
     /// pool. Per-gene results are identical to deconvolve_batch() on the
@@ -91,9 +90,12 @@ class Batch_engine {
     Deconvolver deconvolver_;
     // The engine parallelizes internally; concurrent calls into one
     // engine are serialized on run_mutex_ so the single worker pool is
-    // never shared between two batches.
-    mutable Worker_pool pool_;
-    mutable std::mutex run_mutex_;
+    // never shared between two batches. Guarding pool_ itself makes
+    // that discipline compile-checked: touching the pool without the
+    // run lock is a -Werror=thread-safety diagnostic under clang.
+    mutable Annotated_mutex run_mutex_;
+    mutable Worker_pool pool_ CELLSYNC_GUARDED_BY(run_mutex_);
+    std::size_t thread_count_;  ///< pool_.thread_count(), lock-free copy
 };
 
 }  // namespace cellsync

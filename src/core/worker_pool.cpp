@@ -16,7 +16,7 @@ Worker_pool::Worker_pool(std::size_t threads) {
 
 Worker_pool::~Worker_pool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const Annotated_lock lock(mutex_);
         stopping_ = true;
     }
     start_cv_.notify_all();
@@ -29,8 +29,11 @@ void Worker_pool::worker_loop() {
     for (;;) {
         const Task_graph* graph = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+            Annotated_lock lock(mutex_);
+            // Explicit wait loop (not a predicate lambda): the guarded
+            // members are then read in this scope, where the thread-safety
+            // analysis can see the capability is held.
+            while (!stopping_ && generation_ == seen) start_cv_.wait(lock);
             if (stopping_) return;
             seen = generation_;
             graph = graph_;
@@ -73,7 +76,7 @@ void Worker_pool::resolve_node(const Task_graph& graph, std::size_t id) {
 }
 
 void Worker_pool::drain(const Task_graph& graph, std::uint64_t generation) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    Annotated_lock lock(mutex_);
     for (;;) {
         // The generation check guards against a worker that observed this
         // run but was descheduled until after it drained and a new one
@@ -124,7 +127,7 @@ void Worker_pool::run(const Task_graph& graph) {
     if (graph.node_count() == 0) return;
     std::uint64_t generation = 0;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const Annotated_lock lock(mutex_);
         graph_ = &graph;
         states_.assign(graph.node_count(), Node_state{});
         resolved_count_ = 0;
@@ -147,8 +150,8 @@ void Worker_pool::run(const Task_graph& graph) {
 
     std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] { return resolved_count_ == states_.size(); });
+        Annotated_lock lock(mutex_);
+        while (resolved_count_ != states_.size()) done_cv_.wait(lock);
         error = first_error_;
         first_error_ = nullptr;
         graph_ = nullptr;

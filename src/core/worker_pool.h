@@ -13,16 +13,15 @@
 #ifndef CELLSYNC_CORE_WORKER_POOL_H
 #define CELLSYNC_CORE_WORKER_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/task_graph.h"
+#include "core/thread_annotations.h"
 
 namespace cellsync {
 
@@ -76,25 +75,23 @@ class Worker_pool {
     /// by-then-destroyed graph of its own run).
     void drain(const Task_graph& graph, std::uint64_t generation);
     /// Mark `id` ready; immediately resolves pure barriers (count 0).
-    /// Requires mutex_ held.
-    void make_ready(const Task_graph& graph, std::size_t id);
+    void make_ready(const Task_graph& graph, std::size_t id) CELLSYNC_REQUIRES(mutex_);
     /// Mark `id` resolved and propagate to dependents: failed/cancelled
     /// nodes cancel theirs transitively, completed nodes unblock theirs.
-    /// Requires mutex_ held.
-    void resolve_node(const Task_graph& graph, std::size_t id);
+    void resolve_node(const Task_graph& graph, std::size_t id) CELLSYNC_REQUIRES(mutex_);
 
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable start_cv_;  ///< wakes idle workers for a new run
-    std::condition_variable work_cv_;   ///< wakes drainers on new ready nodes / run end
-    std::condition_variable done_cv_;   ///< wakes the caller when the run ends
-    std::uint64_t generation_ = 0;
-    bool stopping_ = false;
-    const Task_graph* graph_ = nullptr;
-    std::vector<Node_state> states_;
-    std::size_t resolved_count_ = 0;
-    std::exception_ptr first_error_;
+    Annotated_mutex mutex_;
+    Annotated_condition_variable start_cv_;  ///< wakes idle workers for a new run
+    Annotated_condition_variable work_cv_;   ///< wakes drainers on new ready nodes / run end
+    Annotated_condition_variable done_cv_;   ///< wakes the caller when the run ends
+    std::uint64_t generation_ CELLSYNC_GUARDED_BY(mutex_) = 0;
+    bool stopping_ CELLSYNC_GUARDED_BY(mutex_) = false;
+    const Task_graph* graph_ CELLSYNC_GUARDED_BY(mutex_) = nullptr;
+    std::vector<Node_state> states_ CELLSYNC_GUARDED_BY(mutex_);
+    std::size_t resolved_count_ CELLSYNC_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr first_error_ CELLSYNC_GUARDED_BY(mutex_);
 };
 
 }  // namespace cellsync

@@ -30,8 +30,13 @@ std::vector<std::string> csv_split_fields(const std::string& line) {
     return fields;
 }
 
-double csv_parse_field(const std::string& field, std::size_t line_number) {
-    double value = 0.0;
+namespace {
+
+/// How a strict double parse can fail; `ok` means a finite value landed.
+enum class Number_error { ok, out_of_range, malformed, non_finite };
+
+Number_error parse_double_core(const std::string& field, double& value) {
+    value = 0.0;
     const char* first = field.data();
     const char* last = field.data() + field.size();
     // std::from_chars, unlike strtod, rejects an explicit '+' sign; accept
@@ -44,20 +49,65 @@ double csv_parse_field(const std::string& field, std::size_t line_number) {
         ++first;
     }
     const auto [ptr, ec] = std::from_chars(first, last, value);
-    if (ec == std::errc::result_out_of_range) {
-        throw std::runtime_error("CSV line " + std::to_string(line_number) + ": field '" +
-                                 field + "' is out of double range");
-    }
-    if (ec != std::errc() || ptr != last) {
-        throw std::runtime_error("CSV line " + std::to_string(line_number) +
-                                 ": non-numeric field '" + field + "'");
-    }
+    if (ec == std::errc::result_out_of_range) return Number_error::out_of_range;
+    if (ec != std::errc() || ptr != last) return Number_error::malformed;
     // from_chars happily parses "inf"/"nan" spellings; measurements must be
     // finite, so reject them with a message naming the policy.
-    if (!std::isfinite(value)) {
-        throw std::runtime_error("CSV line " + std::to_string(line_number) +
-                                 ": non-finite field '" + field +
-                                 "' (inf/nan are not valid values)");
+    if (!std::isfinite(value)) return Number_error::non_finite;
+    return Number_error::ok;
+}
+
+}  // namespace
+
+double csv_parse_field(const std::string& field, std::size_t line_number) {
+    double value = 0.0;
+    switch (parse_double_core(field, value)) {
+        case Number_error::ok:
+            return value;
+        case Number_error::out_of_range:
+            throw std::runtime_error("CSV line " + std::to_string(line_number) +
+                                     ": field '" + field + "' is out of double range");
+        case Number_error::non_finite:
+            throw std::runtime_error("CSV line " + std::to_string(line_number) +
+                                     ": non-finite field '" + field +
+                                     "' (inf/nan are not valid values)");
+        case Number_error::malformed:
+            break;
+    }
+    throw std::runtime_error("CSV line " + std::to_string(line_number) +
+                             ": non-numeric field '" + field + "'");
+}
+
+double parse_strict_double(const std::string& text) {
+    double value = 0.0;
+    switch (parse_double_core(text, value)) {
+        case Number_error::ok:
+            return value;
+        case Number_error::out_of_range:
+            throw std::runtime_error("value '" + text + "' is out of double range");
+        case Number_error::non_finite:
+            throw std::runtime_error("non-finite value '" + text +
+                                     "' (inf/nan are not valid here)");
+        case Number_error::malformed:
+            break;
+    }
+    throw std::runtime_error("non-numeric value '" + text +
+                             "' (whole value must parse; no trailing text)");
+}
+
+std::uint64_t parse_strict_uint64(const std::string& text) {
+    std::uint64_t value = 0;
+    const char* first = text.data();
+    const char* last = text.data() + text.size();
+    // No '+' allowance here: flag values and manifest counters are plain
+    // decimal; from_chars already rejects signs, whitespace, and hex.
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range) {
+        throw std::runtime_error("value '" + text + "' is out of unsigned 64-bit range");
+    }
+    if (ec != std::errc() || ptr != last || first == last) {
+        throw std::runtime_error("non-numeric value '" + text +
+                                 "' (expected an unsigned integer)");
     }
     return value;
 }

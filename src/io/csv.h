@@ -8,6 +8,7 @@
 #ifndef CELLSYNC_IO_CSV_H
 #define CELLSYNC_IO_CSV_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -36,6 +37,22 @@ std::vector<std::string> csv_split_fields(const std::string& line);
 /// '+', finite values only. Throws std::runtime_error naming
 /// `line_number` on malformed or non-finite input.
 double csv_parse_field(const std::string& field, std::size_t line_number);
+
+/// The repo-wide number-parsing policy (std::from_chars, whole-string,
+/// optional leading '+', finite only), outside a CSV context: the same
+/// rules as csv_parse_field but with errors that name the offending
+/// text instead of a line number. This — not std::stod/strtod/atof,
+/// which silently accept garbage suffixes ("1.5junk" parses as 1.5),
+/// locale-dependent separators, and inf/nan — is how every number
+/// enters the system; tools/cellsync_lint enforces it mechanically.
+/// Throws std::runtime_error on violation.
+double parse_strict_double(const std::string& text);
+
+/// Unsigned-integer counterpart of parse_strict_double: whole-string
+/// decimal digits only (no sign, no whitespace, no 0x), so "-1" fails
+/// instead of wrapping to 2^64-1 the way std::stoull parses it. Throws
+/// std::runtime_error naming the offending text.
+std::uint64_t parse_strict_uint64(const std::string& text);
 
 /// Write a table as CSV (header + rows, '\n' line endings, max precision).
 void write_csv(std::ostream& out, const Table& table);

@@ -1,7 +1,6 @@
 #include "population/kernel_cache.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -10,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/csv.h"
 #include "io/kernel_io.h"
 #include "numerics/fnv.h"
 
@@ -56,9 +56,13 @@ bool parse_manifest(const std::string& path, std::vector<Kernel_cache_entry_info
             if (tab == std::string::npos) return false;
             const std::string value = line.substr(pos, tab - pos);
             try {
+                // Strict whole-field parse: std::stoull would accept
+                // "12junk" (and wrap "-1"), silently corrupting the LRU
+                // bookkeeping; a malformed manifest must instead fall
+                // back to the directory scan.
                 if (field == 0) entry.hash = value;
-                else if (field == 1) entry.bytes = std::stoull(value);
-                else entry.last_use = std::stoull(value);
+                else if (field == 1) entry.bytes = parse_strict_uint64(value);
+                else entry.last_use = parse_strict_uint64(value);
             } catch (const std::exception&) {
                 return false;
             }
@@ -140,15 +144,17 @@ void save_manifest(const std::string& manifest_file,
 /// get() leaves nothing dangling for a later joiner to dereference —
 /// that joiner claims the execution and uses its own (live) inputs.
 struct Kernel_cache_request_state {
+    // Written once by get_or_build_async before the state is shared,
+    // immutable afterwards: readable without the latch mutex.
     Kernel_cache* cache = nullptr;
     std::string key;
 
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool started = false;  ///< a get() caller claimed the execution
-    bool done = false;
-    std::shared_ptr<const Kernel_grid> result;
-    std::exception_ptr error;
+    Annotated_mutex mutex;
+    Annotated_condition_variable cv;
+    bool started CELLSYNC_GUARDED_BY(mutex) = false;  ///< a get() caller claimed the execution
+    bool done CELLSYNC_GUARDED_BY(mutex) = false;
+    std::shared_ptr<const Kernel_grid> result CELLSYNC_GUARDED_BY(mutex);
+    std::exception_ptr error CELLSYNC_GUARDED_BY(mutex);
 };
 
 Kernel_cache::Kernel_cache(std::string directory, Kernel_cache_limits limits)
@@ -241,7 +247,7 @@ Kernel_cache_manifest Kernel_cache::manifest() const {
     Kernel_cache_manifest out;
     out.max_bytes = limits_.max_disk_bytes;
     if (directory_.empty()) return out;
-    const std::lock_guard<std::mutex> lock(manifest_mutex_);
+    const Annotated_lock lock(manifest_mutex_);
     out.entries = load_manifest(directory_, manifest_path(directory_));
     std::sort(out.entries.begin(), out.entries.end(),
               [](const Kernel_cache_entry_info& a, const Kernel_cache_entry_info& b) {
@@ -256,7 +262,7 @@ void Kernel_cache::touch_manifest(const std::string& hash, const std::string& ke
     if (directory_.empty() || limits_.read_only) return;
     std::size_t evicted = 0;
     try {
-        const std::lock_guard<std::mutex> lock(manifest_mutex_);
+        const Annotated_lock lock(manifest_mutex_);
         std::vector<Kernel_cache_entry_info> entries =
             load_manifest(directory_, manifest_path(directory_));
 
@@ -312,7 +318,7 @@ void Kernel_cache::touch_manifest(const std::string& hash, const std::string& ke
         std::fprintf(stderr, "Kernel_cache: manifest update failed: %s\n", e.what());
     }
     if (evicted > 0) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Annotated_lock lock(mutex_);
         stats_.evictions += evicted;
     }
 }
@@ -327,12 +333,17 @@ Kernel_cache::Async_request Kernel_cache::get_or_build_async(
     request.times_ = times;
     request.options_ = options;
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Annotated_lock lock(mutex_);
     if (const auto it = memory_.find(key); it != memory_.end()) {
         ++stats_.memory_hits;
         auto state = std::make_shared<Kernel_cache_request_state>();
-        state->done = true;
-        state->result = it->second;
+        {
+            // The state is not shared yet, but taking its latch keeps the
+            // guarded-member discipline uniform (and provably correct).
+            const Annotated_lock state_lock(state->mutex);
+            state->done = true;
+            state->result = it->second;
+        }
         request.state_ = std::move(state);
         return request;
     }
@@ -359,15 +370,15 @@ std::shared_ptr<const Kernel_grid> Kernel_cache::Async_request::get() {
     }
     bool execute = false;
     {
-        std::unique_lock<std::mutex> lock(state_->mutex);
+        const Annotated_lock lock(state_->mutex);
         if (!state_->done && !state_->started) {
             state_->started = true;
             execute = true;
         }
     }
     if (execute) state_->cache->resolve_request(state_, config_, *volume_, times_, options_);
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->cv.wait(lock, [&] { return state_->done; });
+    Annotated_lock lock(state_->mutex);
+    while (!state_->done) state_->cv.wait(lock);
     if (state_->error) std::rethrow_exception(state_->error);
     return state_->result;
 }
@@ -474,7 +485,7 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
     }
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Annotated_lock lock(mutex_);
         if (kernel) {
             if (from_disk) ++stats_.disk_hits;
             else ++stats_.builds;
@@ -485,7 +496,7 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
         inflight_.erase(key);
     }
     {
-        const std::lock_guard<std::mutex> lock(state->mutex);
+        const Annotated_lock lock(state->mutex);
         state->result = std::move(kernel);
         state->error = error;
         state->done = true;
@@ -500,12 +511,12 @@ std::shared_ptr<const Kernel_grid> Kernel_cache::get_or_build(
 }
 
 Kernel_cache_stats Kernel_cache::stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Annotated_lock lock(mutex_);
     return stats_;
 }
 
 void Kernel_cache::clear_memory() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Annotated_lock lock(mutex_);
     memory_.clear();
 }
 

@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "population/kernel_builder.h"
 
 namespace cellsync {
@@ -233,14 +233,18 @@ class Kernel_cache {
 
     std::string directory_;
     Kernel_cache_limits limits_;
-    mutable std::mutex mutex_;
+    mutable Annotated_mutex mutex_;
     // Manifest I/O is serialized separately so a slow manifest rewrite
-    // never blocks in-memory lookups.
-    mutable std::mutex manifest_mutex_;
-    std::map<std::string, std::shared_ptr<const Kernel_grid>> memory_;
+    // never blocks in-memory lookups. It guards the manifest *file* (no
+    // in-memory member): every load-edit-save of manifest.tsv happens
+    // inside one critical section.
+    mutable Annotated_mutex manifest_mutex_;
+    std::map<std::string, std::shared_ptr<const Kernel_grid>> memory_
+        CELLSYNC_GUARDED_BY(mutex_);
     /// key -> state of the resolution currently in flight for it.
-    std::map<std::string, std::shared_ptr<Kernel_cache_request_state>> inflight_;
-    Kernel_cache_stats stats_;
+    std::map<std::string, std::shared_ptr<Kernel_cache_request_state>> inflight_
+        CELLSYNC_GUARDED_BY(mutex_);
+    Kernel_cache_stats stats_ CELLSYNC_GUARDED_BY(mutex_);
 };
 
 }  // namespace cellsync

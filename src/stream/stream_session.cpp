@@ -16,12 +16,16 @@ Stream_session::Stream_session(const Cell_cycle_config& config,
     artifacts_ =
         make_design_artifacts(std::make_shared<Natural_spline_basis>(options_.basis_size),
                               *kernel_, config, options_.constraints);
+    const Annotated_lock lock(run_mutex_);
+    thread_count_ = pool_.thread_count();
 }
 
 Stream_session::Stream_session(std::shared_ptr<const Design_artifacts> artifacts,
                                const Stream_session_options& options)
     : artifacts_(std::move(artifacts)), options_(options), pool_(options.threads) {
     if (!artifacts_) throw std::invalid_argument("Stream_session: null artifacts");
+    const Annotated_lock lock(run_mutex_);
+    thread_count_ = pool_.thread_count();
 }
 
 Streaming_deconvolver& Stream_session::open_locked(const std::string& label) {
@@ -38,18 +42,18 @@ Streaming_deconvolver& Stream_session::open_locked(const std::string& label) {
 }
 
 Streaming_deconvolver& Stream_session::open_stream(const std::string& label) {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     return open_locked(label);
 }
 
 Streaming_deconvolver* Stream_session::find_stream(const std::string& label) {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     const auto it = streams_.find(label);
     return it == streams_.end() ? nullptr : it->second.get();
 }
 
 const Streaming_deconvolver* Stream_session::find_stream(const std::string& label) const {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     const auto it = streams_.find(label);
     return it == streams_.end() ? nullptr : it->second.get();
 }
@@ -74,7 +78,7 @@ std::vector<Stream_update> Stream_session::append_timepoint(
         }
     }
 
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     // Registry mutation is serial (the map must not rehash under the
     // pool); the per-gene solves then touch disjoint stream objects and a
     // shared immutable design, so the parallel fan-out is data-race free
@@ -106,17 +110,17 @@ std::vector<Stream_update> Stream_session::append_timepoint(
 }
 
 std::vector<std::string> Stream_session::labels() const {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     return order_;
 }
 
 std::size_t Stream_session::stream_count() const {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     return order_.size();
 }
 
 std::size_t Stream_session::converged_count() const {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     std::size_t count = 0;
     for (const auto& [label, stream] : streams_) {
         if (stream->converged()) ++count;
@@ -125,7 +129,7 @@ std::size_t Stream_session::converged_count() const {
 }
 
 bool Stream_session::all_converged() const {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     std::size_t count = 0;
     for (const auto& [label, stream] : streams_) {
         if (stream->converged()) ++count;
@@ -134,7 +138,7 @@ bool Stream_session::all_converged() const {
 }
 
 Stream_solve_stats Stream_session::total_stats() const {
-    const std::lock_guard<std::mutex> lock(run_mutex_);
+    const Annotated_lock lock(run_mutex_);
     Stream_solve_stats total;
     for (const auto& [label, stream] : streams_) {
         const Stream_solve_stats& s = stream->stats();

@@ -20,7 +20,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,7 +75,7 @@ class Stream_session {
     /// The shared design every stream solves against.
     const Design_artifacts& artifacts() const { return *artifacts_; }
     std::shared_ptr<const Kernel_grid> kernel() const { return kernel_; }
-    std::size_t thread_count() const { return pool_.thread_count(); }
+    std::size_t thread_count() const { return thread_count_; }
 
     /// Register a stream (no-op if the label is already open). Returns the
     /// stream; it lives as long as the session (streams are never erased,
@@ -111,20 +110,23 @@ class Stream_session {
     Stream_solve_stats total_stats() const;
 
   private:
-    /// Registry insert without locking (callers hold run_mutex_).
-    Streaming_deconvolver& open_locked(const std::string& label);
+    /// Registry insert; callers hold run_mutex_ (compiler-enforced).
+    Streaming_deconvolver& open_locked(const std::string& label)
+        CELLSYNC_REQUIRES(run_mutex_);
 
     std::shared_ptr<const Design_artifacts> artifacts_;
     std::shared_ptr<const Kernel_grid> kernel_;  // null for adopted artifacts
     Stream_session_options options_;
-    std::map<std::string, std::unique_ptr<Streaming_deconvolver>> streams_;
-    std::vector<std::string> order_;  // registration order for labels()
-    mutable Worker_pool pool_;
     // Guards the stream registry and serializes timepoint batches: the
     // pool is never shared between two concurrent append_timepoint calls
     // (same discipline as Batch_engine), and the read accessors
     // (labels/converged_count/...) never observe the map mid-insert.
-    mutable std::mutex run_mutex_;
+    mutable Annotated_mutex run_mutex_;
+    std::map<std::string, std::unique_ptr<Streaming_deconvolver>> streams_
+        CELLSYNC_GUARDED_BY(run_mutex_);
+    std::vector<std::string> order_ CELLSYNC_GUARDED_BY(run_mutex_);
+    mutable Worker_pool pool_ CELLSYNC_GUARDED_BY(run_mutex_);
+    std::size_t thread_count_ = 0;  ///< pool_.thread_count(), lock-free copy
 };
 
 }  // namespace cellsync

@@ -101,6 +101,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <filesystem>
 #include <memory>
 #include <optional>
@@ -197,11 +198,12 @@ Condition_request parse_condition(const std::string& value) {
         const std::string key = field.substr(0, feq);
         const std::string val = field.substr(feq + 1);
         try {
-            if (key == "mu_sst") request.mu_sst = std::stod(val);
-            else if (key == "cycle_minutes") request.cycle_minutes = std::stod(val);
+            if (key == "mu_sst") request.mu_sst = parse_strict_double(val);
+            else if (key == "cycle_minutes") request.cycle_minutes = parse_strict_double(val);
             else usage_error("--condition '" + request.name + "': unknown field '" + key + "'");
-        } catch (const std::exception&) {
-            usage_error("--condition '" + request.name + "': non-numeric '" + field + "'");
+        } catch (const std::exception& e) {
+            usage_error("--condition '" + request.name + "': " + e.what() + " (field '" +
+                        field + "')");
         }
     }
     return request;
@@ -227,36 +229,39 @@ Cli_options parse_args(int argc, char** argv, int first) {
                 options.kernel_format = kernel_format_from_string(next_value(i));
             else if (arg == "--times") options.times_spec = next_value(i);
             else if (arg == "--times-from") options.times_from = next_value(i);
-            else if (arg == "--cells") options.cells = std::stoul(next_value(i));
-            else if (arg == "--bins") options.bins = std::stoul(next_value(i));
-            else if (arg == "--basis") options.basis = std::stoul(next_value(i));
-            else if (arg == "--lambda") options.lambda = std::stod(next_value(i));
-            else if (arg == "--mu-sst") options.mu_sst = std::stod(next_value(i));
-            else if (arg == "--cycle-minutes") options.cycle_minutes = std::stod(next_value(i));
+            else if (arg == "--cells") options.cells = parse_strict_uint64(next_value(i));
+            else if (arg == "--bins") options.bins = parse_strict_uint64(next_value(i));
+            else if (arg == "--basis") options.basis = parse_strict_uint64(next_value(i));
+            else if (arg == "--lambda") options.lambda = parse_strict_double(next_value(i));
+            else if (arg == "--mu-sst") options.mu_sst = parse_strict_double(next_value(i));
+            else if (arg == "--cycle-minutes") options.cycle_minutes = parse_strict_double(next_value(i));
             else if (arg == "--linear-volume") options.linear_volume = true;
             else if (arg == "--no-positivity") options.positivity = false;
             else if (arg == "--no-conservation") options.conservation = false;
             else if (arg == "--no-rate-continuity") options.rate_continuity = false;
             else if (arg == "--no-warm-start") options.warm_start = false;
-            else if (arg == "--bootstrap") options.bootstrap = std::stoul(next_value(i));
-            else if (arg == "--seed") options.seed = std::stoull(next_value(i));
-            else if (arg == "--threads") options.threads = std::stoul(next_value(i));
+            else if (arg == "--bootstrap") options.bootstrap = parse_strict_uint64(next_value(i));
+            else if (arg == "--seed") options.seed = parse_strict_uint64(next_value(i));
+            else if (arg == "--threads") options.threads = parse_strict_uint64(next_value(i));
             else if (arg == "--qp-backend") options.backend = qp_backend_from_string(next_value(i));
             else if (arg == "--json") options.json_path = next_value(i);
-            else if (arg == "--cache-max-bytes") options.cache_max_bytes = std::stoull(next_value(i));
+            else if (arg == "--cache-max-bytes") options.cache_max_bytes = parse_strict_uint64(next_value(i));
             else if (arg == "--cache-read-only") options.cache_read_only = true;
-            else if (arg == "--shards") options.shards = std::stoul(next_value(i));
-            else if (arg == "--shard-index") options.shard_index = std::stoul(next_value(i));
+            else if (arg == "--shards") options.shards = parse_strict_uint64(next_value(i));
+            else if (arg == "--shard-index") options.shard_index = parse_strict_uint64(next_value(i));
             else if (arg == "--sequential") options.sequential = true;
             else if (arg == "--stop-when-converged") options.stop_when_converged = true;
-            else if (arg == "--coef-tol") options.convergence.coefficient_tol = std::stod(next_value(i));
-            else if (arg == "--score-tol") options.convergence.score_tol = std::stod(next_value(i));
-            else if (arg == "--stable-updates") options.convergence.stable_updates = std::stoul(next_value(i));
-            else if (arg == "--min-observed") options.convergence.min_observed = std::stoul(next_value(i));
+            else if (arg == "--coef-tol") options.convergence.coefficient_tol = parse_strict_double(next_value(i));
+            else if (arg == "--score-tol") options.convergence.score_tol = parse_strict_double(next_value(i));
+            else if (arg == "--stable-updates") options.convergence.stable_updates = parse_strict_uint64(next_value(i));
+            else if (arg == "--min-observed") options.convergence.min_observed = parse_strict_uint64(next_value(i));
             else usage_error("unknown option '" + arg + "'");
         } catch (const std::exception& e) {
-            // stoul/stod throw invalid_argument or out_of_range; both are
-            // malformed option values and deserve the usage path.
+            // The strict parsers (io/csv.h from_chars policy) throw on
+            // trailing garbage ("1.5junk"), inf/nan, signs on unsigned
+            // flags, and out-of-range values; all are malformed option
+            // values and deserve the usage path, with the parser's
+            // message naming the offending text.
             usage_error(std::string(e.what()) + " (option " + arg + ")");
         }
     }
@@ -342,17 +347,33 @@ Vector resolve_times(const Cli_options& cli) {
         usage_error("--times and --times-from are mutually exclusive");
     }
     if (!cli.times_spec.empty()) {
+        // Strict-policy parse of each ':'-separated piece: sscanf's %lf
+        // would honor the locale and tolerate embedded prefixes; the
+        // from_chars helpers reject "0:180:13.7", "0:inf:13", and "-3"
+        // counts (which an unsigned conversion would wrap) outright.
+        const std::string& spec = cli.times_spec;
+        const std::size_t first_colon = spec.find(':');
+        const std::size_t second_colon =
+            first_colon == std::string::npos ? std::string::npos
+                                             : spec.find(':', first_colon + 1);
+        std::uint64_t count = 0;
         double lo = 0.0, hi = 0.0;
-        long count = 0;
-        int consumed = -1;
-        // %n + full-consumption check rejects trailing garbage ("0:180:13.7");
-        // signed count rejects "-3" (which %lu would wrap to a huge value).
-        if (std::sscanf(cli.times_spec.c_str(), "%lf:%lf:%ld%n", &lo, &hi, &count,
-                        &consumed) != 3 ||
-            consumed != static_cast<int>(cli.times_spec.size()) || count < 2 ||
-            count > 100000) {
+        try {
+            if (second_colon == std::string::npos ||
+                spec.find(':', second_colon + 1) != std::string::npos) {
+                throw std::runtime_error("expected exactly two ':' separators");
+            }
+            lo = parse_strict_double(spec.substr(0, first_colon));
+            hi = parse_strict_double(
+                spec.substr(first_colon + 1, second_colon - first_colon - 1));
+            count = parse_strict_uint64(spec.substr(second_colon + 1));
+        } catch (const std::exception& e) {
+            usage_error("--times expects LO:HI:COUNT, got '" + spec + "' (" + e.what() +
+                        ")");
+        }
+        if (count < 2 || count > 100000) {
             usage_error("--times expects LO:HI:COUNT with 2 <= COUNT <= 100000, got '" +
-                        cli.times_spec + "'");
+                        spec + "'");
         }
         return linspace(lo, hi, static_cast<std::size_t>(count));
     }
@@ -857,7 +878,7 @@ std::vector<std::pair<std::string, double>> read_lambda_comments(const std::stri
         const auto eq = body.find('=');
         if (eq == std::string::npos || eq == 0) continue;
         try {
-            lambdas.emplace_back(body.substr(0, eq), std::stod(body.substr(eq + 1)));
+            lambdas.emplace_back(body.substr(0, eq), parse_strict_double(body.substr(eq + 1)));
         } catch (const std::exception&) {
             // malformed comment: ignore, the numeric table is unaffected
         }
