@@ -4,7 +4,6 @@
 // serial per-gene path that re-derives the constraint blocks and their QP
 // reduction for every solve (the pre-engine behavior). Per-gene results of
 // the two paths are compared bit-for-bit.
-#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -190,7 +189,6 @@ std::vector<Vector> run_panel_serial_cold(const Deconvolver& deconvolver,
 }
 
 void run_panel_comparison(cellsync::bench::Bench_json& json) {
-    using clock = std::chrono::steady_clock;
     constexpr std::size_t genes = 50;
     constexpr std::size_t folds = 5;
     constexpr std::size_t engine_threads = 4;
@@ -209,21 +207,21 @@ void run_panel_comparison(cellsync::bench::Bench_json& json) {
     // Serial per-gene baseline: fresh constraints + reduction per solve.
     const Deconvolver baseline(std::make_shared<Natural_spline_basis>(18), kernel,
                                Cell_cycle_config{});
-    const auto serial_start = clock::now();
+    const cellsync::bench::Stopwatch serial_watch;
     const std::vector<Vector> serial =
         run_panel_serial_cold(baseline, panel, lambda_grid, folds, batch_options.cv_seed);
     const double serial_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - serial_start).count();
+        serial_watch.elapsed_ms();
 
     // Shared-factorization engine (artifact construction included).
     Batch_engine_options engine_options;
     engine_options.threads = engine_threads;
-    const auto engine_start = clock::now();
+    const cellsync::bench::Stopwatch engine_watch;
     const Batch_engine engine(std::make_shared<Natural_spline_basis>(18), kernel,
                               Cell_cycle_config{}, engine_options);
     const std::vector<Batch_entry> batch = engine.run(panel, batch_options);
     const double engine_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - engine_start).count();
+        engine_watch.elapsed_ms();
 
     std::size_t identical = 0;
     double max_diff = 0.0;
@@ -280,7 +278,6 @@ struct Gram_timing {
 Gram_timing time_gram_assembly(const Deconvolver& deconvolver,
                                const std::vector<Measurement_series>& panel,
                                std::size_t reps) {
-    using clock = std::chrono::steady_clock;
     const Matrix& kernel = deconvolver.kernel_matrix();
     const Banded_matrix& banded = deconvolver.kernel_banded();
     const std::size_t m = kernel.rows();
@@ -344,15 +341,12 @@ Gram_timing time_gram_assembly(const Deconvolver& deconvolver,
     double ref_best = std::numeric_limits<double>::infinity();
     double fast_best = std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < chunks; ++c) {
-        auto start = clock::now();
+        cellsync::bench::Stopwatch watch;
         run_reference(chunk_reps);
-        ref_best = std::min(
-            ref_best, std::chrono::duration<double, std::milli>(clock::now() - start).count());
-        start = clock::now();
+        ref_best = std::min(ref_best, watch.elapsed_ms());
+        watch.reset();
         run_fast(chunk_reps);
-        fast_best = std::min(
-            fast_best,
-            std::chrono::duration<double, std::milli>(clock::now() - start).count());
+        fast_best = std::min(fast_best, watch.elapsed_ms());
     }
     timing.reference_ms = ref_best * static_cast<double>(chunks);
     timing.fast_ms = fast_best * static_cast<double>(chunks);
@@ -386,13 +380,13 @@ Gram_timing time_gram_assembly(const Deconvolver& deconvolver,
     // new path (one number to track end-to-end drift, not a comparison).
     Deconvolution_options solve_options;
     solve_options.lambda = 1e-4;
-    const auto solve_start = clock::now();
+    const cellsync::bench::Stopwatch solve_watch;
     for (const Measurement_series& series : panel) {
         const Single_cell_estimate est = deconvolver.estimate(series, solve_options);
         benchmark::DoNotOptimize(est.coefficients().data());
     }
     timing.solve_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - solve_start).count();
+        solve_watch.elapsed_ms();
     return timing;
 }
 

@@ -12,7 +12,6 @@
 //    below the sequential reference while every per-gene estimate stays
 //    bit-identical (asserted by CI from this harness's JSON).
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <thread>
@@ -96,7 +95,6 @@ void compare_genes(const Experiment_result& a, const Experiment_result& b,
 }
 
 void run_cache_comparison(cellsync::bench::Bench_json& json) {
-    using clock = std::chrono::steady_clock;
     const std::string dir =
         (std::filesystem::temp_directory_path() / "cellsync_perf_experiment_cache")
             .string();
@@ -106,18 +104,18 @@ void run_cache_comparison(cellsync::bench::Bench_json& json) {
     const Smooth_volume_model volume;
 
     Kernel_cache cold_cache(dir);
-    const auto cold_start = clock::now();
+    const cellsync::bench::Stopwatch cold_watch;
     const Experiment_result cold = run_experiment(spec, volume, cold_cache);
     const double cold_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - cold_start).count();
+        cold_watch.elapsed_ms();
 
     // Fresh instance: the memory map is empty, so every kernel must come
     // off disk. builds == 0 is the "skips all population simulation" claim.
     Kernel_cache warm_cache(dir);
-    const auto warm_start = clock::now();
+    const cellsync::bench::Stopwatch warm_watch;
     const Experiment_result warm = run_experiment(spec, volume, warm_cache);
     const double warm_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - warm_start).count();
+        warm_watch.elapsed_ms();
 
     std::size_t genes = 0;
     std::size_t identical = 0;
@@ -160,7 +158,6 @@ void run_cache_comparison(cellsync::bench::Bench_json& json) {
 /// than the cache comparison keep this cheap enough for CI to run and
 /// assert bit-identity on every push.
 void run_schedule_comparison(cellsync::bench::Bench_json& json) {
-    using clock = std::chrono::steady_clock;
     constexpr int repeats = 5;
     const Smooth_volume_model volume;
     const std::size_t cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -174,19 +171,17 @@ void run_schedule_comparison(cellsync::bench::Bench_json& json) {
     for (int rep = 0; rep < repeats; ++rep) {
         spec.schedule = Experiment_schedule::sequential;
         Kernel_cache sequential_cache;
-        auto start = clock::now();
+        cellsync::bench::Stopwatch watch;
         Experiment_result result = run_experiment(spec, volume, sequential_cache);
-        const double seq_ms =
-            std::chrono::duration<double, std::milli>(clock::now() - start).count();
+        const double seq_ms = watch.elapsed_ms();
         if (rep == 0 || seq_ms < sequential_ms) sequential_ms = seq_ms;
         if (rep == 0) sequential = std::move(result);
 
         spec.schedule = Experiment_schedule::pipelined;
         Kernel_cache pipelined_cache;
-        start = clock::now();
+        watch.reset();
         result = run_experiment(spec, volume, pipelined_cache);
-        const double pipe_ms =
-            std::chrono::duration<double, std::milli>(clock::now() - start).count();
+        const double pipe_ms = watch.elapsed_ms();
         if (rep == 0 || pipe_ms < pipelined_ms) pipelined_ms = pipe_ms;
         if (rep == 0) pipelined = std::move(result);
     }

@@ -4,7 +4,6 @@
 // B-spline design whose rows are genuinely banded. Every timed variant is
 // also checked bit-for-bit against the reference; the speedups must come
 // with identical results.
-#include <chrono>
 #include <cstdio>
 
 #include "numerics/banded.h"
@@ -118,7 +117,6 @@ void bm_transposed_times_banded(benchmark::State& state) {
 // --------------------------------------------------------------------------
 
 void run_gram_summary(cellsync::bench::Bench_json& json) {
-    using clock = std::chrono::steady_clock;
     constexpr std::size_t rows = 200;
     constexpr std::size_t cols = 24;
     constexpr std::size_t reps = 20000;
@@ -129,29 +127,29 @@ void run_gram_summary(cellsync::bench::Bench_json& json) {
     const Matrix& dense = banded.dense();
     const Vector w = random_weights(rng, rows);
 
-    const auto ref_start = clock::now();
+    const cellsync::bench::Stopwatch ref_watch;
     for (std::size_t r = 0; r < reps; ++r) {
         const Matrix g = weighted_gram_reference(dense, w);
         benchmark::DoNotOptimize(g.data().data());
     }
     const double ref_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - ref_start).count();
+        ref_watch.elapsed_ms();
 
-    const auto simd_start = clock::now();
+    const cellsync::bench::Stopwatch simd_watch;
     for (std::size_t r = 0; r < reps; ++r) {
         const Matrix g = weighted_gram(dense, w);
         benchmark::DoNotOptimize(g.data().data());
     }
     const double simd_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - simd_start).count();
+        simd_watch.elapsed_ms();
 
-    const auto banded_start = clock::now();
+    const cellsync::bench::Stopwatch banded_watch;
     for (std::size_t r = 0; r < reps; ++r) {
         const Matrix g = weighted_gram(banded, w);
         benchmark::DoNotOptimize(g.data().data());
     }
     const double banded_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - banded_start).count();
+        banded_watch.elapsed_ms();
 
     const Matrix g_ref = weighted_gram_reference(dense, w);
     const Matrix g_simd = weighted_gram(dense, w);

@@ -10,7 +10,6 @@
 // skips text formatting entirely); the size gap tracks how many phase
 // bins the synchronized population leaves exactly zero (zero runs are
 // run-length encoded), so it grows with kernel sparsity.
-#include <chrono>
 #include <cmath>
 #include <sstream>
 
@@ -65,7 +64,6 @@ std::size_t identical_values(const Kernel_grid& a, const Kernel_grid& b,
 }
 
 void run_kernel_io_comparison(cellsync::bench::Bench_json& json) {
-    using clock = std::chrono::steady_clock;
     const Kernel_io_fixture& fix = fixture();
     const std::size_t total =
         fix.kernel.time_count() + fix.kernel.bin_count() +
@@ -78,7 +76,7 @@ void run_kernel_io_comparison(cellsync::bench::Bench_json& json) {
     const auto time_parses = [&](const std::string& payload, bool binary) {
         double best_ms = 0.0;
         for (int pass = 0; pass < passes; ++pass) {
-            const auto start = clock::now();
+            const cellsync::bench::Stopwatch watch;
             for (int r = 0; r < reps; ++r) {
                 std::istringstream in(payload);
                 const Kernel_grid grid =
@@ -86,7 +84,7 @@ void run_kernel_io_comparison(cellsync::bench::Bench_json& json) {
                 benchmark::DoNotOptimize(grid.q().data());
             }
             const double ms =
-                std::chrono::duration<double, std::milli>(clock::now() - start).count() /
+                watch.elapsed_ms() /
                 reps;
             best_ms = pass == 0 ? ms : std::min(best_ms, ms);
         }

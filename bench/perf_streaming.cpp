@@ -9,7 +9,6 @@
 // warm-started QP re-solve, and its final estimate must still be
 // bit-identical to the batch estimate on the complete series — both the
 // speedup and the identity are asserted into BENCH_streaming.json.
-#include <chrono>
 #include <cmath>
 
 #include "biology/gene_profiles.h"
@@ -85,7 +84,6 @@ Stream_options stream_options() {
 }
 
 void run_streaming_comparison(cellsync::bench::Bench_json& json) {
-    using clock = std::chrono::steady_clock;
     const Streaming_fixture& fix = fixture();
     const Deconvolver deconvolver(fix.artifacts);
     const std::size_t timepoints = fix.artifacts->times.size();
@@ -96,7 +94,7 @@ void run_streaming_comparison(cellsync::bench::Bench_json& json) {
     double cold_ms = 0.0;
     for (int pass = 0; pass < passes; ++pass) {
         cold_final.clear();
-        const auto cold_start = clock::now();
+        const cellsync::bench::Stopwatch cold_watch;
         for (const Measurement_series& series : fix.panel) {
             std::vector<std::size_t> rows;
             for (std::size_t m = 0; m < timepoints; ++m) {
@@ -107,7 +105,7 @@ void run_streaming_comparison(cellsync::bench::Bench_json& json) {
             }
         }
         const double ms =
-            std::chrono::duration<double, std::milli>(clock::now() - cold_start).count();
+            cold_watch.elapsed_ms();
         cold_ms = pass == 0 ? ms : std::min(cold_ms, ms);
     }
 
@@ -119,7 +117,7 @@ void run_streaming_comparison(cellsync::bench::Bench_json& json) {
     for (int pass = 0; pass < passes; ++pass) {
         stream_final.clear();
         stats = {};
-        const auto stream_start = clock::now();
+        const cellsync::bench::Stopwatch stream_watch;
         for (const Measurement_series& series : fix.panel) {
             Streaming_deconvolver stream(fix.artifacts, series.label, stream_options());
             for (std::size_t m = 0; m < timepoints; ++m) {
@@ -131,7 +129,7 @@ void run_streaming_comparison(cellsync::bench::Bench_json& json) {
             stats.cold_solves += stream.stats().cold_solves;
         }
         const double ms =
-            std::chrono::duration<double, std::milli>(clock::now() - stream_start).count();
+            stream_watch.elapsed_ms();
         streamed_ms = pass == 0 ? ms : std::min(streamed_ms, ms);
     }
 

@@ -8,6 +8,8 @@
 
 #include "core/batch.h"
 #include "core/task_graph.h"
+#include "core/telemetry.h"
+#include "core/trace.h"
 #include "core/worker_pool.h"
 #include "numerics/fnv.h"
 #include "population/synchrony.h"
@@ -109,6 +111,14 @@ std::vector<Vector> warm_grids_for(const Experiment_spec& spec, std::size_t c,
 /// warm starts) and score every successful profile's synchrony.
 void score_condition(Condition_result& out, const Vector& score_phi,
                      std::map<std::string, double>& previous_lambda) {
+    // Shared by both schedules, once per condition — the one place the
+    // experiment-level progress counters can tick identically for the
+    // sequential and pipelined paths.
+    static telemetry::Counter& conditions_done = telemetry::counter("experiment.conditions_done");
+    static telemetry::Counter& genes_done = telemetry::counter("experiment.genes_done");
+    conditions_done.add();
+    genes_done.add(out.genes.size());
+
     for (const Batch_entry& entry : out.genes) {
         if (entry.estimate.has_value()) previous_lambda[entry.label] = entry.lambda;
     }
@@ -156,13 +166,19 @@ Experiment_result run_sequential(const Experiment_spec& spec,
     // kernel, not once per condition.
     std::map<const Kernel_grid*, std::unique_ptr<Batch_engine>> engines;
 
+    const bool tracing = telemetry::Trace_recorder::instance().enabled();
     for (std::size_t c = 0; c < spec.conditions.size(); ++c) {
         const Experiment_condition& condition = spec.conditions[c];
         Condition_result out;
         out.name = resolved_condition_name(condition, c);
 
-        out.kernel = cache.get_or_build(condition.cell_cycle, volume_model,
-                                        condition.panel.front().times, spec.kernel);
+        {
+            const telemetry::Trace_span kernel_span(
+                "experiment.kernel", "experiment",
+                tracing ? telemetry::arg("condition", out.name) : std::string());
+            out.kernel = cache.get_or_build(condition.cell_cycle, volume_model,
+                                            condition.panel.front().times, spec.kernel);
+        }
 
         std::unique_ptr<Batch_engine>& engine_slot = engines[out.kernel.get()];
         if (!engine_slot) {
@@ -175,10 +191,24 @@ Experiment_result run_sequential(const Experiment_spec& spec,
         }
         const Batch_engine& engine = *engine_slot;
 
-        out.genes = engine.run_with_grids(condition.panel,
-                                          warm_grids_for(spec, c, previous_lambda),
-                                          spec.batch);
-        score_condition(out, score_phi, previous_lambda);
+        {
+            const telemetry::Trace_span solve_span(
+                "experiment.solve", "experiment",
+                tracing ? telemetry::args_join(
+                              telemetry::arg("condition", out.name),
+                              telemetry::arg("genes",
+                                             static_cast<std::int64_t>(condition.panel.size())))
+                        : std::string());
+            out.genes = engine.run_with_grids(condition.panel,
+                                              warm_grids_for(spec, c, previous_lambda),
+                                              spec.batch);
+        }
+        {
+            const telemetry::Trace_span score_span(
+                "experiment.score", "experiment",
+                tracing ? telemetry::arg("condition", out.name) : std::string());
+            score_condition(out, score_phi, previous_lambda);
+        }
         result.conditions.push_back(std::move(out));
     }
     return result;
@@ -319,6 +349,10 @@ Experiment_spec shard_experiment(const Experiment_spec& spec, std::size_t shards
                                     std::to_string(shard_index) + " out of range for " +
                                     std::to_string(shards) + " shards");
     }
+    // Tag this process's metrics with its shard assignment so merged
+    // dashboards can tell shard streams apart.
+    telemetry::gauge("experiment.shard_count").set(static_cast<double>(shards));
+    telemetry::gauge("experiment.shard_index").set(static_cast<double>(shard_index));
     if (shards == 1) return spec;
     Experiment_spec out = spec;
     out.conditions.clear();

@@ -66,6 +66,7 @@ class Worker_pool {
         bool cancelled = false;        ///< an upstream node failed/cancelled
         std::size_t next = 0;          ///< next unclaimed index
         std::size_t completed = 0;     ///< finished indices
+        std::int64_t ready_ns = 0;     ///< telemetry only: claim-eligible instant
     };
 
     void worker_loop();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/telemetry.h"
+#include "core/trace.h"
 #include "numerics/linear_solve.h"
 #include "numerics/nnls.h"
 
@@ -51,6 +53,7 @@ Qp_result Nnls_qp_solver::solve(const Qp_problem& problem, const Qp_options& opt
             "Nnls_qp_solver: problem is not positivity-only (needs no equalities and an "
             "identity inequality block with zero rhs)");
     }
+    const telemetry::Trace_span solve_span("qp.nnls.solve", "qp");
     const std::size_t n = problem.hessian.rows();
 
     // H = L L^T turns 0.5 x'Hx + g'x into 0.5||L^T x - b||^2 + const with
@@ -72,6 +75,11 @@ Qp_result Nnls_qp_solver::solve(const Qp_problem& problem, const Qp_options& opt
         // the passive set at an exact zero.
         if (result.x[i] <= options.constraint_tol) result.active_set.push_back(i);
     }
+    static telemetry::Counter& solves = telemetry::counter("qp.nnls.solves");
+    static telemetry::Histogram& iteration_histogram =
+        telemetry::histogram("qp.nnls.iterations");
+    solves.add();
+    iteration_histogram.record(static_cast<double>(result.iterations));
     return result;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/telemetry.h"
+#include "core/trace.h"
 #include "numerics/linear_solve.h"
 
 namespace cellsync {
@@ -343,6 +345,14 @@ Qp_result solve_qp_dual_reduced(const Matrix& hessian, const Vector& gradient,
     const Matrix& cr = ineq_matrix;
     const Vector& dr = ineq_rhs;
 
+    // The Goldfarb-Idnani core is the per-gene hot path; the span is one
+    // atomic load when tracing is off, and the counters/histogram are
+    // recorded at the single successful exit below.
+    const telemetry::Trace_span solve_span("qp.active_set.solve", "qp");
+    static telemetry::Counter& cold_solves = telemetry::counter("qp.active_set.solves");
+    static telemetry::Histogram& iteration_histogram =
+        telemetry::histogram("qp.active_set.iterations");
+
     // Scaled ridge guaranteeing strict convexity.
     Matrix hr = hessian;
     {
@@ -468,6 +478,8 @@ Qp_result solve_qp_dual_reduced(const Matrix& hessian, const Vector& gradient,
     }
     result.converged = true;
     result.objective = 0.5 * dot(result.x, hessian * result.x) + dot(gradient, result.x);
+    cold_solves.add();
+    iteration_histogram.record(static_cast<double>(result.iterations));
     return result;
 }
 
@@ -563,6 +575,16 @@ std::optional<Qp_result> try_solve_qp_reduced_warm(const Matrix& hessian,
     const Matrix& cr = ineq_matrix;
     const Vector& dr = ineq_rhs;
 
+    // Warm-start economics: attempts, accepts (hint led to the optimum),
+    // and fallbacks (caller pays the cold dual solve) plus how many
+    // repair steps an accepted hint needed.
+    static telemetry::Counter& warm_attempts = telemetry::counter("qp.warm.attempts");
+    static telemetry::Counter& warm_accepts = telemetry::counter("qp.warm.accepts");
+    static telemetry::Counter& warm_fallbacks = telemetry::counter("qp.warm.fallbacks");
+    static telemetry::Histogram& repair_steps = telemetry::histogram("qp.warm.repair_steps");
+    warm_attempts.add();
+    const telemetry::Trace_span warm_span("qp.warm.solve", "qp");
+
     // Same strict-convexity ridge as the cold dual iteration, so warm and
     // cold paths agree on what "optimal" means.
     Matrix hr = hessian;
@@ -609,6 +631,7 @@ std::optional<Qp_result> try_solve_qp_reduced_warm(const Matrix& hessian,
         try {
             sol = ldlt_solve(kkt, rhs);
         } catch (const std::runtime_error&) {
+            warm_fallbacks.add();
             return std::nullopt;  // dependent working rows: cold path sorts it out
         }
         Vector y(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(nz));
@@ -643,7 +666,10 @@ std::optional<Qp_result> try_solve_qp_reduced_warm(const Matrix& hessian,
             }
         }
         if (add != mi) {
-            if (working.size() == nz) return std::nullopt;  // cannot grow further
+            if (working.size() == nz) {
+                warm_fallbacks.add();
+                return std::nullopt;  // cannot grow further
+            }
             working.push_back(add);
             continue;
         }
@@ -656,8 +682,11 @@ std::optional<Qp_result> try_solve_qp_reduced_warm(const Matrix& hessian,
         result.active_set = std::move(working);
         std::sort(result.active_set.begin(), result.active_set.end());
         result.converged = true;
+        warm_accepts.add();
+        repair_steps.record(static_cast<double>(result.iterations));
         return result;
     }
+    warm_fallbacks.add();
     return std::nullopt;  // repair budget exhausted: the hint was not nearby
 }
 

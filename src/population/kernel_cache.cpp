@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/telemetry.h"
+#include "core/trace.h"
 #include "io/csv.h"
 #include "io/kernel_io.h"
 #include "numerics/fnv.h"
@@ -318,8 +320,12 @@ void Kernel_cache::touch_manifest(const std::string& hash, const std::string& ke
         std::fprintf(stderr, "Kernel_cache: manifest update failed: %s\n", e.what());
     }
     if (evicted > 0) {
-        const Annotated_lock lock(mutex_);
-        stats_.evictions += evicted;
+        {
+            const Annotated_lock lock(mutex_);
+            stats_.evictions += evicted;
+        }
+        static telemetry::Counter& evictions = telemetry::counter("kernel_cache.evictions");
+        evictions.add(evicted);
     }
 }
 
@@ -333,9 +339,15 @@ Kernel_cache::Async_request Kernel_cache::get_or_build_async(
     request.times_ = times;
     request.options_ = options;
 
+    static telemetry::Counter& memory_hits = telemetry::counter("kernel_cache.memory_hits");
+    static telemetry::Counter& inflight_joins =
+        telemetry::counter("kernel_cache.inflight_joins");
+    static telemetry::Counter& misses = telemetry::counter("kernel_cache.misses");
+
     const Annotated_lock lock(mutex_);
     if (const auto it = memory_.find(key); it != memory_.end()) {
         ++stats_.memory_hits;
+        memory_hits.add();
         auto state = std::make_shared<Kernel_cache_request_state>();
         {
             // The state is not shared yet, but taking its latch keeps the
@@ -353,9 +365,11 @@ Kernel_cache::Async_request Kernel_cache::get_or_build_async(
         // executing caller publishes it. Counting at call time keeps the
         // stats deterministic when requests are issued from one thread.
         ++stats_.memory_hits;
+        inflight_joins.add();
         request.state_ = it->second;
         return request;
     }
+    misses.add();
     auto state = std::make_shared<Kernel_cache_request_state>();
     state->cache = this;
     state->key = key;
@@ -376,7 +390,21 @@ std::shared_ptr<const Kernel_grid> Kernel_cache::Async_request::get() {
             execute = true;
         }
     }
-    if (execute) state_->cache->resolve_request(state_, config_, *volume_, times_, options_);
+    {
+        // Async-request span: how long this caller spent executing the
+        // shared resolution, or blocked waiting for another executor.
+        const bool tracing = telemetry::Trace_recorder::instance().enabled();
+        const telemetry::Trace_span span(
+            "kernel_cache.request", "cache",
+            tracing ? telemetry::arg("role", execute ? "execute" : "wait")
+                    : std::string());
+        if (execute) {
+            state_->cache->resolve_request(state_, config_, *volume_, times_, options_);
+        } else {
+            Annotated_lock lock(state_->mutex);
+            while (!state_->done) state_->cv.wait(lock);
+        }
+    }
     Annotated_lock lock(state_->mutex);
     while (!state_->done) state_->cv.wait(lock);
     if (state_->error) std::rethrow_exception(state_->error);
@@ -393,8 +421,13 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
     std::shared_ptr<const Kernel_grid> kernel;
     std::exception_ptr error;
     bool from_disk = false;
+    bool migrated = false;
     const std::string& key = state->key;
     const std::string hash = key_hash(key);
+    const bool tracing = telemetry::Trace_recorder::instance().enabled();
+    const telemetry::Trace_span resolve_span(
+        "kernel_cache.resolve", "cache",
+        tracing ? telemetry::arg("hash", hash) : std::string());
     try {
         if (!directory_.empty() && read_text_file(sidecar_path(hash)) == key) {
             // The sidecar is written after the kernel file, so a matching
@@ -434,6 +467,7 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
                         // time it is touched, so old caches converge
                         // without a separate migration pass.
                         stored = migrate_legacy_entry(hash, *kernel);
+                        migrated = stored;
                     } else if (std::filesystem::exists(legacy_entry_path(hash), ec)) {
                         // A migration that died between writing the binary
                         // and dropping the CSV left both behind; the
@@ -449,8 +483,12 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
             }
         }
         if (!kernel) {
+            const telemetry::Latency_timer build_watch;
             kernel = std::make_shared<const Kernel_grid>(
                 build_kernel(config, volume_model, times, options));
+            static telemetry::Histogram& build_us =
+                telemetry::histogram("kernel_cache.build_us");
+            build_us.record(build_watch.elapsed_us());
             if (!directory_.empty() && !limits_.read_only) {
                 // A full disk or unwritable directory degrades to
                 // memory-only caching instead of sinking the run. The
@@ -484,11 +522,21 @@ void Kernel_cache::resolve_request(const std::shared_ptr<Kernel_cache_request_st
         error = std::current_exception();
     }
 
+    if (kernel) {
+        static telemetry::Counter& disk_hits = telemetry::counter("kernel_cache.disk_hits");
+        static telemetry::Counter& builds = telemetry::counter("kernel_cache.builds");
+        static telemetry::Counter& migrations =
+            telemetry::counter("kernel_cache.migrations");
+        if (from_disk) disk_hits.add();
+        else builds.add();
+        if (migrated) migrations.add();
+    }
     {
         const Annotated_lock lock(mutex_);
         if (kernel) {
             if (from_disk) ++stats_.disk_hits;
             else ++stats_.builds;
+            if (migrated) ++stats_.migrations;
             // emplace keeps an entry another resolution may have inserted
             // first; publish the map's copy so all callers share one grid.
             kernel = memory_.emplace(key, std::move(kernel)).first->second;

@@ -43,6 +43,7 @@ struct Kernel_cache_stats {
     std::size_t disk_hits = 0;    ///< deserialized from the cache directory
     std::size_t builds = 0;       ///< full population simulations run
     std::size_t evictions = 0;    ///< disk entries removed by the LRU policy
+    std::size_t migrations = 0;   ///< legacy CSV entries rewritten as binary
 };
 
 /// Component-wise difference of two counter snapshots (later - earlier):
@@ -54,6 +55,7 @@ inline Kernel_cache_stats operator-(const Kernel_cache_stats& later,
     delta.disk_hits = later.disk_hits - earlier.disk_hits;
     delta.builds = later.builds - earlier.builds;
     delta.evictions = later.evictions - earlier.evictions;
+    delta.migrations = later.migrations - earlier.migrations;
     return delta;
 }
 

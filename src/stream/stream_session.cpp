@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "core/batch.h"
+#include "core/telemetry.h"
+#include "core/trace.h"
 #include "spline/spline_basis.h"
 
 namespace cellsync {
@@ -79,6 +81,11 @@ std::vector<Stream_update> Stream_session::append_timepoint(
     }
 
     const Annotated_lock lock(run_mutex_);
+    const bool tracing = telemetry::Trace_recorder::instance().enabled();
+    const telemetry::Trace_span timepoint_span(
+        "stream.timepoint", "stream",
+        tracing ? telemetry::arg("genes", static_cast<std::int64_t>(records.size()))
+                : std::string());
     // Registry mutation is serial (the map must not rehash under the
     // pool); the per-gene solves then touch disjoint stream objects and a
     // shared immutable design, so the parallel fan-out is data-race free
@@ -106,6 +113,17 @@ std::vector<Stream_update> Stream_session::append_timepoint(
         }
         update.observed = stream.observed();
     });
+    if constexpr (telemetry::compiled_in) {
+        std::size_t converged = 0;
+        for (const auto& [label, stream] : streams_) {
+            if (stream->converged()) ++converged;
+        }
+        static telemetry::Gauge& open_streams = telemetry::gauge("stream.open_streams");
+        static telemetry::Gauge& converged_streams =
+            telemetry::gauge("stream.converged_streams");
+        open_streams.set(static_cast<double>(streams_.size()));
+        converged_streams.set(static_cast<double>(converged));
+    }
     return updates;
 }
 

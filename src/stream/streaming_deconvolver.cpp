@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/telemetry.h"
+#include "core/trace.h"
 #include "population/synchrony.h"
 
 namespace cellsync {
@@ -144,6 +146,14 @@ const Single_cell_estimate& Streaming_deconvolver::append(double time, double va
     weights_.push_back(w);
     ++observed_;
 
+    const bool tracing = telemetry::Trace_recorder::instance().enabled();
+    const telemetry::Trace_span append_span(
+        "stream.append", "stream",
+        tracing ? telemetry::args_join(
+                      telemetry::arg("gene", label_),
+                      telemetry::arg("observed", static_cast<std::int64_t>(observed_)))
+                : std::string());
+    const telemetry::Latency_timer update_timer;
     try {
         solve_and_package();
     } catch (...) {
@@ -157,6 +167,8 @@ const Single_cell_estimate& Streaming_deconvolver::append(double time, double va
         --observed_;
         throw;
     }
+    static telemetry::Histogram& append_us = telemetry::histogram("stream.append_us");
+    append_us.record(update_timer.elapsed_us());
     return *estimate_;
 }
 
@@ -248,6 +260,12 @@ void Streaming_deconvolver::solve_and_package() {
     ++stats_.updates;
     if (warm_used) ++stats_.warm_accepts;
     else ++stats_.cold_solves;
+    static telemetry::Counter& updates = telemetry::counter("stream.updates");
+    static telemetry::Counter& warm_accepts = telemetry::counter("stream.warm_accepts");
+    static telemetry::Counter& cold_solves = telemetry::counter("stream.cold_solves");
+    updates.add();
+    if (warm_used) warm_accepts.add();
+    else cold_solves.add();
 }
 
 }  // namespace cellsync

@@ -1,0 +1,328 @@
+// Metrics_registry contract tests: exact multi-threaded counter and
+// histogram merges, stable handles, deterministic snapshots, and the
+// cellsync-metrics-v1 JSON shape. Collection-dependent cases skip under
+// -DCELLSYNC_TELEMETRY=OFF, where the same binary instead pins the
+// no-op contract (instruments exist, never count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/telemetry.h"
+
+namespace cellsync::telemetry {
+namespace {
+
+/// Minimal recursive-descent JSON well-formedness check (no values kept):
+/// enough to prove the writers emit parseable documents without pulling
+/// in a JSON library.
+class Json_checker {
+  public:
+    explicit Json_checker(const std::string& text) : text_(text) {}
+
+    bool valid() {
+        pos_ = 0;
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+
+    bool object() {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array() {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\\') { pos_ += 2; continue; }
+            if (c == '"') { ++pos_; return true; }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(const char* word) {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(Telemetry, CounterAddsAreExactAcrossThreads) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    Counter& shared = counter("test.threads.counter");
+    shared.reset();
+
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kAdds = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&shared] {
+            for (std::uint64_t i = 0; i < kAdds; ++i) shared.add();
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+
+    // Every add lands: relaxed ordering loosens only cross-counter
+    // visibility, never the total.
+    EXPECT_EQ(shared.value(), kThreads * kAdds);
+}
+
+TEST(Telemetry, HistogramMergesExactlyAcrossThreads) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    Histogram& shared = histogram("test.threads.histogram");
+    shared.reset();
+
+    // Every thread records the same deterministic sequence, so the
+    // merged buckets must equal kThreads x the serial bucketing.
+    constexpr int kThreads = 6;
+    constexpr std::size_t kSamples = 5000;
+    const auto sample = [](std::size_t i) {
+        return static_cast<double>((i * 37) % 3000);  // spans several buckets
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&shared, &sample] {
+            for (std::size_t i = 0; i < kSamples; ++i) shared.record(sample(i));
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+
+    Histogram serial;
+    for (std::size_t i = 0; i < kSamples; ++i) serial.record(sample(i));
+    const Histogram_snapshot expected = serial.snapshot();
+    const Histogram_snapshot merged = shared.snapshot();
+
+    ASSERT_EQ(merged.counts.size(), expected.counts.size());
+    for (std::size_t b = 0; b < merged.counts.size(); ++b) {
+        EXPECT_EQ(merged.counts[b], kThreads * expected.counts[b]) << "bucket " << b;
+    }
+    EXPECT_EQ(merged.total, kThreads * expected.total);
+    // The sum is CAS-accumulated; with integer-valued samples the total
+    // is exact regardless of the interleaving.
+    EXPECT_EQ(merged.sum, kThreads * expected.sum);
+}
+
+TEST(Telemetry, HistogramBucketBoundariesAreInclusive) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    Histogram h;
+    h.record(1.0);    // lands in the le=1 bucket (inclusive upper bound)
+    h.record(1.5);    // le=2
+    h.record(1e7);    // last finite bucket
+    h.record(2e7);    // overflow bucket
+    const Histogram_snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.upper_bounds.size() + 1, snap.counts.size());
+    EXPECT_EQ(snap.counts[0], 1u);  // le 1
+    EXPECT_EQ(snap.counts[1], 1u);  // le 2
+    EXPECT_EQ(snap.counts[snap.upper_bounds.size() - 1], 1u);  // le 1e7
+    EXPECT_EQ(snap.counts.back(), 1u);                         // +Inf
+    EXPECT_EQ(snap.total, 4u);
+}
+
+TEST(Telemetry, RegistryHandlesAreStableAndPerName) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    Counter& a1 = counter("test.handle.a");
+    Counter& a2 = counter("test.handle.a");
+    Counter& b = counter("test.handle.b");
+    EXPECT_EQ(&a1, &a2);
+    EXPECT_NE(&a1, &b);
+
+    // Same name, different instrument kinds: distinct objects.
+    Gauge& g = gauge("test.handle.a");
+    EXPECT_NE(static_cast<void*>(&g), static_cast<void*>(&a1));
+}
+
+TEST(Telemetry, GaugeIsLastWriteWins) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    Gauge& g = gauge("test.gauge");
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Telemetry, SnapshotIsSortedByName) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    counter("test.sort.zz").add();
+    counter("test.sort.aa").add();
+    counter("test.sort.mm").add();
+    const Metrics_snapshot snap = Metrics_registry::instance().snapshot();
+    for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+        EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+    }
+    for (std::size_t i = 1; i < snap.histograms.size(); ++i) {
+        EXPECT_LT(snap.histograms[i - 1].first, snap.histograms[i].first);
+    }
+}
+
+TEST(Telemetry, ResetValuesZeroesWithoutInvalidatingHandles) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    Counter& c = counter("test.reset.counter");
+    Histogram& h = histogram("test.reset.histogram");
+    c.add(5);
+    h.record(10.0);
+    Metrics_registry::instance().reset_values();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.snapshot().total, 0u);
+    c.add();  // handle still live
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Telemetry, MetricsJsonIsWellFormed) {
+    // Snapshot types compile in both modes; build one by hand so the
+    // writer is exercised identically under ON and OFF.
+    Metrics_snapshot snap;
+    snap.counters = {{"layer.counts \"quoted\"", 42}, {"layer.other", 0}};
+    snap.gauges = {{"layer.gauge", -2.5}};
+    Histogram_snapshot h;
+    h.upper_bounds = {1.0, 2.0};
+    h.counts = {3, 0, 7};
+    h.total = 10;
+    h.sum = 123.5;
+    snap.histograms = {{"layer.latency_us", h}};
+
+    std::ostringstream out;
+    write_metrics_json(out, snap);
+    const std::string text = out.str();
+
+    EXPECT_TRUE(Json_checker(text).valid()) << text;
+    EXPECT_NE(text.find("\"schema\": \"cellsync-metrics-v1\""), std::string::npos);
+    EXPECT_NE(text.find("\"layer.counts \\\"quoted\\\"\": 42"), std::string::npos);
+    EXPECT_NE(text.find("\"layer.latency_us\""), std::string::npos);
+    EXPECT_NE(text.find("\"+Inf\""), std::string::npos);  // overflow bucket
+}
+
+TEST(Telemetry, RegistrySnapshotJsonIsWellFormed) {
+    if (!compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=OFF";
+    counter("test.json.counter").add(3);
+    gauge("test.json.gauge").set(1.5);
+    histogram("test.json.histogram").record(250.0);
+    std::ostringstream out;
+    write_metrics_json(out, Metrics_registry::instance().snapshot());
+    EXPECT_TRUE(Json_checker(out.str()).valid()) << out.str();
+    EXPECT_NE(out.str().find("\"telemetry_compiled\": true"), std::string::npos);
+}
+
+TEST(Telemetry, OffModeInstrumentsAreInertNoOps) {
+    if (compiled_in) GTEST_SKIP() << "built with CELLSYNC_TELEMETRY=ON";
+    // The no-op contract: same API, nothing ever counts, snapshots are
+    // empty, and the metrics JSON is still valid (empty sections).
+    Counter& c = counter("test.off.counter");
+    c.add(100);
+    EXPECT_EQ(c.value(), 0u);
+    Histogram& h = histogram("test.off.histogram");
+    h.record(5.0);
+    EXPECT_EQ(h.snapshot().total, 0u);
+    const Metrics_snapshot snap = Metrics_registry::instance().snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+
+    std::ostringstream out;
+    write_metrics_json(out, snap);
+    EXPECT_TRUE(Json_checker(out.str()).valid()) << out.str();
+    EXPECT_NE(out.str().find("\"telemetry_compiled\": false"), std::string::npos);
+}
+
+TEST(Telemetry, LatencyTimerMatchesGate) {
+    // In ON builds the timer reads the clock seam; in OFF builds it must
+    // not (elapsed is identically zero). Either way the call compiles.
+    const Latency_timer timer;
+    if constexpr (compiled_in) {
+        EXPECT_GE(timer.elapsed_us(), 0.0);
+    } else {
+        EXPECT_EQ(timer.elapsed_us(), 0.0);
+        EXPECT_EQ(timer.elapsed_ms(), 0.0);
+    }
+}
+
+TEST(Telemetry, StopwatchIsAlwaysReal) {
+    // The bench seam is gate-independent: elapsed time is monotonic and
+    // non-negative in both build modes.
+    Stopwatch watch;
+    const std::int64_t a = watch.elapsed_ns();
+    const std::int64_t b = watch.elapsed_ns();
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, a);
+    watch.reset();
+    EXPECT_GE(watch.elapsed_ns(), 0);
+}
+
+}  // namespace
+}  // namespace cellsync::telemetry

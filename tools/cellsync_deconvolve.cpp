@@ -95,7 +95,12 @@
 //   --threads N         worker threads              (default: hardware)
 //   --times LO:HI:N | --times-from data.csv   time grid (kernel, stream)
 //   --qp-backend NAME   automatic | active_set
-//   --json PATH         machine-readable report output (report)
+//   --json PATH         machine-readable report output (report, kernel cache)
+//   --trace PATH        Chrome-trace JSON of the command's spans (run,
+//                       stream, merge-results); load in Perfetto or
+//                       chrome://tracing
+//   --metrics-json PATH metrics snapshot (counters/gauges/histograms)
+//                       written at command exit (run, stream, merge-results)
 //   --stop-when-converged / --coef-tol X / --score-tol X
 //   --stable-updates N / --min-observed N     streaming convergence
 #include <cstdio>
@@ -113,6 +118,8 @@
 
 #include "core/batch_engine.h"
 #include "core/experiment_runner.h"
+#include "core/telemetry.h"
+#include "core/trace.h"
 #include "io/csv.h"
 #include "io/expression_data.h"
 #include "io/kernel_io.h"
@@ -159,7 +166,9 @@ struct Cli_options {
     std::uint64_t seed = 20110605;
     std::size_t threads = 0;
     Qp_backend backend = Qp_backend::automatic;
-    std::string json_path;                ///< report --json destination
+    std::string json_path;                ///< report / kernel cache --json destination
+    std::string trace_path;               ///< --trace Chrome-trace destination
+    std::string metrics_json_path;        ///< --metrics-json snapshot destination
     std::uint64_t cache_max_bytes = 0;    ///< LRU cap for --cache-dir
     bool cache_read_only = false;         ///< shared-directory fleet mode
     std::size_t shards = 1;               ///< experiment gene-panel shards
@@ -245,6 +254,8 @@ Cli_options parse_args(int argc, char** argv, int first) {
             else if (arg == "--threads") options.threads = parse_strict_uint64(next_value(i));
             else if (arg == "--qp-backend") options.backend = qp_backend_from_string(next_value(i));
             else if (arg == "--json") options.json_path = next_value(i);
+            else if (arg == "--trace") options.trace_path = next_value(i);
+            else if (arg == "--metrics-json") options.metrics_json_path = next_value(i);
             else if (arg == "--cache-max-bytes") options.cache_max_bytes = parse_strict_uint64(next_value(i));
             else if (arg == "--cache-read-only") options.cache_read_only = true;
             else if (arg == "--shards") options.shards = parse_strict_uint64(next_value(i));
@@ -310,6 +321,59 @@ Kernel_cache_limits cache_limits_from(const Cli_options& cli) {
     limits.read_only = cli.cache_read_only;
     return limits;
 }
+
+// ---------------------------------------------------------------------------
+// --trace / --metrics-json plumbing
+// ---------------------------------------------------------------------------
+
+/// Enables span recording for the lifetime of one subcommand and writes
+/// the requested trace / metrics files on the way out — including the
+/// error path, via unwinding — so a crashed run still leaves its
+/// telemetry behind. Both outputs are valid JSON even when the binary
+/// was built with CELLSYNC_TELEMETRY=OFF; they are then empty and the
+/// user is warned once up front instead of silently.
+class Telemetry_session {
+  public:
+    explicit Telemetry_session(const Cli_options& cli)
+        : trace_path_(cli.trace_path), metrics_path_(cli.metrics_json_path) {
+        if (trace_path_.empty() && metrics_path_.empty()) return;
+        if (!telemetry::compiled_in) {
+            std::fprintf(stderr,
+                         "cellsync_deconvolve: warning: built with CELLSYNC_TELEMETRY=OFF; "
+                         "--trace/--metrics-json outputs will hold no events\n");
+        }
+        telemetry::Metrics_registry::instance().reset_values();
+        if (!trace_path_.empty()) telemetry::Trace_recorder::instance().enable();
+    }
+
+    ~Telemetry_session() {
+        if (!trace_path_.empty()) {
+            telemetry::Trace_recorder::instance().disable();
+            std::ofstream out(trace_path_);
+            if (out) telemetry::Trace_recorder::instance().write_chrome_trace(out);
+            if (out) std::printf("wrote trace %s\n", trace_path_.c_str());
+            else std::fprintf(stderr, "cellsync_deconvolve: cannot write trace '%s'\n",
+                              trace_path_.c_str());
+        }
+        if (!metrics_path_.empty()) {
+            std::ofstream out(metrics_path_);
+            if (out) {
+                telemetry::write_metrics_json(
+                    out, telemetry::Metrics_registry::instance().snapshot());
+            }
+            if (out) std::printf("wrote metrics %s\n", metrics_path_.c_str());
+            else std::fprintf(stderr, "cellsync_deconvolve: cannot write metrics '%s'\n",
+                              metrics_path_.c_str());
+        }
+    }
+
+    Telemetry_session(const Telemetry_session&) = delete;
+    Telemetry_session& operator=(const Telemetry_session&) = delete;
+
+  private:
+    std::string trace_path_;
+    std::string metrics_path_;
+};
 
 /// Write a profile table prefixed with `# lambda:<gene>=<value>` comment
 /// lines (skipped by the CSV reader; parsed by `report --json`), so the
@@ -519,6 +583,10 @@ int run_experiment_mode(const Cli_options& cli) {
         spec.conditions.push_back(std::move(condition));
     }
 
+    // Shard-tag the metrics stream even for the 1-shard case, so merged
+    // dashboards always know which process a snapshot came from.
+    telemetry::gauge("experiment.shard_count").set(static_cast<double>(cli.shards));
+    telemetry::gauge("experiment.shard_index").set(static_cast<double>(cli.shard_index));
     if (cli.shards > 1) {
         spec = shard_experiment(spec, cli.shards, cli.shard_index);
         std::size_t kept = 0;
@@ -546,6 +614,10 @@ int run_experiment_mode(const Cli_options& cli) {
                 result.cache_stats.builds, result.cache_stats.disk_hits,
                 result.cache_stats.memory_hits, cli.cache_dir.empty() ? "" : " via ",
                 cli.cache_dir.c_str());
+    if (result.cache_stats.evictions > 0 || result.cache_stats.migrations > 0) {
+        std::printf("kernels: %zu LRU evictions, %zu legacy entries migrated to binary\n",
+                    result.cache_stats.evictions, result.cache_stats.migrations);
+    }
 
     const Vector grid = linspace(0.0, 1.0, 201);
     const std::string stem =
@@ -622,6 +694,7 @@ int cmd_run(const Cli_options& cli) {
             }
         }
     }
+    const Telemetry_session telemetry_session(cli);
     return cli.conditions.empty() ? run_single(cli) : run_experiment_mode(cli);
 }
 
@@ -646,6 +719,7 @@ int cmd_stream(const Cli_options& cli) {
         usage_error("--qp-backend does not apply to stream (the streaming engine always "
                     "solves through the prepared dual / warm-start path)");
     }
+    const Telemetry_session telemetry_session(cli);
     const Vector times = resolve_times(cli);
 
     Stream_session_options session_options;
@@ -828,12 +902,46 @@ void print_manifest(const Kernel_cache& cache) {
     }
 }
 
+/// Machine-readable counterpart of `print_manifest` for `kernel cache
+/// --json`: the manifest plus the full `Kernel_cache_stats` counters
+/// (including the eviction/migration totals the text output only shows
+/// when nonzero).
+void write_cache_json(const std::string& json_path, const Kernel_cache& cache) {
+    const Kernel_cache_manifest manifest = cache.manifest();
+    const Kernel_cache_stats stats = cache.stats();
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot open '" + json_path + "' for writing");
+    out << "{\n  \"schema\": \"cellsync-cache-v1\",\n  \"stats\": {";
+    out << "\"memory_hits\": " << stats.memory_hits;
+    out << ", \"disk_hits\": " << stats.disk_hits;
+    out << ", \"builds\": " << stats.builds;
+    out << ", \"evictions\": " << stats.evictions;
+    out << ", \"migrations\": " << stats.migrations;
+    out << "},\n  \"manifest\": {\"total_bytes\": " << manifest.total_bytes;
+    out << ", \"max_bytes\": " << manifest.max_bytes;
+    out << ", \"entries\": [";
+    for (std::size_t e = 0; e < manifest.entries.size(); ++e) {
+        const Kernel_cache_entry_info& entry = manifest.entries[e];
+        out << (e ? ",\n    {" : "\n    {");
+        out << "\"hash\": \"" << json_escape(entry.hash) << "\"";
+        out << ", \"bytes\": " << entry.bytes;
+        out << ", \"last_use\": " << entry.last_use;
+        out << ", \"key\": \"" << json_escape(entry.key) << "\"}";
+    }
+    out << "\n  ]}\n}\n";
+    if (!out) throw std::runtime_error("write failed for '" + json_path + "'");
+}
+
 int cmd_kernel_cache(const Cli_options& cli) {
     if (cli.cache_dir.empty()) usage_error("kernel cache needs --cache-dir DIR");
     Kernel_cache cache(cli.cache_dir, cache_limits_from(cli));
     if (cli.times_spec.empty() && cli.times_from.empty()) {
         // Stats-only mode: inspect the cache without touching any entry.
         print_manifest(cache);
+        if (!cli.json_path.empty()) {
+            write_cache_json(cli.json_path, cache);
+            std::printf("wrote %s\n", cli.json_path.c_str());
+        }
         return 0;
     }
     const Vector times = resolve_times(cli);
@@ -845,8 +953,15 @@ int cmd_kernel_cache(const Cli_options& cli) {
     std::printf("%s: %zu times x %zu bins in %s", source, kernel->time_count(),
                 kernel->bin_count(), cli.cache_dir.c_str());
     if (stats.evictions > 0) std::printf(" (%zu LRU evictions)", stats.evictions);
+    if (stats.migrations > 0) {
+        std::printf(" (%zu legacy entries migrated to binary)", stats.migrations);
+    }
     std::printf("\n");
     print_manifest(cache);
+    if (!cli.json_path.empty()) {
+        write_cache_json(cli.json_path, cache);
+        std::printf("wrote %s\n", cli.json_path.c_str());
+    }
     return 0;
 }
 
@@ -997,6 +1112,7 @@ int cmd_merge_results(const Cli_options& cli, const std::vector<std::string>& in
     // genes all hashed into one shard — so launchers can always pass
     // whatever shard files exist without special-casing.
     if (cli.output.empty()) usage_error("merge-results needs --output PATH");
+    const Telemetry_session telemetry_session(cli);
 
     // The shard CSVs round-trip doubles exactly (written at full
     // precision), so the merged per-gene columns are bit-identical to an

@@ -24,6 +24,13 @@
 //                    cousins) in src/ outside core/thread_annotations.h.
 //                    Library mutexes must be Annotated_mutex so clang's
 //                    thread-safety analysis sees every new lock.
+//   clock            No direct std::chrono::*_clock::now() / gettimeofday
+//                    outside src/core/telemetry.cpp (home of the
+//                    telemetry::Clock seam). One seam is one audit point
+//                    for the observes-never-perturbs contract: clock
+//                    reads feed counters and spans, never numerics.
+//                    Duration types (std::chrono::milliseconds etc.)
+//                    remain fine — only the clock *reads* are fenced.
 //
 // False-positive hygiene: comments are stripped before matching, string
 // and char literals are stripped for the token rules (so documentation
@@ -238,6 +245,10 @@ bool library_sources_only(const std::string& relative) {
     return relative.rfind("src/", 0) == 0;
 }
 
+bool outside_clock_seam(const std::string& relative) {
+    return relative != "src/core/telemetry.cpp";
+}
+
 const std::vector<Rule>& rules() {
     static const std::vector<Rule> all = {
         {"number-parse",
@@ -268,6 +279,13 @@ const std::vector<Rule>& rules() {
          "(core/thread_annotations.h) so clang's -Wthread-safety analysis "
          "covers the new lock",
          /*keep_strings=*/false, /*cmake_files=*/false, library_sources_only},
+        {"clock",
+         {"steady_clock::now", "system_clock::now", "high_resolution_clock::now",
+          "gettimeofday"},
+         "read time through telemetry::Clock / telemetry::Stopwatch "
+         "(core/telemetry.h) — the single clock seam is the audit point that "
+         "keeps clock reads out of numeric results",
+         /*keep_strings=*/false, /*cmake_files=*/false, outside_clock_seam},
     };
     return all;
 }
@@ -428,8 +446,22 @@ int self_test() {
          "rng.seed(time(nullptr));\n", "nondeterminism"},
         {"random_device flagged", "bench/x.cpp", File_kind::cpp,
          "std::random_device rd;\n", "nondeterminism"},
-        {"chrono is fine", "src/numerics/x.cpp", File_kind::cpp,
-         "auto t0 = std::chrono::steady_clock::now();\n", nullptr},
+        {"steady_clock read flagged", "src/numerics/x.cpp", File_kind::cpp,
+         "auto t0 = std::chrono::steady_clock::now();\n", "clock"},
+        {"system_clock read flagged in bench", "bench/x.cpp", File_kind::cpp,
+         "auto t = std::chrono::system_clock::now();\n", "clock"},
+        {"gettimeofday flagged", "tools/x.cpp", File_kind::cpp,
+         "gettimeofday(&tv, nullptr);\n", "clock"},
+        {"clock read allowed in the seam home", "src/core/telemetry.cpp",
+         File_kind::cpp, "auto t0 = std::chrono::steady_clock::now();\n", nullptr},
+        {"clock suppression honored", "src/numerics/x.cpp", File_kind::cpp,
+         "auto t0 = std::chrono::steady_clock::now();  "
+         "// cellsync-lint: allow(clock)\n",
+         nullptr},
+        {"chrono durations are fine", "tests/x.cpp", File_kind::cpp,
+         "std::this_thread::sleep_for(std::chrono::milliseconds(100));\n", nullptr},
+        {"clock read in comment ignored", "src/numerics/x.cpp", File_kind::cpp,
+         "// steady_clock::now() would break the seam here\n", nullptr},
         {"fast-math flag flagged in cmake", "CMakeLists.txt", File_kind::cmake,
          "target_compile_options(cellsync PRIVATE -ffast-math)\n", "fast-math"},
         {"Ofast flagged", "bench/CMakeLists.txt", File_kind::cmake,
