@@ -279,7 +279,7 @@ Gram_timing time_gram_assembly(const Deconvolver& deconvolver,
                                const std::vector<Measurement_series>& panel,
                                std::size_t reps) {
     const Matrix& kernel = deconvolver.kernel_matrix();
-    const Banded_matrix& banded = deconvolver.kernel_banded();
+    const Design_matrix& banded = deconvolver.kernel_design();
     const std::size_t m = kernel.rows();
     const std::size_t n = kernel.cols();
     std::vector<std::size_t> rows(m);
@@ -394,7 +394,7 @@ void report_gram_timing(cellsync::bench::Bench_json& json, const std::string& pr
                         const std::string& solve_key, const char* label,
                         const Deconvolver& deconvolver, const Gram_timing& timing,
                         std::size_t genes, std::size_t reps) {
-    const Banded_matrix& banded = deconvolver.kernel_banded();
+    const Design_matrix& banded = deconvolver.kernel_design();
     const double speedup =
         timing.fast_ms > 0.0 ? timing.reference_ms / timing.fast_ms : 0.0;
     std::printf("gram [%s]: %zu genes x %zu reps of %zux%zu normal-equation assembly\n",

@@ -69,10 +69,11 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
     const std::size_t m = series.size();
 
     // Phase-grid design, built once and shared by every replicate: each
-    // replicate's profile sampling becomes one (banded) mat-vec instead of
-    // a per-point basis evaluation, bit-identical to estimate.sample()
-    // (same increasing-index accumulation per grid point).
-    const Banded_matrix phi_design = deconvolver.basis().design_matrix_banded(phi_grid);
+    // replicate's profile sampling becomes one (banded or packed, by
+    // occupancy) mat-vec instead of a per-point basis evaluation,
+    // bit-identical to estimate.sample() (same increasing-index
+    // accumulation per grid point).
+    const Design_matrix phi_design = deconvolver.basis().design_matrix_auto(phi_grid);
     Vector std_residuals(m);
     for (std::size_t i = 0; i < m; ++i) {
         std_residuals[i] = (series.values[i] - base.fitted[i]) / series.sigmas[i];

@@ -40,7 +40,7 @@ double kfold_lambda_score(const Deconvolver& deconvolver, const Measurement_seri
         throw std::invalid_argument("kfold_lambda_score: permutation length mismatch");
     }
     const Vector weights = series.weights();
-    const Banded_matrix& kernel = deconvolver.kernel_banded();
+    const Design_matrix& kernel = deconvolver.kernel_design();
 
     Deconvolution_options options = base_options;
     options.lambda = lambda;

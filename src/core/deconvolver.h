@@ -98,9 +98,10 @@ class Deconvolver {
     /// Kernel matrix K(m, i) = integral Q(phi, t_m) psi_i(phi) dphi.
     const Matrix& kernel_matrix() const { return artifacts_->kernel_matrix; }
 
-    /// The same kernel annotated with per-row nonzero spans (the input of
-    /// the banded product kernels).
-    const Banded_matrix& kernel_banded() const { return artifacts_->kernel_banded; }
+    /// The same kernel behind the layout seam (packed or dense-backed
+    /// banded, decided per matrix by occupancy — the input of the
+    /// banded/packed product kernels).
+    const Design_matrix& kernel_design() const { return artifacts_->kernel_design; }
 
     /// Penalty Gram matrix Omega.
     const Matrix& penalty() const { return artifacts_->penalty; }

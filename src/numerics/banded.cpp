@@ -1,9 +1,12 @@
 #include "numerics/banded.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
-#include "numerics/simd.h"
+#include "core/telemetry.h"
+#include "numerics/simd_dispatch.h"
 
 namespace cellsync {
 
@@ -13,82 +16,294 @@ void require(bool ok, const char* what) {
     if (!ok) throw std::invalid_argument(std::string("Banded_matrix: ") + what);
 }
 
-}  // namespace
-
-Banded_matrix::Banded_matrix(Matrix dense) : dense_(std::move(dense)) {
-    spans_.resize(dense_.rows());
-    const std::size_t cols = dense_.cols();
-    std::size_t inside = 0;
-    for (std::size_t i = 0; i < dense_.rows(); ++i) {
+std::vector<Row_span> detect_spans(const Matrix& dense) {
+    std::vector<Row_span> spans(dense.rows());
+    const std::size_t cols = dense.cols();
+    for (std::size_t i = 0; i < dense.rows(); ++i) {
         std::size_t begin = 0;
-        while (begin < cols && dense_(i, begin) == 0.0) ++begin;
+        while (begin < cols && dense(i, begin) == 0.0) ++begin;
         if (begin == cols) {
-            spans_[i] = {0, 0};  // all-zero row
+            spans[i] = {0, 0};  // all-zero row
             continue;
         }
         std::size_t end = cols;
-        while (end > begin && dense_(i, end - 1) == 0.0) --end;
-        spans_[i] = {begin, end};
-        inside += end - begin;
-        max_bandwidth_ = std::max(max_bandwidth_, end - begin);
+        while (end > begin && dense(i, end - 1) == 0.0) --end;
+        spans[i] = {begin, end};
     }
-    const std::size_t total = dense_.rows() * cols;
-    occupancy_ =
-        total == 0 ? 1.0 : static_cast<double>(inside) / static_cast<double>(total);
+    return spans;
 }
+
+void check_spans(const std::vector<Row_span>& spans, std::size_t rows, std::size_t cols) {
+    require(spans.size() == rows, "span count differs from row count");
+    for (const Row_span& s : spans) {
+        require(s.begin <= s.end && s.end <= cols, "row span out of range");
+    }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Banded_matrix
+// ---------------------------------------------------------------------------
+
+Banded_matrix::Banded_matrix(Matrix dense) : dense_(std::move(dense)) {
+    spans_ = detect_spans(dense_);
+}
+
+Banded_matrix::Banded_matrix(Matrix dense, std::vector<Row_span> spans)
+    : dense_(std::move(dense)), spans_(std::move(spans)) {
+    check_spans(spans_, dense_.rows(), dense_.cols());
+}
+
+Banded_matrix::Banded_matrix(const Banded_matrix& other)
+    : dense_(other.dense_), spans_(other.spans_) {
+    if (other.stats_ready_.load(std::memory_order_acquire)) {
+        occupancy_.store(other.occupancy_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        max_bandwidth_.store(other.max_bandwidth_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+        stats_ready_.store(true, std::memory_order_release);
+    }
+}
+
+Banded_matrix::Banded_matrix(Banded_matrix&& other) noexcept
+    : dense_(std::move(other.dense_)), spans_(std::move(other.spans_)) {
+    if (other.stats_ready_.load(std::memory_order_acquire)) {
+        occupancy_.store(other.occupancy_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        max_bandwidth_.store(other.max_bandwidth_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+        stats_ready_.store(true, std::memory_order_release);
+    }
+}
+
+Banded_matrix& Banded_matrix::operator=(const Banded_matrix& other) {
+    if (this == &other) return *this;
+    Banded_matrix copy(other);
+    *this = std::move(copy);
+    return *this;
+}
+
+Banded_matrix& Banded_matrix::operator=(Banded_matrix&& other) noexcept {
+    if (this == &other) return *this;
+    dense_ = std::move(other.dense_);
+    spans_ = std::move(other.spans_);
+    if (other.stats_ready_.load(std::memory_order_acquire)) {
+        occupancy_.store(other.occupancy_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        max_bandwidth_.store(other.max_bandwidth_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+        stats_ready_.store(true, std::memory_order_release);
+    } else {
+        stats_ready_.store(false, std::memory_order_release);
+    }
+    return *this;
+}
+
+void Banded_matrix::ensure_stats() const {
+    if (stats_ready_.load(std::memory_order_acquire)) return;
+    // Benign race: concurrent first callers all derive the same numbers
+    // from the immutable spans and store identical values.
+    std::size_t inside = 0;
+    std::size_t widest = 0;
+    for (const Row_span& s : spans_) {
+        inside += s.width();
+        widest = std::max(widest, s.width());
+    }
+    const std::size_t total = dense_.rows() * dense_.cols();
+    occupancy_.store(
+        total == 0 ? 1.0 : static_cast<double>(inside) / static_cast<double>(total),
+        std::memory_order_relaxed);
+    max_bandwidth_.store(widest, std::memory_order_relaxed);
+    stats_ready_.store(true, std::memory_order_release);
+}
+
+double Banded_matrix::band_occupancy() const {
+    ensure_stats();
+    return occupancy_.load(std::memory_order_relaxed);
+}
+
+std::size_t Banded_matrix::max_bandwidth() const {
+    ensure_stats();
+    return max_bandwidth_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Packed_banded_matrix
+// ---------------------------------------------------------------------------
+
+void Packed_banded_matrix::init_offsets_and_check(const char* what) {
+    offsets_.resize(spans_.size() + 1);
+    std::size_t total = 0;
+    max_bandwidth_ = 0;
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+        const Row_span s = spans_[i];
+        require(s.begin <= s.end && s.end <= cols_, what);
+        offsets_[i] = total;
+        total += s.width();
+        max_bandwidth_ = std::max(max_bandwidth_, s.width());
+    }
+    offsets_[spans_.size()] = total;
+}
+
+Packed_banded_matrix::Packed_banded_matrix(const Matrix& dense)
+    : Packed_banded_matrix(dense, detect_spans(dense)) {}
+
+Packed_banded_matrix::Packed_banded_matrix(const Matrix& dense, std::vector<Row_span> spans)
+    : cols_(dense.cols()), spans_(std::move(spans)) {
+    require(spans_.size() == dense.rows(), "span count differs from row count");
+    init_offsets_and_check("row span out of range");
+    values_.resize(offsets_.back());
+    const double* dd = dense.data().data();
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+        const Row_span s = spans_[i];
+        const double* src = dd + i * cols_ + s.begin;
+        std::copy(src, src + s.width(), values_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]));
+    }
+}
+
+Packed_banded_matrix::Packed_banded_matrix(const Banded_matrix& banded)
+    : Packed_banded_matrix(banded.dense(), banded.spans()) {}
+
+Packed_banded_matrix::Packed_banded_matrix(std::size_t cols, std::vector<Row_span> spans,
+                                           std::vector<double> values)
+    : cols_(cols), spans_(std::move(spans)), values_(std::move(values)) {
+    init_offsets_and_check("row span out of range");
+    require(values_.size() == offsets_.back(),
+            "packed value count differs from total span width");
+}
+
+double Packed_banded_matrix::band_occupancy() const {
+    const std::size_t total = rows() * cols_;
+    if (total == 0) return 1.0;
+    return static_cast<double>(values_.size()) / static_cast<double>(total);
+}
+
+Matrix Packed_banded_matrix::to_dense() const {
+    Matrix dense(rows(), cols_);
+    for (std::size_t i = 0; i < rows(); ++i) {
+        const Row_span s = spans_[i];
+        const double* rv = row_values(i);
+        for (std::size_t k = 0; k < s.width(); ++k) dense(i, s.begin + k) = rv[k];
+    }
+    return dense;
+}
+
+// ---------------------------------------------------------------------------
+// Design_matrix
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Running layout-decision counts, surfaced as telemetry gauges so
+/// --metrics-json shows how many designs went packed this process.
+std::atomic<std::int64_t> packed_design_count{0};
+std::atomic<std::int64_t> banded_design_count{0};
+
+}  // namespace
+
+void Design_matrix::note_layout_choice() const {
+    if (empty()) return;
+    static telemetry::Gauge& packed_gauge = telemetry::gauge("design.packed_matrices");
+    static telemetry::Gauge& banded_gauge = telemetry::gauge("design.banded_matrices");
+    if (is_packed()) {
+        packed_gauge.set(static_cast<double>(
+            packed_design_count.fetch_add(1, std::memory_order_relaxed) + 1));
+    } else {
+        banded_gauge.set(static_cast<double>(
+            banded_design_count.fetch_add(1, std::memory_order_relaxed) + 1));
+    }
+}
+
+void Design_matrix::adopt(Banded_matrix banded, double packed_threshold) {
+    if (!banded.empty() && banded.band_occupancy() <= packed_threshold) {
+        layout_ = Design_layout::packed;
+        packed_ = Packed_banded_matrix(banded);
+        banded_ = Banded_matrix();
+    } else {
+        layout_ = Design_layout::banded;
+        banded_ = std::move(banded);
+    }
+    note_layout_choice();
+}
+
+Design_matrix::Design_matrix(const Matrix& dense, double packed_threshold) {
+    adopt(Banded_matrix(dense), packed_threshold);
+}
+
+Design_matrix::Design_matrix(Banded_matrix banded, double packed_threshold) {
+    adopt(std::move(banded), packed_threshold);
+}
+
+Design_matrix::Design_matrix(Packed_banded_matrix packed)
+    : layout_(Design_layout::packed), packed_(std::move(packed)) {
+    note_layout_choice();
+}
+
+std::size_t Design_matrix::rows() const { return is_packed() ? packed_.rows() : banded_.rows(); }
+
+std::size_t Design_matrix::cols() const { return is_packed() ? packed_.cols() : banded_.cols(); }
+
+bool Design_matrix::empty() const { return is_packed() ? packed_.empty() : banded_.empty(); }
+
+Row_span Design_matrix::row_span(std::size_t i) const {
+    return is_packed() ? packed_.row_span(i) : banded_.row_span(i);
+}
+
+double Design_matrix::band_occupancy() const {
+    return is_packed() ? packed_.band_occupancy() : banded_.band_occupancy();
+}
+
+std::size_t Design_matrix::max_bandwidth() const {
+    return is_packed() ? packed_.max_bandwidth() : banded_.max_bandwidth();
+}
+
+const Banded_matrix& Design_matrix::banded() const {
+    if (is_packed()) throw std::logic_error("Design_matrix: packed layout has no banded view");
+    return banded_;
+}
+
+const Packed_banded_matrix& Design_matrix::packed() const {
+    if (!is_packed()) throw std::logic_error("Design_matrix: banded layout has no packed view");
+    return packed_;
+}
+
+// ---------------------------------------------------------------------------
+// Banded_matrix kernels. The inner loops are the span kernels of the
+// active ISA dispatch table (numerics/simd_dispatch.h); a dense-backed
+// row's in-span run ad + i * cols + begin is contiguous, exactly like a
+// packed row, so both layouts share them.
+// ---------------------------------------------------------------------------
 
 Vector operator*(const Banded_matrix& a, const Vector& x) {
     require(a.cols() == x.size(), "matrix-vector dimension mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
     const std::size_t cols = a.cols();
     const double* ad = a.dense().data().data();
+    const double* xd = x.data();
     Vector y(a.rows(), 0.0);
     for (std::size_t i = 0; i < a.rows(); ++i) {
         const Row_span span = a.row_span(i);
-        const double* ri = ad + i * cols;
-        double s = 0.0;
-        for (std::size_t j = span.begin; j < span.end; ++j) s += ri[j] * x[j];
-        y[i] = s;
+        y[i] = kt.span_dot(ad + i * cols + span.begin, xd + span.begin, span.width());
     }
     return y;
 }
 
 Vector transposed_times(const Banded_matrix& a, const Vector& x) {
     require(a.rows() == x.size(), "transposed_times dimension mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
     const std::size_t cols = a.cols();
     const double* ad = a.dense().data().data();
     Vector y(cols, 0.0);
+    double* yd = y.data();
     for (std::size_t i = 0; i < a.rows(); ++i) {
-        const double xi = x[i];
         const Row_span span = a.row_span(i);
-        const double* ri = ad + i * cols;
-        for (std::size_t j = span.begin; j < span.end; ++j) y[j] += ri[j] * xi;
+        kt.span_axpy(yd + span.begin, ad + i * cols + span.begin, span.width(), x[i]);
     }
     return y;
 }
 
 namespace {
-
-// One row's rank-one contribution to the upper triangle of the Gram
-// accumulator: g(i, j) += (weight * row[i]) * row[j] for span-resident
-// i <= j. Same association and increasing-row order as the dense kernels,
-// so the assembled Gram is bit-identical to the dense result.
-void gram_rank_one_span(double* g, std::size_t n, const double* row, Row_span span,
-                        double weight) {
-    for (std::size_t i = span.begin; i < span.end; ++i) {
-        const double t = weight * row[i];
-        double* gi = g + i * n;
-        for (std::size_t j = i; j < span.end; ++j) gi[j] += t * row[j];
-    }
-}
-
-void gram_rank_one_span_unweighted(double* g, std::size_t n, const double* row,
-                                   Row_span span) {
-    for (std::size_t i = span.begin; i < span.end; ++i) {
-        const double t = row[i];
-        double* gi = g + i * n;
-        for (std::size_t j = i; j < span.end; ++j) gi[j] += t * row[j];
-    }
-}
 
 void mirror_upper(Matrix& g) {
     for (std::size_t i = 1; i < g.rows(); ++i) {
@@ -101,60 +316,24 @@ void mirror_upper(Matrix& g) {
 // shape as the dense dispatch kernels, indexing the rows indirectly. Both
 // paths are bit-identical (same per-output accumulation order; the span
 // walk only drops exact +/-0 terms), so the switch is purely a
-// performance heuristic.
+// performance heuristic. Distinct from packed_occupancy_threshold, which
+// decides the *storage* layout — this one only picks between two kernel
+// shapes over the same dense-backed storage.
 constexpr double dense_occupancy_threshold = 0.5;
-
-// Upper triangle of a(rows, :)' diag(w) a(rows, :) in j-blocked form: the
-// left-factor column t[r] = w[r] * a(rows[r], i) is hoisted once per i,
-// then simd_chunk_doubles output columns accumulate side by side, each
-// over r in increasing order (the reference order on the gathered
-// submatrix). Pass w == nullptr for the unweighted Gram.
-void gram_rows_blocked(double* gd, const Matrix& dense, const std::size_t* rows,
-                       std::size_t m, const double* w) {
-    const std::size_t n = dense.cols();
-    const double* ad = dense.data().data();
-    Vector t(m);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t r = 0; r < m; ++r) {
-            const double v = ad[rows[r] * n + i];
-            t[r] = w ? w[r] * v : v;
-        }
-        double* gi = gd + i * n;
-        std::size_t j = i;
-        for (; j + simd_chunk_doubles <= n; j += simd_chunk_doubles) {
-            double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-            for (std::size_t r = 0; r < m; ++r) {
-                const double tr = t[r];
-                const double* rk = ad + rows[r] * n + j;
-                s0 += tr * rk[0];
-                s1 += tr * rk[1];
-                s2 += tr * rk[2];
-                s3 += tr * rk[3];
-            }
-            gi[j + 0] = s0;
-            gi[j + 1] = s1;
-            gi[j + 2] = s2;
-            gi[j + 3] = s3;
-        }
-        for (; j < n; ++j) {
-            double s = 0.0;
-            for (std::size_t r = 0; r < m; ++r) s += t[r] * ad[rows[r] * n + j];
-            gi[j] = s;
-        }
-    }
-}
 
 }  // namespace
 
 Matrix gram(const Banded_matrix& a) {
     if (a.band_occupancy() > dense_occupancy_threshold) return gram(a.dense());
+    const simd::Kernel_table& kt = simd::kernels();
     const std::size_t n = a.cols();
     Matrix g(n, n);
     if (n == 0) return g;
     const double* ad = a.dense().data().data();
     double* gd = &g(0, 0);
     for (std::size_t k = 0; k < a.rows(); ++k) {
-        gram_rank_one_span_unweighted(gd, n, ad + k * n, a.row_span(k));
+        const Row_span span = a.row_span(k);
+        kt.span_rank_one(gd, n, ad + k * n + span.begin, span.begin, span.width());
     }
     mirror_upper(g);
     return g;
@@ -163,13 +342,16 @@ Matrix gram(const Banded_matrix& a) {
 Matrix weighted_gram(const Banded_matrix& a, const Vector& w) {
     require(a.rows() == w.size(), "weighted_gram weight length mismatch");
     if (a.band_occupancy() > dense_occupancy_threshold) return weighted_gram(a.dense(), w);
+    const simd::Kernel_table& kt = simd::kernels();
     const std::size_t n = a.cols();
     Matrix g(n, n);
     if (n == 0) return g;
     const double* ad = a.dense().data().data();
     double* gd = &g(0, 0);
     for (std::size_t k = 0; k < a.rows(); ++k) {
-        gram_rank_one_span(gd, n, ad + k * n, a.row_span(k), w[k]);
+        const Row_span span = a.row_span(k);
+        kt.span_rank_one_weighted(gd, n, ad + k * n + span.begin, span.begin, span.width(),
+                                  w[k]);
     }
     mirror_upper(g);
     return g;
@@ -184,14 +366,18 @@ Matrix weighted_gram_rows(const Banded_matrix& a, const std::vector<std::size_t>
     for (std::size_t k : rows) {
         require(k < a.rows(), "weighted_gram_rows row index out of range");
     }
+    const simd::Kernel_table& kt = simd::kernels();
     double* gd = &g(0, 0);
     if (a.band_occupancy() > dense_occupancy_threshold) {
-        gram_rows_blocked(gd, a.dense(), rows.data(), rows.size(), w.data());
+        kt.gram_rows_blocked(gd, a.dense().data().data(), rows.data(), rows.size(), n,
+                             w.data());
     } else {
         const double* ad = a.dense().data().data();
         for (std::size_t r = 0; r < rows.size(); ++r) {
             const std::size_t k = rows[r];
-            gram_rank_one_span(gd, n, ad + k * n, a.row_span(k), w[r]);
+            const Row_span span = a.row_span(k);
+            kt.span_rank_one_weighted(gd, n, ad + k * n + span.begin, span.begin,
+                                      span.width(), w[r]);
         }
     }
     mirror_upper(g);
@@ -201,16 +387,16 @@ Matrix weighted_gram_rows(const Banded_matrix& a, const std::vector<std::size_t>
 Vector transposed_times_rows(const Banded_matrix& a, const std::vector<std::size_t>& rows,
                              const Vector& x) {
     require(rows.size() == x.size(), "transposed_times_rows length mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
     const std::size_t cols = a.cols();
     const double* ad = a.dense().data().data();
     Vector y(cols, 0.0);
+    double* yd = y.data();
     for (std::size_t r = 0; r < rows.size(); ++r) {
         const std::size_t k = rows[r];
         require(k < a.rows(), "transposed_times_rows row index out of range");
-        const double xr = x[r];
         const Row_span span = a.row_span(k);
-        const double* rk = ad + k * cols;
-        for (std::size_t j = span.begin; j < span.end; ++j) y[j] += rk[j] * xr;
+        kt.span_axpy(yd + span.begin, ad + k * cols + span.begin, span.width(), x[r]);
     }
     return y;
 }
@@ -220,16 +406,17 @@ Vector weighted_transposed_times_rows(const Banded_matrix& a,
                                       const Vector& x) {
     require(rows.size() == w.size() && rows.size() == x.size(),
             "weighted_transposed_times_rows length mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
     const std::size_t cols = a.cols();
     const double* ad = a.dense().data().data();
     Vector y(cols, 0.0);
+    double* yd = y.data();
     for (std::size_t r = 0; r < rows.size(); ++r) {
         const std::size_t k = rows[r];
         require(k < a.rows(), "weighted_transposed_times_rows row index out of range");
-        const double xr = w[r] * x[r];
         const Row_span span = a.row_span(k);
-        const double* rk = ad + k * cols;
-        for (std::size_t j = span.begin; j < span.end; ++j) y[j] += rk[j] * xr;
+        kt.span_axpy(yd + span.begin, ad + k * cols + span.begin, span.width(),
+                     w[r] * x[r]);
     }
     return y;
 }
@@ -238,13 +425,13 @@ Vector transposed_times_span(const Matrix& a, const Vector& x, Row_span span) {
     require(a.rows() == x.size(), "transposed_times_span dimension mismatch");
     require(span.begin <= span.end && span.end <= a.rows(),
             "transposed_times_span bad span");
+    const simd::Kernel_table& kt = simd::kernels();
     const std::size_t cols = a.cols();
     const double* ad = a.data().data();
     Vector y(cols, 0.0);
+    double* yd = y.data();
     for (std::size_t i = span.begin; i < span.end; ++i) {
-        const double xi = x[i];
-        const double* ri = ad + i * cols;
-        for (std::size_t j = 0; j < cols; ++j) y[j] += ri[j] * xi;
+        kt.span_axpy(yd, ad + i * cols, cols, x[i]);
     }
     return y;
 }
@@ -253,10 +440,171 @@ double row_dot(const Banded_matrix& a, std::size_t i, const Vector& x) {
     require(i < a.rows(), "row_dot row index out of range");
     require(a.cols() == x.size(), "row_dot dimension mismatch");
     const Row_span span = a.row_span(i);
-    const double* ri = a.dense().data().data() + i * a.cols();
-    double s = 0.0;
-    for (std::size_t j = span.begin; j < span.end; ++j) s += ri[j] * x[j];
-    return s;
+    const double* ri = a.dense().data().data() + i * a.cols() + span.begin;
+    return simd::kernels().span_dot(ri, x.data() + span.begin, span.width());
+}
+
+// ---------------------------------------------------------------------------
+// Packed_banded_matrix kernels: same accumulation order, contiguous
+// packed rows instead of dense-backed ones. No dense-shape fallback —
+// the layout only exists below the packed threshold, and the span walk
+// is correct (just not optimal) at any occupancy.
+// ---------------------------------------------------------------------------
+
+Vector operator*(const Packed_banded_matrix& a, const Vector& x) {
+    require(a.cols() == x.size(), "matrix-vector dimension mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
+    const double* xd = x.data();
+    Vector y(a.rows(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const Row_span span = a.row_span(i);
+        y[i] = kt.span_dot(a.row_values(i), xd + span.begin, span.width());
+    }
+    return y;
+}
+
+Vector transposed_times(const Packed_banded_matrix& a, const Vector& x) {
+    require(a.rows() == x.size(), "transposed_times dimension mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
+    Vector y(a.cols(), 0.0);
+    double* yd = y.data();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const Row_span span = a.row_span(i);
+        kt.span_axpy(yd + span.begin, a.row_values(i), span.width(), x[i]);
+    }
+    return y;
+}
+
+Matrix gram(const Packed_banded_matrix& a) {
+    const simd::Kernel_table& kt = simd::kernels();
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    double* gd = &g(0, 0);
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        const Row_span span = a.row_span(k);
+        kt.span_rank_one(gd, n, a.row_values(k), span.begin, span.width());
+    }
+    mirror_upper(g);
+    return g;
+}
+
+Matrix weighted_gram(const Packed_banded_matrix& a, const Vector& w) {
+    require(a.rows() == w.size(), "weighted_gram weight length mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    double* gd = &g(0, 0);
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        const Row_span span = a.row_span(k);
+        kt.span_rank_one_weighted(gd, n, a.row_values(k), span.begin, span.width(), w[k]);
+    }
+    mirror_upper(g);
+    return g;
+}
+
+Matrix weighted_gram_rows(const Packed_banded_matrix& a,
+                          const std::vector<std::size_t>& rows, const Vector& w) {
+    require(rows.size() == w.size(), "weighted_gram_rows weight length mismatch");
+    const std::size_t n = a.cols();
+    Matrix g(n, n);
+    if (n == 0) return g;
+    for (std::size_t k : rows) {
+        require(k < a.rows(), "weighted_gram_rows row index out of range");
+    }
+    const simd::Kernel_table& kt = simd::kernels();
+    double* gd = &g(0, 0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const std::size_t k = rows[r];
+        const Row_span span = a.row_span(k);
+        kt.span_rank_one_weighted(gd, n, a.row_values(k), span.begin, span.width(), w[r]);
+    }
+    mirror_upper(g);
+    return g;
+}
+
+Vector transposed_times_rows(const Packed_banded_matrix& a,
+                             const std::vector<std::size_t>& rows, const Vector& x) {
+    require(rows.size() == x.size(), "transposed_times_rows length mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
+    Vector y(a.cols(), 0.0);
+    double* yd = y.data();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const std::size_t k = rows[r];
+        require(k < a.rows(), "transposed_times_rows row index out of range");
+        const Row_span span = a.row_span(k);
+        kt.span_axpy(yd + span.begin, a.row_values(k), span.width(), x[r]);
+    }
+    return y;
+}
+
+Vector weighted_transposed_times_rows(const Packed_banded_matrix& a,
+                                      const std::vector<std::size_t>& rows, const Vector& w,
+                                      const Vector& x) {
+    require(rows.size() == w.size() && rows.size() == x.size(),
+            "weighted_transposed_times_rows length mismatch");
+    const simd::Kernel_table& kt = simd::kernels();
+    Vector y(a.cols(), 0.0);
+    double* yd = y.data();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const std::size_t k = rows[r];
+        require(k < a.rows(), "weighted_transposed_times_rows row index out of range");
+        const Row_span span = a.row_span(k);
+        kt.span_axpy(yd + span.begin, a.row_values(k), span.width(), w[r] * x[r]);
+    }
+    return y;
+}
+
+double row_dot(const Packed_banded_matrix& a, std::size_t i, const Vector& x) {
+    require(i < a.rows(), "row_dot row index out of range");
+    require(a.cols() == x.size(), "row_dot dimension mismatch");
+    const Row_span span = a.row_span(i);
+    return simd::kernels().span_dot(a.row_values(i), x.data() + span.begin, span.width());
+}
+
+// ---------------------------------------------------------------------------
+// Design_matrix kernels: the dispatch seam. One branch per call, then
+// straight into the layout's kernel set.
+// ---------------------------------------------------------------------------
+
+Vector operator*(const Design_matrix& a, const Vector& x) {
+    return a.is_packed() ? a.packed() * x : a.banded() * x;
+}
+
+Vector transposed_times(const Design_matrix& a, const Vector& x) {
+    return a.is_packed() ? transposed_times(a.packed(), x) : transposed_times(a.banded(), x);
+}
+
+Matrix gram(const Design_matrix& a) {
+    return a.is_packed() ? gram(a.packed()) : gram(a.banded());
+}
+
+Matrix weighted_gram(const Design_matrix& a, const Vector& w) {
+    return a.is_packed() ? weighted_gram(a.packed(), w) : weighted_gram(a.banded(), w);
+}
+
+Matrix weighted_gram_rows(const Design_matrix& a, const std::vector<std::size_t>& rows,
+                          const Vector& w) {
+    return a.is_packed() ? weighted_gram_rows(a.packed(), rows, w)
+                         : weighted_gram_rows(a.banded(), rows, w);
+}
+
+Vector transposed_times_rows(const Design_matrix& a, const std::vector<std::size_t>& rows,
+                             const Vector& x) {
+    return a.is_packed() ? transposed_times_rows(a.packed(), rows, x)
+                         : transposed_times_rows(a.banded(), rows, x);
+}
+
+Vector weighted_transposed_times_rows(const Design_matrix& a,
+                                      const std::vector<std::size_t>& rows, const Vector& w,
+                                      const Vector& x) {
+    return a.is_packed() ? weighted_transposed_times_rows(a.packed(), rows, w, x)
+                         : weighted_transposed_times_rows(a.banded(), rows, w, x);
+}
+
+double row_dot(const Design_matrix& a, std::size_t i, const Vector& x) {
+    return a.is_packed() ? row_dot(a.packed(), i, x) : row_dot(a.banded(), i, x);
 }
 
 }  // namespace cellsync

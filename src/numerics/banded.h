@@ -1,28 +1,42 @@
-// Banded (per-row span) view of a dense matrix.
+// Banded layouts for the structurally sparse design matrices.
 //
 // The deconvolution design matrices are structurally sparse in a very
 // specific way: each *row* has one contiguous run of nonzero entries. A
 // B-spline design row touches at most degree+1 basis functions, and a
 // kernel row K(m, i) = integral Q(phi, t_m) psi_i(phi) dphi is nonzero
 // only for the basis functions whose support overlaps the population's
-// phase support at t_m. Banded_matrix stores the dense matrix plus one
-// half-open [begin, end) column span per row and gives the product
-// kernels (Gram, right-hand side, mat-vec) a license to skip the zero
-// blocks entirely.
+// phase support at t_m. Two storage layouts exploit that:
 //
-// Bit-identity contract: the spans are detected from the stored values,
-// so every entry outside a span is exactly +/-0.0 and every skipped term
-// is an exact IEEE no-op (x + (+/-0.0 product) == x for every partial sum
-// these kernels can produce — partial sums are never -0.0 because they
-// start at +0.0 and +0.0 + -0.0 == +0.0). Combined with the matching
-// accumulation order (increasing row index per output element, exactly as
-// the dense kernels in numerics/matrix.cpp) the banded results are
-// bit-identical to the dense reference for finite inputs. Non-finite
-// entries are nonzero, land inside the band, and propagate (the shared
-// policy documented in matrix.h).
+//   * Banded_matrix — the dense matrix plus one half-open [begin, end)
+//     column span per row; kernels skip the zero blocks but the dense
+//     storage (and its memory traffic) stays.
+//   * Packed_banded_matrix — only the in-span values, concatenated
+//     contiguously with per-row offsets; the dense backing is dropped,
+//     so very sparse designs stop paying dense footprint and bandwidth.
+//
+// Design_matrix is the dispatch seam the estimator consumes: it holds
+// whichever layout a data-driven occupancy threshold picked (see
+// packed_occupancy_threshold, justified by the bench/perf_gram occupancy
+// sweep in BENCH_gram.json) and routes every product kernel to it.
+//
+// Bit-identity contract (PR 6, extended to the packed layout): spans are
+// detected from the stored values (or supplied by a caller that
+// guarantees exact zeros outside them), so every skipped or dropped term
+// is an exact +/-0.0 and an exact IEEE no-op (x + (+/-0.0 product) == x
+// for every partial sum these kernels can produce — partial sums are
+// never -0.0 because they start at +0.0 and +0.0 + -0.0 == +0.0).
+// Combined with the matching accumulation order (increasing row index
+// per output element, exactly as the dense kernels in
+// numerics/matrix.cpp) the banded AND packed results are bit-identical
+// to the dense reference for finite inputs. Non-finite entries are
+// nonzero, land inside the band, are packed, and propagate (the shared
+// policy documented in matrix.h). The actual inner loops live in
+// numerics/simd_kernels.inc and run through the runtime ISA dispatch of
+// numerics/simd_dispatch.h, whose default tiers all honor this contract.
 #ifndef CELLSYNC_NUMERICS_BANDED_H
 #define CELLSYNC_NUMERICS_BANDED_H
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -41,6 +55,16 @@ struct Row_span {
     bool empty() const { return begin == end; }
 };
 
+/// Occupancy at or below which Design_matrix drops the dense backing and
+/// stores the matrix packed. Data-driven: the bench/perf_gram occupancy
+/// sweep (sweep_* keys of BENCH_gram.json, asserted in CI) shows the
+/// packed kernels beating the span-banded-over-dense ones up to ~0.2-0.3
+/// occupancy on gram-shaped work, converging above that as the span walk
+/// touches most of the dense storage anyway; 0.25 sits inside the packed
+/// win region with margin. Real B-spline designs land near 4/n_basis
+/// (~0.17 for the default 24-function basis), comfortably packed.
+inline constexpr double packed_occupancy_threshold = 0.25;
+
 /// A dense row-major matrix annotated with the per-row nonzero spans.
 ///
 /// The dense storage is kept in full (problem sizes are tens by tens), so
@@ -55,6 +79,23 @@ class Banded_matrix {
     /// than +/-0.0; NaN/Inf count as nonzero).
     explicit Banded_matrix(Matrix dense);
 
+    /// Wrap a dense matrix with caller-supplied spans, skipping the value
+    /// scan. Contract: every entry outside its row's span is exactly
+    /// +/-0.0 (spans may be wider than the minimal nonzero run — in-span
+    /// zeros are harmless). Throws std::invalid_argument on a span count
+    /// mismatch or an out-of-range span. This is the constructor
+    /// Basis::design_matrix_banded uses: the spans fall out of the basis
+    /// supports, so the rows are never re-scanned.
+    Banded_matrix(Matrix dense, std::vector<Row_span> spans);
+
+    // The cached stats are std::atomics (lazy, see band_occupancy), which
+    // rules out the implicit copy/move special members.
+    Banded_matrix(const Banded_matrix& other);
+    Banded_matrix(Banded_matrix&& other) noexcept;
+    Banded_matrix& operator=(const Banded_matrix& other);
+    Banded_matrix& operator=(Banded_matrix&& other) noexcept;
+    ~Banded_matrix() = default;
+
     std::size_t rows() const { return dense_.rows(); }
     std::size_t cols() const { return dense_.cols(); }
     bool empty() const { return dense_.empty(); }
@@ -65,33 +106,174 @@ class Banded_matrix {
 
     /// Fraction of stored entries inside the spans (1.0 = fully dense,
     /// 0.0 = all-zero). This is the number a banded speedup is explained
-    /// by: the product kernels do occupancy * (dense work). Computed once
-    /// at construction (the product kernels branch on it per call).
-    double band_occupancy() const { return occupancy_; }
+    /// by: the product kernels do occupancy * (dense work). Computed
+    /// lazily from the spans on first call and cached — construction
+    /// (hot on the streaming append path, where the caller already knows
+    /// the spans) never pays a stats pass. Thread-safe: concurrent first
+    /// calls race benignly to store the same values through atomics.
+    double band_occupancy() const;
+
+    /// Widest row span; lazy and cached like band_occupancy().
+    std::size_t max_bandwidth() const;
+
+  private:
+    void ensure_stats() const;
+
+    Matrix dense_;
+    std::vector<Row_span> spans_;
+    mutable std::atomic<bool> stats_ready_{false};
+    mutable std::atomic<double> occupancy_{1.0};
+    mutable std::atomic<std::size_t> max_bandwidth_{0};
+};
+
+/// Packed banded storage: the in-span values of every row concatenated
+/// into one contiguous array, with per-row offsets and spans. The dense
+/// backing is gone — footprint and kernel memory traffic are
+/// occupancy * dense, which is what makes this layout win on very sparse
+/// designs (see packed_occupancy_threshold). Packing drops only entries
+/// outside the spans, i.e. exact +/-0.0 structural zeros, so every
+/// kernel below is bit-identical to its dense / dense-banded
+/// counterpart.
+class Packed_banded_matrix {
+  public:
+    Packed_banded_matrix() = default;
+
+    /// Pack a dense matrix, detecting spans by value scan (same rule as
+    /// Banded_matrix).
+    explicit Packed_banded_matrix(const Matrix& dense);
+
+    /// Pack a dense matrix with caller-supplied spans (same contract as
+    /// the span-supplied Banded_matrix constructor).
+    Packed_banded_matrix(const Matrix& dense, std::vector<Row_span> spans);
+
+    /// Pack an already-annotated banded matrix.
+    explicit Packed_banded_matrix(const Banded_matrix& banded);
+
+    /// Adopt directly emitted storage: values holds each row's in-span
+    /// entries back to back, in row order (sum of span widths values
+    /// total). Throws std::invalid_argument on inconsistent sizes or an
+    /// out-of-range span. This is how Basis::design_matrix_packed emits
+    /// the design without ever materializing the dense matrix.
+    Packed_banded_matrix(std::size_t cols, std::vector<Row_span> spans,
+                         std::vector<double> values);
+
+    std::size_t rows() const { return spans_.size(); }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows() == 0 || cols_ == 0; }
+
+    const std::vector<Row_span>& spans() const { return spans_; }
+    Row_span row_span(std::size_t i) const { return spans_[i]; }
+
+    /// Pointer to row i's packed values (row_span(i).width() doubles);
+    /// valid while the matrix lives. Index k holds column
+    /// row_span(i).begin + k.
+    const double* row_values(std::size_t i) const { return values_.data() + offsets_[i]; }
+
+    /// Packed storage and per-row offsets (offsets()[i] is row i's start
+    /// in values(); offsets().back() == values().size()).
+    const std::vector<double>& values() const { return values_; }
+    const std::vector<std::size_t>& offsets() const { return offsets_; }
+
+    /// values().size() / (rows * cols); 1.0 for empty (matches the
+    /// Banded_matrix convention).
+    double band_occupancy() const;
 
     /// Widest row span.
     std::size_t max_bandwidth() const { return max_bandwidth_; }
 
+    /// Reconstruct the dense matrix (out-of-span entries are +0.0).
+    /// Interop/diagnostics only — the point of this layout is not to
+    /// carry the dense storage.
+    Matrix to_dense() const;
+
   private:
-    Matrix dense_;
+    void init_offsets_and_check(const char* what);
+
+    std::size_t cols_ = 0;
     std::vector<Row_span> spans_;
-    double occupancy_ = 1.0;
+    std::vector<std::size_t> offsets_;  // rows + 1 entries once built
+    std::vector<double> values_;
     std::size_t max_bandwidth_ = 0;
 };
 
+/// Which storage a Design_matrix ended up with.
+enum class Design_layout { banded, packed };
+
+/// The per-matrix layout decision plus the common kernel seam. Built
+/// from a dense (or pre-annotated) design; occupancy at or below the
+/// threshold drops the dense backing and goes packed, anything denser
+/// stays a dense-backed Banded_matrix (which itself falls back to
+/// j-blocked dense-shape kernels above ~0.5 occupancy). Consumers call
+/// the free kernels below and never branch on the layout; results are
+/// bit-identical either way.
+class Design_matrix {
+  public:
+    Design_matrix() = default;
+
+    /// Decide the layout for a dense design by occupancy.
+    explicit Design_matrix(const Matrix& dense,
+                           double packed_threshold = packed_occupancy_threshold);
+
+    /// Decide the layout for an already-annotated banded design (moves
+    /// it in when it stays banded).
+    explicit Design_matrix(Banded_matrix banded,
+                           double packed_threshold = packed_occupancy_threshold);
+
+    /// Adopt a packed design as-is (the caller already decided).
+    explicit Design_matrix(Packed_banded_matrix packed);
+
+    Design_layout layout() const { return layout_; }
+    bool is_packed() const { return layout_ == Design_layout::packed; }
+
+    std::size_t rows() const;
+    std::size_t cols() const;
+    bool empty() const;
+    Row_span row_span(std::size_t i) const;
+    double band_occupancy() const;
+    std::size_t max_bandwidth() const;
+
+    /// The held layout; throws std::logic_error when asked for the
+    /// other one.
+    const Banded_matrix& banded() const;
+    const Packed_banded_matrix& packed() const;
+
+  private:
+    void adopt(Banded_matrix banded, double packed_threshold);
+    void note_layout_choice() const;
+
+    Design_layout layout_ = Design_layout::banded;
+    Banded_matrix banded_;
+    Packed_banded_matrix packed_;
+};
+
+// ---------------------------------------------------------------------------
+// Product kernels. Every overload set spans the three layouts
+// (Banded_matrix, Packed_banded_matrix, Design_matrix) with identical
+// semantics and bit-identical results; the Design_matrix overloads are
+// the dispatch seam the estimator uses.
+// ---------------------------------------------------------------------------
+
 /// a * x skipping out-of-span columns; bit-identical to the dense product.
 Vector operator*(const Banded_matrix& a, const Vector& x);
+Vector operator*(const Packed_banded_matrix& a, const Vector& x);
+Vector operator*(const Design_matrix& a, const Vector& x);
 
 /// a^T * x skipping out-of-span columns; bit-identical to
 /// transposed_times(a.dense(), x).
 Vector transposed_times(const Banded_matrix& a, const Vector& x);
+Vector transposed_times(const Packed_banded_matrix& a, const Vector& x);
+Vector transposed_times(const Design_matrix& a, const Vector& x);
 
 /// a^T * a over the spans; bit-identical to gram(a.dense()).
 Matrix gram(const Banded_matrix& a);
+Matrix gram(const Packed_banded_matrix& a);
+Matrix gram(const Design_matrix& a);
 
 /// a^T diag(w) a over the spans; bit-identical to
 /// weighted_gram(a.dense(), w).
 Matrix weighted_gram(const Banded_matrix& a, const Vector& w);
+Matrix weighted_gram(const Packed_banded_matrix& a, const Vector& w);
+Matrix weighted_gram(const Design_matrix& a, const Vector& w);
 
 /// Row-subset Gram: a(rows, :)^T diag(w) a(rows, :) with w[r] weighting
 /// row rows[r] — the cross-validation fold kernel, bit-identical to
@@ -100,10 +282,18 @@ Matrix weighted_gram(const Banded_matrix& a, const Vector& w);
 /// on a length mismatch or an out-of-range row index.
 Matrix weighted_gram_rows(const Banded_matrix& a, const std::vector<std::size_t>& rows,
                           const Vector& w);
+Matrix weighted_gram_rows(const Packed_banded_matrix& a,
+                          const std::vector<std::size_t>& rows, const Vector& w);
+Matrix weighted_gram_rows(const Design_matrix& a, const std::vector<std::size_t>& rows,
+                          const Vector& w);
 
 /// Row-subset right-hand side: a(rows, :)^T x with x[r] paired with row
 /// rows[r]; bit-identical to the copy-out-and-multiply reference.
 Vector transposed_times_rows(const Banded_matrix& a, const std::vector<std::size_t>& rows,
+                             const Vector& x);
+Vector transposed_times_rows(const Packed_banded_matrix& a,
+                             const std::vector<std::size_t>& rows, const Vector& x);
+Vector transposed_times_rows(const Design_matrix& a, const std::vector<std::size_t>& rows,
                              const Vector& x);
 
 /// Fused weighted row-subset right-hand side: a(rows, :)^T (w . x),
@@ -112,6 +302,12 @@ Vector transposed_times_rows(const Banded_matrix& a, const std::vector<std::size
 /// the elementwise product. This is the K'W G gather of the per-gene
 /// normal equations.
 Vector weighted_transposed_times_rows(const Banded_matrix& a,
+                                      const std::vector<std::size_t>& rows, const Vector& w,
+                                      const Vector& x);
+Vector weighted_transposed_times_rows(const Packed_banded_matrix& a,
+                                      const std::vector<std::size_t>& rows, const Vector& w,
+                                      const Vector& x);
+Vector weighted_transposed_times_rows(const Design_matrix& a,
                                       const std::vector<std::size_t>& rows, const Vector& w,
                                       const Vector& x);
 
@@ -127,6 +323,8 @@ Vector transposed_times_span(const Matrix& a, const Vector& x, Row_span span);
 /// bit-identical to dot(a.dense().row(i), x) when the skipped terms are
 /// exact zeros. Throws std::invalid_argument on mismatch.
 double row_dot(const Banded_matrix& a, std::size_t i, const Vector& x);
+double row_dot(const Packed_banded_matrix& a, std::size_t i, const Vector& x);
+double row_dot(const Design_matrix& a, std::size_t i, const Vector& x);
 
 }  // namespace cellsync
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "numerics/simd.h"
+#include "numerics/simd_dispatch.h"
 
 namespace cellsync {
 
@@ -205,64 +206,26 @@ Matrix weighted_gram_reference(const Matrix& a, const Vector& w) {
 #if CELLSYNC_SIMD
 
 // Chunked kernels: fixed-width blocks of simd_chunk_doubles independent
-// accumulator chains. Per output element the term order matches the
-// reference loops exactly (increasing reduction index), so results are
-// bit-identical — the win comes from breaking the loop-carried reduction
-// dependency and from contiguous stores the autovectorizer can widen.
+// accumulator chains, living in numerics/simd_kernels.inc and reached
+// through the runtime ISA dispatch table (numerics/simd_dispatch.h). Per
+// output element the term order matches the reference loops exactly
+// (increasing reduction index), so results are bit-identical on every
+// default dispatch tier — the win comes from breaking the loop-carried
+// reduction dependency and from contiguous stores the autovectorizer can
+// widen (to ymm registers on the AVX2/FMA tiers).
 
 Vector operator*(const Matrix& a, const Vector& x) {
     require_shape(a.cols() == x.size(), "operator*: matrix-vector dimension mismatch");
-    const std::size_t rows = a.rows();
-    const std::size_t cols = a.cols();
-    const double* ad = a.data().data();
-    Vector y(rows, 0.0);
-    std::size_t i = 0;
-    for (; i + simd_chunk_doubles <= rows; i += simd_chunk_doubles) {
-        const double* r0 = ad + (i + 0) * cols;
-        const double* r1 = ad + (i + 1) * cols;
-        const double* r2 = ad + (i + 2) * cols;
-        const double* r3 = ad + (i + 3) * cols;
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        for (std::size_t j = 0; j < cols; ++j) {
-            const double xj = x[j];
-            s0 += r0[j] * xj;
-            s1 += r1[j] * xj;
-            s2 += r2[j] * xj;
-            s3 += r3[j] * xj;
-        }
-        y[i + 0] = s0;
-        y[i + 1] = s1;
-        y[i + 2] = s2;
-        y[i + 3] = s3;
-    }
-    for (; i < rows; ++i) {
-        const double* ri = ad + i * cols;
-        double s = 0.0;
-        for (std::size_t j = 0; j < cols; ++j) s += ri[j] * x[j];
-        y[i] = s;
-    }
+    Vector y(a.rows(), 0.0);
+    simd::kernels().matvec(a.data().data(), a.rows(), a.cols(), x.data(), y.data());
     return y;
 }
 
 Vector transposed_times(const Matrix& a, const Vector& x) {
     require_shape(a.rows() == x.size(), "transposed_times: dimension mismatch");
-    const std::size_t rows = a.rows();
-    const std::size_t cols = a.cols();
-    const double* ad = a.data().data();
-    Vector y(cols, 0.0);
-    double* yd = y.data();
-    for (std::size_t i = 0; i < rows; ++i) {
-        const double xi = x[i];
-        const double* ri = ad + i * cols;
-        std::size_t j = 0;
-        for (; j + simd_chunk_doubles <= cols; j += simd_chunk_doubles) {
-            yd[j + 0] += ri[j + 0] * xi;
-            yd[j + 1] += ri[j + 1] * xi;
-            yd[j + 2] += ri[j + 2] * xi;
-            yd[j + 3] += ri[j + 3] * xi;
-        }
-        for (; j < cols; ++j) yd[j] += ri[j] * xi;
-    }
+    Vector y(a.cols(), 0.0);
+    simd::kernels().transposed_times(a.data().data(), a.rows(), a.cols(), x.data(),
+                                     y.data());
     return y;
 }
 
@@ -274,52 +237,25 @@ void mirror_upper(Matrix& g) {
     }
 }
 
-// Shared core of gram / weighted_gram. `t` holds the left factor column
-// t[k] = w[k] * a(k, i) (or a(k, i) unweighted), hoisted once per i; the
-// upper-triangle row i is then filled a block of simd_chunk_doubles output
-// columns at a time, each accumulating its own chain over k in increasing
-// order from contiguous loads a(k, j..j+3). Per output element the term
-// order and the ((w * a) * a) association match the reference loops
-// exactly, so the result is bit-identical; the blocks merely run
-// independent outputs side by side.
-void gram_row_blocked(double* gi, const double* ad, const Vector& t, std::size_t m,
-                      std::size_t n, std::size_t i) {
-    std::size_t j = i;
-    for (; j + simd_chunk_doubles <= n; j += simd_chunk_doubles) {
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        for (std::size_t k = 0; k < m; ++k) {
-            const double tk = t[k];
-            const double* rk = ad + k * n + j;
-            s0 += tk * rk[0];
-            s1 += tk * rk[1];
-            s2 += tk * rk[2];
-            s3 += tk * rk[3];
-        }
-        gi[j + 0] = s0;
-        gi[j + 1] = s1;
-        gi[j + 2] = s2;
-        gi[j + 3] = s3;
-    }
-    for (; j < n; ++j) {
-        double s = 0.0;
-        for (std::size_t k = 0; k < m; ++k) s += t[k] * ad[k * n + j];
-        gi[j] = s;
-    }
-}
-
 }  // namespace
 
+// The left factor column t[k] = w[k] * a(k, i) (or a(k, i) unweighted) is
+// hoisted here, in the baseline-compiled TU, once per i — so the hoist
+// arithmetic is byte-for-byte the same whichever dispatch tier fills the
+// upper-triangle row behind it. The ((w * a) * a) association matches the
+// reference loops exactly.
 Matrix gram(const Matrix& a) {
     const std::size_t m = a.rows();
     const std::size_t n = a.cols();
     Matrix g(n, n);
     if (n == 0) return g;
+    const simd::Kernel_table& kt = simd::kernels();
     const double* ad = a.data().data();
     double* gd = &g(0, 0);
     Vector t(m);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t k = 0; k < m; ++k) t[k] = ad[k * n + i];
-        gram_row_blocked(gd + i * n, ad, t, m, n, i);
+        kt.gram_row_blocked(gd + i * n, ad, t.data(), m, n, i);
     }
     mirror_upper(g);
     return g;
@@ -331,12 +267,13 @@ Matrix weighted_gram(const Matrix& a, const Vector& w) {
     const std::size_t n = a.cols();
     Matrix g(n, n);
     if (n == 0) return g;
+    const simd::Kernel_table& kt = simd::kernels();
     const double* ad = a.data().data();
     double* gd = &g(0, 0);
     Vector t(m);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t k = 0; k < m; ++k) t[k] = w[k] * ad[k * n + i];
-        gram_row_blocked(gd + i * n, ad, t, m, n, i);
+        kt.gram_row_blocked(gd + i * n, ad, t.data(), m, n, i);
     }
     mirror_upper(g);
     return g;

@@ -1,0 +1,17 @@
+// AVX2 kernel table. Compiled with per-file "-mavx2;-ffp-contract=off"
+// (CMakeLists.txt CELLSYNC_DISPATCH_ISA block); the base build stays at
+// the fleet-safe baseline and this table is only entered after
+// __builtin_cpu_supports("avx2") says the host can execute it.
+// Contraction is pinned off so the results stay bit-identical to the
+// scalar reference (see numerics/simd_dispatch.h).
+#include <cstddef>
+#include <vector>
+
+#include "numerics/simd.h"
+#include "numerics/simd_dispatch.h"
+
+#if defined(CELLSYNC_DISPATCH_ISA) && defined(__AVX2__)
+#define CELLSYNC_KERNEL_TIER_NS k_avx2
+#define CELLSYNC_KERNEL_TIER Tier::avx2
+#include "numerics/simd_kernels.inc"
+#endif

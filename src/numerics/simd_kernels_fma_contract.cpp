@@ -1,0 +1,19 @@
+// AVX2+FMA kernel table with contraction enabled: per-file
+// "-mavx2;-mfma;-ffp-contract=fast". This is the explicit opt-out of
+// the bit-identity default — fused multiply-adds skip the intermediate
+// rounding of each product, so results differ from the scalar reference
+// in the last bits (they are, if anything, slightly more accurate). It
+// is never auto-selected; only CELLSYNC_DISPATCH=fma-contract reaches
+// it, and telemetry/bench output always names the tier so a result is
+// attributable.
+#include <cstddef>
+#include <vector>
+
+#include "numerics/simd.h"
+#include "numerics/simd_dispatch.h"
+
+#if defined(CELLSYNC_DISPATCH_ISA) && defined(__AVX2__) && defined(__FMA__)
+#define CELLSYNC_KERNEL_TIER_NS k_fma_contract
+#define CELLSYNC_KERNEL_TIER Tier::fma_contract
+#include "numerics/simd_kernels.inc"
+#endif

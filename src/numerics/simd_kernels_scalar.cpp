@@ -1,0 +1,13 @@
+// Baseline-ISA kernel table: the same chunked kernels every other tier
+// compiles, built with the fleet-safe default flags (no -m options).
+// Always present — this is the table the dispatcher falls back to on
+// hosts or builds without the ISA translation units.
+#include <cstddef>
+#include <vector>
+
+#include "numerics/simd.h"
+#include "numerics/simd_dispatch.h"
+
+#define CELLSYNC_KERNEL_TIER_NS k_scalar
+#define CELLSYNC_KERNEL_TIER Tier::scalar
+#include "numerics/simd_kernels.inc"

@@ -67,8 +67,25 @@ class Basis {
 
     /// design_matrix() annotated with each row's nonzero span — the input
     /// the banded Gram/mat-vec kernels in numerics/banded.h consume. For a
-    /// cubic B-spline basis each row holds at most 4 nonzeros.
+    /// cubic B-spline basis each row holds at most 4 nonzeros. The spans
+    /// fall out of the basis supports during evaluation (a row's span
+    /// covers the basis functions whose support contains the point), so
+    /// the stored values are never re-scanned; a span may include exact
+    /// zeros at support boundaries, which the kernels tolerate by
+    /// construction.
     Banded_matrix design_matrix_banded(const Vector& points) const;
+
+    /// The packed-storage design (numerics/banded.h
+    /// Packed_banded_matrix), emitted directly: support-derived spans
+    /// first, then only the in-span values — the dense matrix is never
+    /// materialized. Bit-identical to packing design_matrix().
+    Packed_banded_matrix design_matrix_packed(const Vector& points) const;
+
+    /// The design behind the per-matrix layout seam: packed when the
+    /// support-derived occupancy is at or below the threshold (the dense
+    /// storage is then never allocated), dense-backed banded otherwise.
+    Design_matrix design_matrix_auto(
+        const Vector& points, double packed_threshold = packed_occupancy_threshold) const;
 
     /// Derivative design matrix B' with B'(p, i) = psi_i'(points[p]).
     Matrix derivative_matrix(const Vector& points) const;

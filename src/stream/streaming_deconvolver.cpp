@@ -56,7 +56,7 @@ Streaming_deconvolver::Streaming_deconvolver(
     // small mat-vec instead of per-point basis evaluation.
     score_phi_ = linspace(0.0, 1.0, options_.convergence.score_points + 1);
     score_phi_.pop_back();
-    score_design_ = artifacts_->basis->design_matrix_banded(score_phi_);
+    score_design_ = artifacts_->basis->design_matrix_auto(score_phi_);
 }
 
 const Single_cell_estimate& Streaming_deconvolver::current() const {
@@ -113,7 +113,7 @@ const Single_cell_estimate& Streaming_deconvolver::append(double time, double va
     const Matrix reduced_hessian_before = reduced_hessian_;
     const Vector reduced_gradient_before = reduced_gradient_;
     const Vector row = artifacts_->kernel_matrix.row(m);
-    const Row_span span = artifacts_->kernel_banded.row_span(m);
+    const Row_span span = artifacts_->kernel_design.row_span(m);
     const double w = 1.0 / (sigma * sigma);
     for (std::size_t i = span.begin; i < span.end; ++i) {
         const double t = w * row[i];
@@ -217,7 +217,7 @@ void Streaming_deconvolver::solve_and_package() {
 
     Single_cell_estimate est(artifacts_->basis, result.x);
     est.lambda = options_.lambda;
-    est.fitted = artifacts_->kernel_banded * est.coefficients();
+    est.fitted = artifacts_->kernel_design * est.coefficients();
     double chi2 = 0.0;
     for (std::size_t m = 0; m < observed_; ++m) {
         const double r = values_[m] - est.fitted[m];

@@ -156,7 +156,8 @@ class Streaming_deconvolver {
     bool converged_ = false;
     Stream_solve_stats stats_;
     Vector score_phi_;           // circularly-open scoring grid (see .cpp)
-    Banded_matrix score_design_; // banded basis design on score_phi_: scoring is one mat-vec
+    Design_matrix score_design_; // basis design on score_phi_ (packed or banded by
+                                 // occupancy): scoring is one mat-vec
 };
 
 }  // namespace cellsync

@@ -31,6 +31,13 @@
 //                    reads feed counters and spans, never numerics.
 //                    Duration types (std::chrono::milliseconds etc.)
 //                    remain fine — only the clock *reads* are fenced.
+//   simd             No raw intrinsics headers, __builtin_cpu_supports,
+//                    #pragma GCC target / target_clones, or -march=
+//                    flags outside src/numerics/simd_dispatch.cpp and
+//                    the per-ISA kernel TUs (src/numerics/simd_kernels*).
+//                    ISA-specific code scattered outside the dispatch
+//                    seam either crashes baseline hosts or silently
+//                    forks the bit-identity story per build host.
 //
 // False-positive hygiene: comments are stripped before matching, string
 // and char literals are stripped for the token rules (so documentation
@@ -249,6 +256,14 @@ bool outside_clock_seam(const std::string& relative) {
     return relative != "src/core/telemetry.cpp";
 }
 
+bool outside_simd_dispatch_home(const std::string& relative) {
+    // The dispatcher and the per-ISA kernel translation units
+    // (simd_kernels_scalar/avx2/fma/fma_contract.cpp and the shared
+    // simd_kernels.inc) are where ISA-specific spellings belong.
+    return relative != "src/numerics/simd_dispatch.cpp" &&
+           relative.rfind("src/numerics/simd_kernels", 0) != 0;
+}
+
 const std::vector<Rule>& rules() {
     static const std::vector<Rule> all = {
         {"number-parse",
@@ -266,8 +281,8 @@ const std::vector<Rule>& rules() {
          /*keep_strings=*/false, /*cmake_files=*/false, everywhere},
         {"fast-math",
          {"-ffast-math", "-Ofast", "-funsafe-math-optimizations",
-          "-fassociative-math", "-freciprocal-math", "FP_CONTRACT",
-          "float_control", "fp reassociate"},
+          "-fassociative-math", "-freciprocal-math", "-ffp-contract=fast",
+          "FP_CONTRACT", "float_control", "fp reassociate"},
          "value-changing FP options void the bit-identity contract; keep "
          "IEEE-strict semantics (vectorize across outputs, never within a "
          "reduction)",
@@ -286,6 +301,14 @@ const std::vector<Rule>& rules() {
          "(core/telemetry.h) — the single clock seam is the audit point that "
          "keeps clock reads out of numeric results",
          /*keep_strings=*/false, /*cmake_files=*/false, outside_clock_seam},
+        {"simd",
+         {"immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+          "arm_neon.h", "__builtin_cpu_supports", "#pragma GCC target",
+          "target_clones", "-march="},
+         "ISA-specific code lives behind the runtime dispatch seam "
+         "(numerics/simd_dispatch.h): add kernels to the per-ISA translation "
+         "units, never raw intrinsics or arch flags in shared code",
+         /*keep_strings=*/false, /*cmake_files=*/true, outside_simd_dispatch_home},
     };
     return all;
 }
@@ -484,6 +507,33 @@ int self_test() {
          "Annotated_mutex mutex_;\nAnnotated_condition_variable cv_;\n", nullptr},
         {"include line clean", "src/core/x.h", File_kind::cpp,
          "#include <mutex>\n#include <condition_variable>\n", nullptr},
+        {"intrinsics header flagged outside the seam", "src/numerics/matrix.cpp",
+         File_kind::cpp, "#include <immintrin.h>\n", "simd"},
+        {"cpu_supports flagged outside the seam", "src/core/x.cpp", File_kind::cpp,
+         "if (__builtin_cpu_supports(\"avx2\")) {}\n", "simd"},
+        {"pragma target flagged", "src/numerics/x.cpp", File_kind::cpp,
+         "#pragma GCC target(\"avx2\")\n", "simd"},
+        {"march flagged in cmake", "CMakeLists.txt", File_kind::cmake,
+         "add_compile_options(-march=native)\n", "simd"},
+        {"cpu_supports allowed in the dispatcher",
+         "src/numerics/simd_dispatch.cpp", File_kind::cpp,
+         "if (__builtin_cpu_supports(\"fma\")) {}\n", nullptr},
+        {"intrinsics allowed in an ISA kernel TU",
+         "src/numerics/simd_kernels_avx2.cpp", File_kind::cpp,
+         "#include <immintrin.h>\n", nullptr},
+        {"simd suppression honored", "src/core/x.cpp", File_kind::cpp,
+         "check(__builtin_cpu_supports(\"avx2\"));  // cellsync-lint: allow(simd)\n",
+         nullptr},
+        {"intrinsics mention in comment ignored", "src/core/x.cpp", File_kind::cpp,
+         "// never include immintrin.h here\n", nullptr},
+        {"contract=fast flagged in cmake", "bench/CMakeLists.txt", File_kind::cmake,
+         "set_source_files_properties(a.cpp PROPERTIES COMPILE_OPTIONS "
+         "\"-ffp-contract=fast\")\n",
+         "fast-math"},
+        {"contract=off is fine", "CMakeLists.txt", File_kind::cmake,
+         "set_source_files_properties(a.cpp PROPERTIES COMPILE_OPTIONS "
+         "\"-mavx2;-ffp-contract=off\")\n",
+         nullptr},
     };
 
     std::size_t failures = 0;
