@@ -3,8 +3,7 @@
 // Every bench binary regenerates one of the paper's evaluation artifacts.
 // They share the experiment defaults (sampling times, kernel size, basis)
 // so ablations differ from the figure baselines in exactly one knob.
-#ifndef CELLSYNC_BENCH_BENCH_UTIL_H
-#define CELLSYNC_BENCH_BENCH_UTIL_H
+#pragma once
 
 #include <cstdio>
 #include <fstream>
@@ -146,5 +145,3 @@ inline void print_header(const std::string& id, const std::string& description) 
 }
 
 }  // namespace cellsync::bench
-
-#endif  // CELLSYNC_BENCH_BENCH_UTIL_H

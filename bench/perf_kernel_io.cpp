@@ -13,7 +13,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "io/kernel_io.h"
+#include "population/kernel_io.h"
 #include "perf_util.h"
 
 namespace {

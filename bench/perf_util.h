@@ -1,8 +1,7 @@
 // Shared main() for the Google-Benchmark-based perf harnesses: the usual
 // console report, plus every benchmark's adjusted real time captured into
 // BENCH_<name>.json (see Bench_json) so perf can be tracked across PRs.
-#ifndef CELLSYNC_BENCH_PERF_UTIL_H
-#define CELLSYNC_BENCH_PERF_UTIL_H
+#pragma once
 
 #include <benchmark/benchmark.h>
 
@@ -52,5 +51,3 @@ inline int run_perf_harness(int argc, char** argv, const std::string& name) {
 }
 
 }  // namespace cellsync::bench
-
-#endif  // CELLSYNC_BENCH_PERF_UTIL_H

@@ -10,7 +10,7 @@
 #include "biology/gene_profiles.h"
 #include "core/batch_engine.h"
 #include "core/forward_model.h"
-#include "io/kernel_io.h"
+#include "population/kernel_io.h"
 #include "models/regulatory_network.h"
 #include "spline/spline_basis.h"
 

@@ -5,8 +5,7 @@
 // phi_sst_k is normally distributed across the population with mean 0.15
 // (2011 update) and CV 0.13. At phi = 1 the cell divides into an SW
 // daughter (phi = 0) and an ST daughter (phi = its own phi_sst).
-#ifndef CELLSYNC_BIOLOGY_CELL_CYCLE_H
-#define CELLSYNC_BIOLOGY_CELL_CYCLE_H
+#pragma once
 
 #include "numerics/rng.h"
 
@@ -64,5 +63,3 @@ double draw_initial_phase(const Cell_cycle_config& config, const Cell_parameters
 double advance_phase(double phi0, double t_minutes, const Cell_parameters& params);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_BIOLOGY_CELL_CYCLE_H

@@ -7,8 +7,7 @@
 // the later boundaries are morphology thresholds that are hard to pin down
 // experimentally, so the paper sweeps them over ranges (0.60-0.70 and
 // 0.85-0.90) and plots the band.
-#ifndef CELLSYNC_BIOLOGY_CELL_TYPES_H
-#define CELLSYNC_BIOLOGY_CELL_TYPES_H
+#pragma once
 
 #include <array>
 #include <string>
@@ -54,5 +53,3 @@ Cell_type_thresholds thresholds_high();
 Cell_type classify_cell(double phi, double phi_sst, const Cell_type_thresholds& thresholds);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_BIOLOGY_CELL_TYPES_H

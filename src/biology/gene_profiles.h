@@ -5,8 +5,7 @@
 // the deconvolution's recovery of f is scored. The ftsZ-like profile
 // encodes the biology of paper Sec 4.3: transcription silent until the
 // SW->ST transition (Kelly et al. 1998), peak near phi = 0.4, then decline.
-#ifndef CELLSYNC_BIOLOGY_GENE_PROFILES_H
-#define CELLSYNC_BIOLOGY_GENE_PROFILES_H
+#pragma once
 
 #include <functional>
 #include <string>
@@ -58,5 +57,3 @@ Gene_profile step_profile(double low, double high, double center, double width);
 Gene_profile tabulated_profile(std::string name, const Vector& phi, const Vector& values);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_BIOLOGY_GENE_PROFILES_H

@@ -16,8 +16,7 @@
 //
 // Volumes are expressed relative to V0 (the pre-division volume), which
 // cancels in the normalized kernel.
-#ifndef CELLSYNC_BIOLOGY_VOLUME_MODEL_H
-#define CELLSYNC_BIOLOGY_VOLUME_MODEL_H
+#pragma once
 
 #include <memory>
 #include <string>
@@ -71,5 +70,3 @@ constexpr double swarmer_volume_fraction = 0.4;
 constexpr double stalked_volume_fraction = 0.6;
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_BIOLOGY_VOLUME_MODEL_H

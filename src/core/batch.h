@@ -6,8 +6,7 @@
 // at the same times. This module defines the per-gene unit of work and the
 // serial batch runner; Batch_engine (core/batch_engine.h) distributes the
 // same unit over a worker pool.
-#ifndef CELLSYNC_CORE_BATCH_H
-#define CELLSYNC_CORE_BATCH_H
+#pragma once
 
 #include <exception>
 #include <optional>
@@ -89,5 +88,3 @@ std::vector<Peak_summary> peak_ordering(const std::vector<Batch_entry>& batch,
                                         std::size_t grid_points = 201);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_BATCH_H

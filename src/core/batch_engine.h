@@ -7,8 +7,7 @@
 // replicates are independent tasks with deterministic per-task seeding,
 // so every result is bit-for-bit identical to a serial run regardless of
 // thread count.
-#ifndef CELLSYNC_CORE_BATCH_ENGINE_H
-#define CELLSYNC_CORE_BATCH_ENGINE_H
+#pragma once
 
 #include <memory>
 
@@ -99,5 +98,3 @@ class Batch_engine {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_BATCH_ENGINE_H

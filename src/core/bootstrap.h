@@ -7,8 +7,7 @@
 // standardized residual bootstrap: refit on resampled measurement noise
 // and collect quantiles of f*(phi) per phase point. This is an extension
 // beyond the paper, motivated by its parameter-estimation programme.
-#ifndef CELLSYNC_CORE_BOOTSTRAP_H
-#define CELLSYNC_CORE_BOOTSTRAP_H
+#pragma once
 
 #include <cstdint>
 
@@ -77,5 +76,3 @@ Confidence_band bootstrap_confidence_band(const Deconvolver& deconvolver,
                                           Worker_pool& pool);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_BOOTSTRAP_H

@@ -13,8 +13,7 @@
 //                          production rate continuous across division)
 //
 // p(phi) is the Gaussian density of the SW->ST transition phase.
-#ifndef CELLSYNC_CORE_CONSTRAINTS_H
-#define CELLSYNC_CORE_CONSTRAINTS_H
+#pragma once
 
 #include "biology/cell_cycle.h"
 #include "numerics/matrix.h"
@@ -67,5 +66,3 @@ Constraint_set build_constraints(const Basis& basis, const Cell_cycle_config& co
                                  const Constraint_options& options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_CONSTRAINTS_H

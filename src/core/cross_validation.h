@@ -7,8 +7,7 @@
 //  * generalized cross-validation (GCV) on the unconstrained ridge path —
 //    the classical Craven-Wahba criterion, cheap enough for dense lambda
 //    grids.
-#ifndef CELLSYNC_CORE_CROSS_VALIDATION_H
-#define CELLSYNC_CORE_CROSS_VALIDATION_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -64,5 +63,3 @@ double kfold_lambda_score(const Deconvolver& deconvolver, const Measurement_seri
                           double lambda);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_CROSS_VALIDATION_H

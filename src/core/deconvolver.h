@@ -11,13 +11,12 @@
 // The problem is a convex QP solved through the pluggable solver layer
 // (numerics/qp_backend.h); all gene-independent precomputation lives in a
 // shared Design_artifacts (core/design.h).
-#ifndef CELLSYNC_CORE_DECONVOLVER_H
-#define CELLSYNC_CORE_DECONVOLVER_H
+#pragma once
 
 #include <memory>
 
 #include "core/design.h"
-#include "core/measurement.h"
+#include "io/measurement.h"
 #include "numerics/qp_backend.h"
 #include "population/kernel_builder.h"
 #include "spline/basis.h"
@@ -149,5 +148,3 @@ class Deconvolver {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_DECONVOLVER_H

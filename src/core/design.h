@@ -7,8 +7,7 @@
 // re-derived all of it for every gene, every CV fold, and every bootstrap
 // replicate; Design_artifacts computes it exactly once and is shared
 // immutably across genes, lambda grid points, replicates, and threads.
-#ifndef CELLSYNC_CORE_DESIGN_H
-#define CELLSYNC_CORE_DESIGN_H
+#pragma once
 
 #include <memory>
 
@@ -57,5 +56,3 @@ std::shared_ptr<const Design_artifacts> make_design_artifacts(
     const Cell_cycle_config& config, const Constraint_options& constraint_options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_DESIGN_H

@@ -6,8 +6,7 @@
 // an experimenter can compare, e.g., "13 evenly spaced samples" against
 // "front-loaded sampling" *in silico* — a practical extension of the
 // paper's machinery in the spirit of optimal experiment design.
-#ifndef CELLSYNC_CORE_EXPERIMENT_DESIGN_H
-#define CELLSYNC_CORE_EXPERIMENT_DESIGN_H
+#pragma once
 
 #include <string>
 
@@ -47,5 +46,3 @@ std::vector<Design_score> compare_designs(const Cell_cycle_config& config,
                                           const Kernel_build_options& options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_EXPERIMENT_DESIGN_H

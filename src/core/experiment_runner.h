@@ -27,8 +27,7 @@
 // Results are deterministic for a fixed spec: identical whether kernels
 // were simulated or served from cache, for any thread count, and for
 // either schedule.
-#ifndef CELLSYNC_CORE_EXPERIMENT_RUNNER_H
-#define CELLSYNC_CORE_EXPERIMENT_RUNNER_H
+#pragma once
 
 #include <memory>
 #include <string>
@@ -140,5 +139,3 @@ Experiment_spec shard_experiment(const Experiment_spec& spec, std::size_t shards
                                  std::size_t shard_index);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_EXPERIMENT_RUNNER_H

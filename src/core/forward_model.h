@@ -4,13 +4,12 @@
 // "A particular model of cell-cycle regulated expression in single cells
 // is passed through the forward model using the kernel function Q(phi, t)
 // in order to generate simulated population-level data."
-#ifndef CELLSYNC_CORE_FORWARD_MODEL_H
-#define CELLSYNC_CORE_FORWARD_MODEL_H
+#pragma once
 
 #include <functional>
 #include <string>
 
-#include "core/measurement.h"
+#include "io/measurement.h"
 #include "core/noise.h"
 #include "population/kernel_builder.h"
 
@@ -30,5 +29,3 @@ Measurement_series forward_measurements_noisy(const Kernel_grid& kernel,
                                               std::string label = "synthetic");
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_FORWARD_MODEL_H

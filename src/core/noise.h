@@ -4,12 +4,11 @@
 // Figure 3 uses additive Gaussian noise with standard deviation equal to
 // 10% of the data magnitude; the noise-robustness ablation also sweeps
 // absolute Gaussian and multiplicative log-normal noise.
-#ifndef CELLSYNC_CORE_NOISE_H
-#define CELLSYNC_CORE_NOISE_H
+#pragma once
 
 #include <string>
 
-#include "core/measurement.h"
+#include "io/measurement.h"
 #include "numerics/rng.h"
 
 namespace cellsync {
@@ -43,5 +42,3 @@ Measurement_series add_noise(const Measurement_series& clean, const Noise_model&
                              Rng& rng);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_NOISE_H

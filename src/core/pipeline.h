@@ -3,8 +3,7 @@
 //
 // Examples and benches use this entry point; power users compose the
 // pieces (build_kernel / Deconvolver / select_lambda_*) directly.
-#ifndef CELLSYNC_CORE_PIPELINE_H
-#define CELLSYNC_CORE_PIPELINE_H
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -42,5 +41,3 @@ Pipeline_result deconvolve_series(const Measurement_series& series,
                                   const Volume_model& volume_model);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_PIPELINE_H

@@ -17,8 +17,7 @@
 // Cycles are impossible by construction: a node may only depend on nodes
 // that were added before it (add_node returns ids in insertion order and
 // validates every edge points backwards).
-#ifndef CELLSYNC_CORE_TASK_GRAPH_H
-#define CELLSYNC_CORE_TASK_GRAPH_H
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -58,5 +57,3 @@ class Task_graph {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_TASK_GRAPH_H

@@ -27,8 +27,7 @@
 //
 // Telemetry observes, never perturbs: no instrumentation site may feed
 // a clock reading or a counter value back into a numeric result.
-#ifndef CELLSYNC_CORE_TELEMETRY_H
-#define CELLSYNC_CORE_TELEMETRY_H
+#pragma once
 
 #ifndef CELLSYNC_TELEMETRY
 #define CELLSYNC_TELEMETRY 1
@@ -285,5 +284,3 @@ inline Histogram& histogram(std::string_view name) {
 }
 
 }  // namespace cellsync::telemetry
-
-#endif  // CELLSYNC_CORE_TELEMETRY_H

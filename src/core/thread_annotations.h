@@ -28,8 +28,7 @@
 // naked std::mutex / std::condition_variable members in src/ outside
 // this header, so every new mutex-protected field starts out
 // annotatable.
-#ifndef CELLSYNC_CORE_THREAD_ANNOTATIONS_H
-#define CELLSYNC_CORE_THREAD_ANNOTATIONS_H
+#pragma once
 
 #include <condition_variable>
 #include <mutex>
@@ -126,5 +125,3 @@ class CELLSYNC_SCOPED_CAPABILITY Annotated_lock {
 using Annotated_condition_variable = std::condition_variable_any;
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_THREAD_ANNOTATIONS_H

@@ -17,8 +17,7 @@
 // Under -DCELLSYNC_TELEMETRY=OFF every class keeps its signature with
 // empty inline bodies: spans vanish, the writer emits a valid empty
 // trace (so `--trace` still produces well-formed output).
-#ifndef CELLSYNC_CORE_TRACE_H
-#define CELLSYNC_CORE_TRACE_H
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -172,5 +171,3 @@ class Trace_span {
 #endif  // CELLSYNC_TELEMETRY
 
 }  // namespace cellsync::telemetry
-
-#endif  // CELLSYNC_CORE_TRACE_H

@@ -10,8 +10,7 @@
 // (say, simulating condition k+1's kernel while condition k's solves
 // drain) overlap instead of serializing. parallel_for remains as the
 // single-node special case of run().
-#ifndef CELLSYNC_CORE_WORKER_POOL_H
-#define CELLSYNC_CORE_WORKER_POOL_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -96,5 +95,3 @@ class Worker_pool {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_WORKER_POOL_H

@@ -5,8 +5,7 @@
 // fields is ignored; blank lines and lines starting with '#' are skipped.
 // This covers the expression-data files the method consumes (the
 // "wire data parsing manually" part of the reproduction).
-#ifndef CELLSYNC_IO_CSV_H
-#define CELLSYNC_IO_CSV_H
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -63,5 +62,3 @@ void write_csv(std::ostream& out, const Table& table);
 void write_csv_file(const std::string& path, const Table& table);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_IO_CSV_H

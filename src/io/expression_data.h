@@ -8,10 +8,9 @@
 // The deconvolution code path — parse, weight, invert, diagnose — is
 // identical to what real microarray data would exercise; see DESIGN.md's
 // substitution table.
-#ifndef CELLSYNC_IO_EXPRESSION_DATA_H
-#define CELLSYNC_IO_EXPRESSION_DATA_H
+#pragma once
 
-#include "core/measurement.h"
+#include "io/measurement.h"
 #include "io/table.h"
 
 namespace cellsync {
@@ -57,5 +56,3 @@ struct Ftsz_generation_info {
 Ftsz_generation_info ftsz_generation_info();
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_IO_EXPRESSION_DATA_H

@@ -1,4 +1,4 @@
-#include "core/measurement.h"
+#include "io/measurement.h"
 
 #include <cmath>
 #include <stdexcept>

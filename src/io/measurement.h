@@ -4,8 +4,7 @@
 // G(t_m) of a population expression assay at a small number of times, with
 // per-measurement standard deviations sigma_m used to weight the data
 // misfit in the estimation criterion (paper Eq 5).
-#ifndef CELLSYNC_CORE_MEASUREMENT_H
-#define CELLSYNC_CORE_MEASUREMENT_H
+#pragma once
 
 #include <string>
 
@@ -35,5 +34,3 @@ struct Measurement_series {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_CORE_MEASUREMENT_H

@@ -10,8 +10,7 @@
 // is produced by a structurally different model than the agent-based
 // simulator being validated, the Figure-4 comparison remains a genuine
 // consistency check. See DESIGN.md's substitution table.
-#ifndef CELLSYNC_IO_REFERENCE_DATA_H
-#define CELLSYNC_IO_REFERENCE_DATA_H
+#pragma once
 
 #include "biology/cell_cycle.h"
 #include "biology/cell_types.h"
@@ -37,5 +36,3 @@ Reference_census judd_reference_census(const Vector& times,
                                        double scatter = 0.015);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_IO_REFERENCE_DATA_H

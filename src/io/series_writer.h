@@ -1,8 +1,7 @@
 // Figure-series export: collect named series over a shared abscissa and
 // write them as one CSV, the format the benches use to dump reproduced
 // figures for external plotting.
-#ifndef CELLSYNC_IO_SERIES_WRITER_H
-#define CELLSYNC_IO_SERIES_WRITER_H
+#pragma once
 
 #include <string>
 
@@ -35,5 +34,3 @@ class Series_writer {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_IO_SERIES_WRITER_H

@@ -8,8 +8,7 @@
 // back one at a time as they are pulled off the stream, holding only the
 // current line in memory; the field-splitting and number-parsing rules
 // are shared with read_csv (csv_split_fields / csv_parse_field).
-#ifndef CELLSYNC_IO_STREAM_RECORDS_H
-#define CELLSYNC_IO_STREAM_RECORDS_H
+#pragma once
 
 #include <iosfwd>
 #include <optional>
@@ -76,5 +75,3 @@ class Record_stream {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_IO_STREAM_RECORDS_H

@@ -1,7 +1,6 @@
 // Minimal column-oriented numeric table, the interchange type between the
 // CSV layer and the analysis layers.
-#ifndef CELLSYNC_IO_TABLE_H
-#define CELLSYNC_IO_TABLE_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -39,5 +38,3 @@ class Table {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_IO_TABLE_H

@@ -8,8 +8,7 @@
 // The paper chooses parameters giving a 150-minute period, matching the
 // average Caulobacter cycle time, so one oscillation maps onto one cell
 // cycle: f(phi) = x(phi * T).
-#ifndef CELLSYNC_MODELS_LOTKA_VOLTERRA_H
-#define CELLSYNC_MODELS_LOTKA_VOLTERRA_H
+#pragma once
 
 #include "biology/gene_profiles.h"
 #include "numerics/ode.h"
@@ -63,5 +62,3 @@ Gene_profile lotka_volterra_profile(const Lotka_volterra_params& params, std::si
                                     double period_minutes);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_MODELS_LOTKA_VOLTERRA_H

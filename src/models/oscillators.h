@@ -4,8 +4,7 @@
 // oscillator, repressilator, damped oscillator) broaden the profile family
 // available to examples, tests, and the robustness ablations — the
 // deconvolution method itself is agnostic to which model generated f(phi).
-#ifndef CELLSYNC_MODELS_OSCILLATORS_H
-#define CELLSYNC_MODELS_OSCILLATORS_H
+#pragma once
 
 #include "biology/gene_profiles.h"
 #include "numerics/ode.h"
@@ -52,5 +51,3 @@ Gene_profile oscillator_profile(const Ode_rhs& rhs, const Vector& initial,
                                 std::string name);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_MODELS_OSCILLATORS_H

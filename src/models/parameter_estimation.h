@@ -10,11 +10,10 @@
 //  * fit-to-population: pretend the population series IS single-cell data
 //    (the naive approach);
 //  * fit-to-deconvolved: fit against the deconvolution's f(phi).
-#ifndef CELLSYNC_MODELS_PARAMETER_ESTIMATION_H
-#define CELLSYNC_MODELS_PARAMETER_ESTIMATION_H
+#pragma once
 
 #include "core/deconvolver.h"
-#include "core/measurement.h"
+#include "io/measurement.h"
 #include "models/lotka_volterra.h"
 #include "numerics/nelder_mead.h"
 
@@ -50,5 +49,3 @@ Lv_fit_result fit_lv_to_population(const Measurement_series& g1, const Measureme
                                    const Nelder_mead_options& options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_MODELS_PARAMETER_ESTIMATION_H

@@ -11,8 +11,7 @@
 // where H_ij is an activating or repressing Hill function for each edge
 // j -> i (absent edges contribute 1). Presets include the two-gene
 // activator-repressor relaxation oscillator used in the examples.
-#ifndef CELLSYNC_MODELS_REGULATORY_NETWORK_H
-#define CELLSYNC_MODELS_REGULATORY_NETWORK_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -91,5 +90,3 @@ struct Ring_oscillator {
 Ring_oscillator ring_oscillator_network(double period_minutes = 150.0);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_MODELS_REGULATORY_NETWORK_H

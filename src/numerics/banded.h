@@ -33,8 +33,7 @@
 // policy documented in matrix.h). The actual inner loops live in
 // numerics/simd_kernels.inc and run through the runtime ISA dispatch of
 // numerics/simd_dispatch.h, whose default tiers all honor this contract.
-#ifndef CELLSYNC_NUMERICS_BANDED_H
-#define CELLSYNC_NUMERICS_BANDED_H
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -327,5 +326,3 @@ double row_dot(const Packed_banded_matrix& a, std::size_t i, const Vector& x);
 double row_dot(const Design_matrix& a, std::size_t i, const Vector& x);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_BANDED_H

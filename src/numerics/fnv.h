@@ -6,8 +6,7 @@
 // definition keeps them from drifting: the cache stems and the shard
 // assignment are persisted / cross-process contracts, so the constants
 // below must never change for v1 artifacts.
-#ifndef CELLSYNC_NUMERICS_FNV_H
-#define CELLSYNC_NUMERICS_FNV_H
+#pragma once
 
 #include <cstdint>
 #include <string_view>
@@ -25,5 +24,3 @@ inline std::uint64_t fnv1a64(std::string_view bytes) {
 }
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_FNV_H

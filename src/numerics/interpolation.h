@@ -1,8 +1,7 @@
 // Piecewise-linear interpolation over tabulated series. The kernel builder
 // produces Q(phi, t) on a discrete time grid; measurement times between
 // grid points are served by these interpolants.
-#ifndef CELLSYNC_NUMERICS_INTERPOLATION_H
-#define CELLSYNC_NUMERICS_INTERPOLATION_H
+#pragma once
 
 #include "numerics/vector_ops.h"
 
@@ -35,5 +34,3 @@ class Linear_interpolant {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_INTERPOLATION_H

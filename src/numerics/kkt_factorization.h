@@ -11,8 +11,7 @@
 // keeps the factorization until (lambda, ridge) actually changes — a
 // refactorization touches only the cached assembly buffer, never the
 // callers' matrices.
-#ifndef CELLSYNC_NUMERICS_KKT_FACTORIZATION_H
-#define CELLSYNC_NUMERICS_KKT_FACTORIZATION_H
+#pragma once
 
 #include <optional>
 
@@ -71,5 +70,3 @@ class Kkt_factorization {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_KKT_FACTORIZATION_H

@@ -5,8 +5,7 @@
 // the deconvolution pipeline (KKT systems of a few dozen unknowns). Each
 // solver validates its input and throws `std::invalid_argument` for shape
 // errors and `std::runtime_error` for numerically singular systems.
-#ifndef CELLSYNC_NUMERICS_LINEAR_SOLVE_H
-#define CELLSYNC_NUMERICS_LINEAR_SOLVE_H
+#pragma once
 
 #include "numerics/matrix.h"
 #include "numerics/vector_ops.h"
@@ -93,5 +92,3 @@ Vector qr_least_squares(const Matrix& a, const Vector& b);
 double condition_number_1(const Matrix& a);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_LINEAR_SOLVE_H

@@ -5,8 +5,7 @@
 // deconvolution pipeline are tiny (tens of basis functions, tens of
 // measurements), so clarity and exact control over conditioning beats BLAS
 // throughput.
-#ifndef CELLSYNC_NUMERICS_MATRIX_H
-#define CELLSYNC_NUMERICS_MATRIX_H
+#pragma once
 
 #include <cstddef>
 #include <initializer_list>
@@ -141,5 +140,3 @@ Matrix gram_reference(const Matrix& a);
 Matrix weighted_gram_reference(const Matrix& a, const Vector& w);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_MATRIX_H

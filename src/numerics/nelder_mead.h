@@ -4,8 +4,7 @@
 // work"): fitting ODE model parameters to population or deconvolved
 // expression data, where the objective involves an ODE solve and has no
 // cheap gradient.
-#ifndef CELLSYNC_NUMERICS_NELDER_MEAD_H
-#define CELLSYNC_NUMERICS_NELDER_MEAD_H
+#pragma once
 
 #include <functional>
 
@@ -41,5 +40,3 @@ Nelder_mead_result nelder_mead(const Objective& f, const Vector& x0,
                                const Nelder_mead_options& options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_NELDER_MEAD_H

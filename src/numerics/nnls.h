@@ -4,8 +4,7 @@
 // simpler baseline estimator (positivity only, no smoothness penalty or
 // division-continuity constraints) against which the full QP estimator is
 // compared in the constraint-ablation bench.
-#ifndef CELLSYNC_NUMERICS_NNLS_H
-#define CELLSYNC_NUMERICS_NNLS_H
+#pragma once
 
 #include "numerics/matrix.h"
 #include "numerics/vector_ops.h"
@@ -26,5 +25,3 @@ struct Nnls_result {
 Nnls_result solve_nnls(const Matrix& a, const Vector& b, double tol = 1e-10);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_NNLS_H

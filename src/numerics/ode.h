@@ -3,8 +3,7 @@
 // models (e.g. the Lotka-Volterra oscillator of paper Eqs 20-21) whose
 // solutions supply the 'true' synchronized expression profiles for the
 // validation experiments.
-#ifndef CELLSYNC_NUMERICS_ODE_H
-#define CELLSYNC_NUMERICS_ODE_H
+#pragma once
 
 #include <functional>
 
@@ -51,5 +50,3 @@ Ode_solution rk45_solve(const Ode_rhs& rhs, const Vector& y0, double t0, double 
                         const Ode_options& options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_ODE_H

@@ -11,8 +11,7 @@
 //    rewritten as min ||L^T x + L^{-1} g|| over x >= 0 with H = L L^T;
 //  * automatic  — per-problem dispatch: nnls when the structure allows,
 //    active_set otherwise.
-#ifndef CELLSYNC_NUMERICS_QP_BACKEND_H
-#define CELLSYNC_NUMERICS_QP_BACKEND_H
+#pragma once
 
 #include <memory>
 #include <string>
@@ -73,5 +72,3 @@ class Nnls_qp_solver final : public Qp_solver {
 std::unique_ptr<Qp_solver> make_qp_solver(Qp_backend backend);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_QP_BACKEND_H

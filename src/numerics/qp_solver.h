@@ -11,8 +11,7 @@
 // with H symmetric positive (semi-)definite. Problem sizes are tiny
 // (tens of unknowns, tens of constraints), so a textbook dense active-set
 // iteration with explicit KKT solves is both simple and fast.
-#ifndef CELLSYNC_NUMERICS_QP_SOLVER_H
-#define CELLSYNC_NUMERICS_QP_SOLVER_H
+#pragma once
 
 #include <optional>
 
@@ -174,5 +173,3 @@ Qp_result solve_qp_dual(const Qp_problem& problem, const Qp_options& options = {
 double kkt_violation(const Qp_problem& problem, const Qp_result& result);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_QP_SOLVER_H

@@ -2,8 +2,7 @@
 // grids, Gauss-Legendre nodes and weights, and convenience integrators for
 // callables. Used for the integral transforms (paper Eq 3) and constraint
 // rows (paper Eqs 17-19).
-#ifndef CELLSYNC_NUMERICS_QUADRATURE_H
-#define CELLSYNC_NUMERICS_QUADRATURE_H
+#pragma once
 
 #include <functional>
 
@@ -43,5 +42,3 @@ double integrate_simpson(const std::function<double(double)>& f, double lo, doub
                          std::size_t panels = 256);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_QUADRATURE_H

@@ -2,8 +2,7 @@
 // models. Every stochastic component in cellsync takes an explicit `Rng&`
 // (never a global generator) so that simulations, tests, and benches are
 // reproducible bit-for-bit given a seed.
-#ifndef CELLSYNC_NUMERICS_RNG_H
-#define CELLSYNC_NUMERICS_RNG_H
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -60,5 +59,3 @@ class Rng {
 std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_RNG_H

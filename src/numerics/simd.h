@@ -20,8 +20,7 @@
 // CELLSYNC_SIMD is normally set by the CMake option of the same name
 // (default ON). Building with -DCELLSYNC_SIMD=OFF compiles the dispatching
 // entry points down to the reference loops.
-#ifndef CELLSYNC_NUMERICS_SIMD_H
-#define CELLSYNC_NUMERICS_SIMD_H
+#pragma once
 
 #include <cstddef>
 
@@ -41,5 +40,3 @@ inline constexpr std::size_t simd_chunk_doubles = 4;
 inline constexpr bool simd_kernels_enabled = CELLSYNC_SIMD != 0;
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_SIMD_H

@@ -28,8 +28,7 @@
 // one with a warning on stderr; an unknown value is ignored the same
 // way. With CELLSYNC_SIMD=OFF only the scalar table exists and the
 // override is accepted but always resolves to scalar.
-#ifndef CELLSYNC_NUMERICS_SIMD_DISPATCH_H
-#define CELLSYNC_NUMERICS_SIMD_DISPATCH_H
+#pragma once
 
 #include <cstddef>
 
@@ -126,5 +125,3 @@ bool tier_bit_identical(Tier tier);
 bool set_tier_for_testing(Tier tier);
 
 }  // namespace cellsync::simd
-
-#endif  // CELLSYNC_NUMERICS_SIMD_DISPATCH_H

@@ -2,8 +2,7 @@
 // truncated-normal moments. The SW->ST transition phase distribution
 // p(phi) = N(phi; mu_sst, sigma_sst^2) (paper Sec 2.1) flows through all
 // constraint integrals, so these are kept exact and branch-free.
-#ifndef CELLSYNC_NUMERICS_SPECIAL_H
-#define CELLSYNC_NUMERICS_SPECIAL_H
+#pragma once
 
 namespace cellsync {
 
@@ -29,5 +28,3 @@ double gaussian_quantile(double p);
 double truncated_normal_mean(double mu, double sigma, double lo, double hi);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_SPECIAL_H

@@ -1,8 +1,7 @@
 // Descriptive statistics and error metrics for validating simulations and
 // scoring deconvolution accuracy (RMSE / correlation between the recovered
 // f(phi) and the known single-cell truth in Figures 2-3).
-#ifndef CELLSYNC_NUMERICS_STATISTICS_H
-#define CELLSYNC_NUMERICS_STATISTICS_H
+#pragma once
 
 #include "numerics/vector_ops.h"
 
@@ -48,5 +47,3 @@ double max_abs_error(const Vector& a, const Vector& b);
 std::vector<std::size_t> histogram(const Vector& v, double lo, double hi, std::size_t bins);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_STATISTICS_H

@@ -5,8 +5,7 @@
 // updates) and arithmetic operators used by the linear-algebra and
 // optimization layers. All functions validate dimensions and throw
 // `std::invalid_argument` on mismatch.
-#ifndef CELLSYNC_NUMERICS_VECTOR_OPS_H
-#define CELLSYNC_NUMERICS_VECTOR_OPS_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -55,5 +54,3 @@ Vector linspace(double lo, double hi, std::size_t n);
 bool all_finite(const Vector& a);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_NUMERICS_VECTOR_OPS_H

@@ -5,8 +5,7 @@
 // SW / STE / STEPD / STLPD and reports population fractions. Running it at
 // the paper's low/mid/high thresholds produces the shaded bands of
 // Figure 4.
-#ifndef CELLSYNC_POPULATION_CELL_TYPE_CENSUS_H
-#define CELLSYNC_POPULATION_CELL_TYPE_CENSUS_H
+#pragma once
 
 #include <cstdint>
 
@@ -41,5 +40,3 @@ Census_series simulate_census(const Cell_cycle_config& config,
                               const Census_options& options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_POPULATION_CELL_TYPE_CENSUS_H

@@ -7,8 +7,7 @@
 // requested times, and packages them as a discretized kernel usable both
 // forwards (generating population data from a known single-cell profile)
 // and backwards (assembling the deconvolution's kernel matrix).
-#ifndef CELLSYNC_POPULATION_KERNEL_BUILDER_H
-#define CELLSYNC_POPULATION_KERNEL_BUILDER_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -74,5 +73,3 @@ Kernel_grid build_kernel(const Cell_cycle_config& config, const Volume_model& vo
                          const Vector& times, const Kernel_build_options& options = {});
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_POPULATION_KERNEL_BUILDER_H

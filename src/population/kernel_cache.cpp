@@ -12,7 +12,7 @@
 #include "core/telemetry.h"
 #include "core/trace.h"
 #include "io/csv.h"
-#include "io/kernel_io.h"
+#include "population/kernel_io.h"
 #include "numerics/fnv.h"
 
 namespace cellsync {

@@ -19,8 +19,7 @@
 // to parse); legacy `.csv` entries from older caches keep serving hits
 // transparently — read-only fleets leave them as-is, a writable owner
 // migrates an entry to binary the first time it is touched.
-#ifndef CELLSYNC_POPULATION_KERNEL_CACHE_H
-#define CELLSYNC_POPULATION_KERNEL_CACHE_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -250,5 +249,3 @@ class Kernel_cache {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_POPULATION_KERNEL_CACHE_H

@@ -20,8 +20,7 @@
 //
 // Readers auto-detect the format from the magic prefix; all Kernel_grid
 // invariants are re-validated on load either way.
-#ifndef CELLSYNC_IO_KERNEL_IO_H
-#define CELLSYNC_IO_KERNEL_IO_H
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -75,5 +74,3 @@ Kernel_grid read_kernel_auto(std::istream& in, Kernel_format* detected = nullptr
 Kernel_grid read_kernel_file(const std::string& path, Kernel_format* detected = nullptr);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_IO_KERNEL_IO_H

@@ -3,8 +3,7 @@
 // Histograms of cell phase, either number-weighted (the classic phase
 // distribution) or volume-weighted (the Q(phi, t) kernel slice of paper
 // Eq 3), normalized to integrate to one over phi in [0, 1].
-#ifndef CELLSYNC_POPULATION_PHASE_DISTRIBUTION_H
-#define CELLSYNC_POPULATION_PHASE_DISTRIBUTION_H
+#pragma once
 
 #include <vector>
 
@@ -54,5 +53,3 @@ Phase_density phase_volume_density(const std::vector<Snapshot_entry>& snapshot,
                                    std::size_t bins);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_POPULATION_PHASE_DISTRIBUTION_H

@@ -6,8 +6,7 @@
 // its freshly drawn phi_sst). Snapshots of (phi, phi_sst, volume) feed the
 // phase-distribution estimators and the kernel builder. Given a seed, runs
 // are bit-for-bit reproducible.
-#ifndef CELLSYNC_POPULATION_POPULATION_SIMULATOR_H
-#define CELLSYNC_POPULATION_POPULATION_SIMULATOR_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -81,5 +80,3 @@ class Population_simulator {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_POPULATION_POPULATION_SIMULATOR_H

@@ -3,8 +3,7 @@
 // Quantifies how far a population has drifted from synchrony — the decay
 // these metrics show over experiment time is exactly the asynchronous
 // variability the deconvolution removes in silico.
-#ifndef CELLSYNC_POPULATION_SYNCHRONY_H
-#define CELLSYNC_POPULATION_SYNCHRONY_H
+#pragma once
 
 #include <vector>
 
@@ -43,5 +42,3 @@ double profile_order_parameter(const Vector& phi, const Vector& values);
 double profile_entropy(const Vector& values);
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_POPULATION_SYNCHRONY_H

@@ -4,8 +4,7 @@
 // sum_i alpha_i psi_i(phi) (paper Eq 4). The deconvolution core is written
 // against this interface so the natural-spline basis of the paper and the
 // B-spline ablation alternative are interchangeable.
-#ifndef CELLSYNC_SPLINE_BASIS_H
-#define CELLSYNC_SPLINE_BASIS_H
+#pragma once
 
 #include <memory>
 
@@ -102,5 +101,3 @@ class Basis {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_SPLINE_BASIS_H

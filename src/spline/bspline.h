@@ -4,8 +4,7 @@
 // basis-choice ablation bench. B-splines have local support (each psi_i is
 // nonzero on at most 4 knot spans), which makes the positivity constraint
 // exactly representable as alpha_i >= 0.
-#ifndef CELLSYNC_SPLINE_BSPLINE_H
-#define CELLSYNC_SPLINE_BSPLINE_H
+#pragma once
 
 #include "spline/basis.h"
 
@@ -39,5 +38,3 @@ class Bspline_basis final : public Basis {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_SPLINE_BSPLINE_H

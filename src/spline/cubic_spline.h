@@ -3,8 +3,7 @@
 // The deconvolution estimator models the synchronized single-cell
 // expression f(phi) as a natural cubic spline (paper Eq 4). This class is
 // the scalar interpolant; the basis expansion lives in spline_basis.h.
-#ifndef CELLSYNC_SPLINE_CUBIC_SPLINE_H
-#define CELLSYNC_SPLINE_CUBIC_SPLINE_H
+#pragma once
 
 #include "numerics/vector_ops.h"
 
@@ -46,5 +45,3 @@ class Cubic_spline {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_SPLINE_CUBIC_SPLINE_H

@@ -4,8 +4,7 @@
 // the knot grid, so the coefficient alpha_i equals the expansion's value at
 // knot i. That makes positivity constraints and results directly readable
 // in expression units.
-#ifndef CELLSYNC_SPLINE_SPLINE_BASIS_H
-#define CELLSYNC_SPLINE_SPLINE_BASIS_H
+#pragma once
 
 #include <vector>
 
@@ -44,5 +43,3 @@ class Natural_spline_basis final : public Basis {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_SPLINE_SPLINE_BASIS_H

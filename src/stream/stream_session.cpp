@@ -1,7 +1,7 @@
 #include "stream/stream_session.h"
 
+#include <set>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "core/batch.h"
 #include "core/telemetry.h"
@@ -66,7 +66,11 @@ std::vector<Stream_update> Stream_session::append_timepoint(
         throw std::invalid_argument("Stream_session: empty timepoint batch");
     }
     {
-        std::unordered_set<std::string> seen;
+        // Ordered on purpose: the archcheck determinism pass bans hashed
+        // containers in src/ wholesale (iteration order must never be able
+        // to reach output order), and a per-batch duplicate probe is far
+        // off the hot path.
+        std::set<std::string> seen;
         for (const Stream_record& record : records) {
             if (record.gene.empty()) {
                 throw std::invalid_argument("Stream_session: record with empty gene name");
@@ -115,8 +119,8 @@ std::vector<Stream_update> Stream_session::append_timepoint(
     });
     if constexpr (telemetry::compiled_in) {
         std::size_t converged = 0;
-        for (const auto& [label, stream] : streams_) {
-            if (stream->converged()) ++converged;
+        for (const std::string& label : order_) {
+            if (streams_.at(label)->converged()) ++converged;
         }
         static telemetry::Gauge& open_streams = telemetry::gauge("stream.open_streams");
         static telemetry::Gauge& converged_streams =
@@ -137,11 +141,16 @@ std::size_t Stream_session::stream_count() const {
     return order_.size();
 }
 
+// The aggregate accessors walk order_ (registration order), not the map:
+// every reporting traversal is pinned to one caller-visible order, so no
+// container's iteration order — hashed or sorted — can ever leak into
+// what a session reports. stream_session_test's registration-order test
+// holds this down.
 std::size_t Stream_session::converged_count() const {
     const Annotated_lock lock(run_mutex_);
     std::size_t count = 0;
-    for (const auto& [label, stream] : streams_) {
-        if (stream->converged()) ++count;
+    for (const std::string& label : order_) {
+        if (streams_.at(label)->converged()) ++count;
     }
     return count;
 }
@@ -149,17 +158,17 @@ std::size_t Stream_session::converged_count() const {
 bool Stream_session::all_converged() const {
     const Annotated_lock lock(run_mutex_);
     std::size_t count = 0;
-    for (const auto& [label, stream] : streams_) {
-        if (stream->converged()) ++count;
+    for (const std::string& label : order_) {
+        if (streams_.at(label)->converged()) ++count;
     }
-    return !streams_.empty() && count == streams_.size();
+    return !order_.empty() && count == order_.size();
 }
 
 Stream_solve_stats Stream_session::total_stats() const {
     const Annotated_lock lock(run_mutex_);
     Stream_solve_stats total;
-    for (const auto& [label, stream] : streams_) {
-        const Stream_solve_stats& s = stream->stats();
+    for (const std::string& label : order_) {
+        const Stream_solve_stats& s = streams_.at(label)->stats();
         total.updates += s.updates;
         total.warm_accepts += s.warm_accepts;
         total.cold_solves += s.cold_solves;

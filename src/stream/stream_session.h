@@ -15,8 +15,7 @@
 // the batch engine's contract: a gene whose update throws surfaces as a
 // labeled error in its Stream_update — never a hang, never a dropped
 // timepoint for the other genes.
-#ifndef CELLSYNC_STREAM_STREAM_SESSION_H
-#define CELLSYNC_STREAM_STREAM_SESSION_H
+#pragma once
 
 #include <map>
 #include <memory>
@@ -130,5 +129,3 @@ class Stream_session {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_STREAM_STREAM_SESSION_H

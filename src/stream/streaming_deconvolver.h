@@ -20,8 +20,7 @@
 // the estimate equals Deconvolver::estimate on that series bit for bit
 // (same lambda, same design artifacts). Asserted by
 // tests/streaming_deconvolver_test.cpp and bench/perf_streaming.
-#ifndef CELLSYNC_STREAM_STREAMING_DECONVOLVER_H
-#define CELLSYNC_STREAM_STREAMING_DECONVOLVER_H
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -161,5 +160,3 @@ class Streaming_deconvolver {
 };
 
 }  // namespace cellsync
-
-#endif  // CELLSYNC_STREAM_STREAMING_DECONVOLVER_H

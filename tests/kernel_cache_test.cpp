@@ -7,7 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
-#include "io/kernel_io.h"
+#include "population/kernel_io.h"
 
 namespace cellsync {
 namespace {

@@ -1,4 +1,4 @@
-#include "io/kernel_io.h"
+#include "population/kernel_io.h"
 
 #include <gtest/gtest.h>
 

@@ -108,6 +108,57 @@ TEST(StreamSession, UpdatesFollowRecordOrderAndAutoOpenStreams) {
     }
 }
 
+// The archcheck determinism pass bans hashed containers in src/ so that
+// no iteration order can reach reporting order; this test holds the
+// positive half of that contract: every order a session exposes is the
+// registration order, even when labels are opened in an order that a
+// sorted or hashed container would visit differently.
+TEST(StreamSession, ReportingOrderIsRegistrationOrderNotContainerOrder) {
+    Stream_session session(fixture().artifacts, session_options(2));
+    // Deliberately anti-alphabetical registration (a sorted map would
+    // visit zeta last-first; a hashed one, who knows).
+    const std::vector<std::string> registered = {"zeta", "mid", "alpha"};
+    for (const std::string& label : registered) session.open_stream(label);
+    EXPECT_EQ(session.labels(), registered);
+
+    // Appending records for a mix of old and brand-new labels keeps the
+    // registry in registration order, appending only the new ones.
+    const Measurement_series& first = fixture().panel.front();
+    std::vector<Stream_record> records;
+    for (const char* label : {"beta", "alpha", "zeta"}) {
+        records.push_back({label, first.values[0], first.sigmas[0]});
+    }
+    const std::vector<Stream_update> updates =
+        session.append_timepoint(first.times[0], records);
+    ASSERT_EQ(updates.size(), 3u);
+    EXPECT_EQ(updates[0].label, "beta");   // slot order = record order
+    EXPECT_EQ(updates[1].label, "alpha");
+    EXPECT_EQ(updates[2].label, "zeta");
+    const std::vector<std::string> expected = {"zeta", "mid", "alpha", "beta"};
+    EXPECT_EQ(session.labels(), expected);
+    EXPECT_EQ(session.stream_count(), 4u);
+
+    // The aggregate walks (converged_count / total_stats) traverse the
+    // same registration order; their results must match a by-label sum
+    // regardless of traversal, proving iteration order is irrelevant to
+    // what the session reports.
+    Stream_solve_stats by_label;
+    std::size_t converged = 0;
+    for (const std::string& label : expected) {
+        const Streaming_deconvolver* stream = session.find_stream(label);
+        ASSERT_NE(stream, nullptr) << label;
+        by_label.updates += stream->stats().updates;
+        by_label.warm_accepts += stream->stats().warm_accepts;
+        by_label.cold_solves += stream->stats().cold_solves;
+        if (stream->converged()) ++converged;
+    }
+    const Stream_solve_stats total = session.total_stats();
+    EXPECT_EQ(total.updates, by_label.updates);
+    EXPECT_EQ(total.warm_accepts, by_label.warm_accepts);
+    EXPECT_EQ(total.cold_solves, by_label.cold_solves);
+    EXPECT_EQ(session.converged_count(), converged);
+}
+
 TEST(StreamSession, ThrowingUpdateSurfacesAsLabeledErrorNotHangOrAbort) {
     Stream_session session(fixture().artifacts, session_options(4));
     const Measurement_series& first = fixture().panel.front();

@@ -124,7 +124,7 @@
 #include "core/trace.h"
 #include "io/csv.h"
 #include "io/expression_data.h"
-#include "io/kernel_io.h"
+#include "population/kernel_io.h"
 #include "io/series_writer.h"
 #include "io/stream_records.h"
 #include "numerics/simd_dispatch.h"
